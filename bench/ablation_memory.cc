@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Memory-system ablation (§3.2: "The primary bottleneck keeping the
+ * MultiTitan from obtaining higher performance in these benchmarks is
+ * its limited memory bandwidth"): sweep the data-cache miss penalty,
+ * the store cost, and an ideal-memory configuration over a Livermore
+ * subset, reporting cold and warm harmonic means.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "kernels/livermore/livermore.hh"
+#include "kernels/runner.hh"
+
+using namespace mtfpu;
+using namespace mtfpu::bench;
+
+namespace
+{
+
+const int kLoops[] = {1, 2, 3, 7, 9, 12};
+
+void
+harmonicBoth(const machine::MachineConfig &cfg, double &cold,
+             double &warm)
+{
+    std::vector<double> c, w;
+    for (int id : kLoops) {
+        const bool vec = kernels::livermore::hasVectorVariant(id);
+        const auto r =
+            kernels::runKernel(kernels::livermore::make(id, vec), cfg);
+        c.push_back(r.mflopsCold);
+        w.push_back(r.mflopsWarm);
+    }
+    cold = harmonicMean(c);
+    warm = harmonicMean(w);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Ablation: memory system (Livermore 1,2,3,7,9,12 harmonic "
+           "means)");
+
+    TextTable t({"configuration", "cold HM", "warm HM", "cold/warm"});
+    double cold = 0, warm = 0;
+
+    for (unsigned penalty : {7u, 14u, 28u, 56u}) {
+        machine::MachineConfig cfg;
+        cfg.memory.dataCache.missPenalty = penalty;
+        cfg.memory.instrCache.missPenalty = penalty;
+        harmonicBoth(cfg, cold, warm);
+        t.addRow({"miss penalty " + std::to_string(penalty) +
+                      (penalty == 14 ? " (paper)" : ""),
+                  TextTable::num(cold, 1), TextTable::num(warm, 1),
+                  TextTable::num(cold / warm, 2)});
+    }
+
+    {
+        machine::MachineConfig cfg;
+        cfg.memory.modelCaches = false;
+        harmonicBoth(cfg, cold, warm);
+        t.addRow({"ideal memory (no caches)", TextTable::num(cold, 1),
+                  TextTable::num(warm, 1),
+                  TextTable::num(cold / warm, 2)});
+    }
+
+    for (unsigned store_cycles : {1u, 2u, 3u}) {
+        machine::MachineConfig cfg;
+        cfg.storeCycles = store_cycles;
+        harmonicBoth(cfg, cold, warm);
+        t.addRow({"store cost " + std::to_string(store_cycles) +
+                      (store_cycles == 2 ? " cycles (paper)"
+                                         : " cycles"),
+                  TextTable::num(cold, 1), TextTable::num(warm, 1),
+                  TextTable::num(cold / warm, 2)});
+    }
+
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(§3.2: cold-cache performance is about 3x-6x below "
+                "warm on the memory-bound loops; with a hit, a "
+                "two-operand vector add still needs ~4 cycles per "
+                "result — two loads, a compute, and a partially "
+                "overlapped store)\n");
+    return 0;
+}

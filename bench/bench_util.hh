@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ */
+
+#ifndef MTFPU_BENCH_BENCH_UTIL_HH
+#define MTFPU_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "machine/machine.hh"
+
+namespace mtfpu::bench
+{
+
+/** Machine with the paper's parameters but no cache modeling (the
+ *  worked examples assume hit-free execution). */
+inline machine::MachineConfig
+idealMemoryConfig()
+{
+    machine::MachineConfig cfg;
+    cfg.memory.modelCaches = false;
+    return cfg;
+}
+
+/** Banner for one experiment section. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=============================================="
+                "=========================\n%s\n"
+                "=============================================="
+                "=========================\n",
+                title.c_str());
+}
+
+/** Print a paper-vs-measured line. */
+inline void
+compareLine(const std::string &what, double paper, double measured,
+            const char *unit)
+{
+    std::printf("  %-44s paper: %8.1f %-7s measured: %8.1f %s\n",
+                what.c_str(), paper, unit, measured, unit);
+}
+
+} // namespace mtfpu::bench
+
+#endif // MTFPU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces Figures 5-8: the three ways to sum eight vector elements
+ * (tree of scalars, linear vector, tree of vectors) and the Fibonacci
+ * recurrence, with cycle-by-cycle timing diagrams in the style of the
+ * paper's figures.
+ *
+ * Paper numbers: Fig. 5 = 12 cycles, Fig. 6 = 24 cycles,
+ * Fig. 7 = 12 cycles with only 3 CPU instruction transfers,
+ * Fig. 8 = last Fibonacci element written at cycle 24.
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "bench/bench_util.hh"
+
+namespace
+{
+
+using namespace mtfpu;
+using namespace mtfpu::bench;
+
+struct Case
+{
+    const char *title;
+    const char *source;
+    uint64_t paper_cycles;
+    bool fibonacci;
+};
+
+const Case kCases[] = {
+    {"Figure 5: summing with a tree of scalar operations",
+     R"(
+        fadd f8, f0, f1
+        fadd f9, f2, f3
+        fadd f10, f4, f5
+        fadd f11, f6, f7
+        fadd f12, f8, f9
+        fadd f13, f10, f11
+        fadd f14, f12, f13
+        halt
+     )",
+     12, false},
+    {"Figure 6: summing with a linear vector (moving accumulator)",
+     R"(
+        fadd f9, f8, f0, vl=8, sra, srb
+        halt
+     )",
+     24, false},
+    {"Figure 7: summing with a tree of vector operations",
+     R"(
+        fadd f8, f0, f4, vl=4, sra, srb
+        fadd f12, f8, f10, vl=2, sra, srb
+        fadd f14, f12, f13
+        halt
+     )",
+     12, false},
+    {"Figure 8: vectorization of recurrences (Fibonacci, VL=8)",
+     R"(
+        fadd f2, f1, f0, vl=8, sra, srb
+        halt
+     )",
+     24, true},
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Figures 5-8: reductions and recurrences on the unified "
+           "vector/scalar file");
+
+    for (const Case &c : kCases) {
+        machine::Machine m(idealMemoryConfig());
+        machine::Tracer tracer;
+        m.attachTracer(&tracer);
+        m.loadProgram(assembler::assemble(c.source));
+        if (c.fibonacci) {
+            m.fpu().regs().writeDouble(0, 1.0);
+            m.fpu().regs().writeDouble(1, 1.0);
+        } else {
+            for (unsigned i = 0; i < 8; ++i)
+                m.fpu().regs().writeDouble(i, 1.0 + i);
+        }
+        const machine::RunStats stats = m.run();
+
+        std::printf("\n%s\n", c.title);
+        std::printf("%s", tracer.renderTimeline().c_str());
+        std::printf("  total cycles: %llu (paper: %llu)%s\n",
+                    static_cast<unsigned long long>(stats.cycles),
+                    static_cast<unsigned long long>(c.paper_cycles),
+                    stats.cycles == c.paper_cycles ? "  [match]"
+                                                   : "  [MISMATCH]");
+        std::printf("  CPU instruction transfers for the sum: %llu\n",
+                    static_cast<unsigned long long>(
+                        stats.fpAluTransfers));
+        if (c.fibonacci) {
+            std::printf("  Fibonacci results f2..f9:");
+            for (unsigned i = 2; i <= 9; ++i) {
+                std::printf(" %.0f", m.fpu().regs().readDouble(i));
+            }
+            std::printf("\n");
+        } else {
+            std::printf("  sum of 1..8 = %.0f (expect 36)\n",
+                        m.fpu().regs().readDouble(
+                            c.paper_cycles == 24 ? 16 : 14));
+        }
+    }
+    std::printf("\nKey: I = element issue, = = in the pipeline, "
+                "W = writeback (3-cycle latency incl. bypass)\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduces Figure 14: uniprocessor Livermore Loops MFLOPS on the
+ * MultiTitan (cold cache and warm cache, via the paper's
+ * run-the-loops-twice methodology) next to the paper's own MultiTitan
+ * columns and the published Cray-1S / Cray X-MP numbers it cites.
+ * Harmonic means for loops 1-12, 13-24 and 1-24 close the table, and
+ * a summary block checks the §4 claim that vectorization roughly
+ * doubles sustained performance.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/published.hh"
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "kernels/livermore/livermore.hh"
+#include "kernels/runner.hh"
+
+using namespace mtfpu;
+using namespace mtfpu::bench;
+using kernels::livermore::hasVectorVariant;
+
+int
+main()
+{
+    banner("Figure 14: uniprocessor Livermore Loops (MFLOPS)");
+
+    const machine::MachineConfig cfg; // full cache model, 40 ns cycle
+
+    TextTable t({"loop", "cold", "warm", "cold(paper)", "warm(paper)",
+                 "Cray-1S", "X-MP", ""});
+    std::vector<double> cold, warm;
+    std::vector<double> warm_scalar_only;
+
+    for (int id = 1; id <= kernels::livermore::kNumLoops; ++id) {
+        const bool vec = hasVectorVariant(id);
+        const kernels::Kernel k = kernels::livermore::make(id, vec);
+        const kernels::KernelResult r = kernels::runKernel(k, cfg);
+        if (!r.valid) {
+            std::fprintf(stderr,
+                         "loop %d failed validation (rel err %g)\n", id,
+                         r.relError);
+            return 1;
+        }
+        cold.push_back(r.mflopsCold);
+        warm.push_back(r.mflopsWarm);
+
+        // Scalar-only configuration for the vectorization summary.
+        const kernels::KernelResult rs =
+            vec ? kernels::runKernel(
+                      kernels::livermore::make(id, false), cfg)
+                : r;
+        warm_scalar_only.push_back(rs.mflopsWarm);
+
+        const auto &paper = baseline::figure14()[id - 1];
+        t.addRow({std::to_string(id) + (vec ? "*" : " "),
+                  TextTable::num(r.mflopsCold, 1),
+                  TextTable::num(r.mflopsWarm, 1),
+                  TextTable::num(paper.multititanCold, 1),
+                  TextTable::num(paper.multititanWarm, 1),
+                  TextTable::num(paper.cray1s, 1),
+                  TextTable::num(paper.crayXmp, 1),
+                  paper.vectorizedOnCray ? "(*Cray)" : ""});
+        if (id == 12)
+            t.addSeparator();
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("* = vectorized with the unified vector/scalar "
+                "primitives in this reproduction\n");
+
+    auto slice = [](const std::vector<double> &v, int lo, int hi) {
+        return std::vector<double>(v.begin() + lo, v.begin() + hi);
+    };
+    const auto &pm = baseline::figure14Means();
+
+    std::printf("\nharmonic means (MFLOPS):\n");
+    std::printf("  %-10s %10s %10s %14s %14s\n", "loops", "cold",
+                "warm", "cold(paper)", "warm(paper)");
+    std::printf("  %-10s %10.1f %10.1f %14.1f %14.1f\n", "1-12",
+                harmonicMean(slice(cold, 0, 12)),
+                harmonicMean(slice(warm, 0, 12)), pm.cold1to12,
+                pm.warm1to12);
+    std::printf("  %-10s %10.1f %10.1f %14.1f %14.1f\n", "13-24",
+                harmonicMean(slice(cold, 12, 24)),
+                harmonicMean(slice(warm, 12, 24)), pm.cold13to24,
+                pm.warm13to24);
+    std::printf("  %-10s %10.1f %10.1f %14.1f %14.1f\n", "1-24",
+                harmonicMean(cold), harmonicMean(warm), pm.cold1to24,
+                pm.warm1to24);
+
+    std::printf("\nshape checks:\n");
+    std::printf("  warm >= cold for every loop: %s\n",
+                [&] {
+                    for (size_t i = 0; i < warm.size(); ++i)
+                        if (warm[i] < cold[i])
+                            return "NO";
+                    return "yes";
+                }());
+    std::printf("  loops 1-12 warm HM > loops 13-24 warm HM: %s "
+                "(paper: 10.8 vs 3.2)\n",
+                harmonicMean(slice(warm, 0, 12)) >
+                        harmonicMean(slice(warm, 12, 24))
+                    ? "yes"
+                    : "NO");
+    std::vector<double> vec_rates, sca_rates;
+    for (int id = 1; id <= kernels::livermore::kNumLoops; ++id) {
+        if (hasVectorVariant(id)) {
+            vec_rates.push_back(warm[id - 1]);
+            sca_rates.push_back(warm_scalar_only[id - 1]);
+        }
+    }
+    std::printf("  vectorization speedup on the vectorizable loops "
+                "(warm HM): %.2fx (paper §4: ~2x)\n",
+                harmonicMean(vec_rates) / harmonicMean(sca_rates));
+    std::printf("  overall warm HM with vs without vectorization: "
+                "%.2fx\n",
+                harmonicMean(warm) / harmonicMean(warm_scalar_only));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces §3.3: Linpack on the MultiTitan simulator. Paper
+ * numbers: 4.1 MFLOPS scalar, 6.1 MFLOPS vectorized; the vector
+ * result is 1/4 of the Cray-1S coded-BLAS and 1/8 of the X-MP.
+ */
+
+#include <cstdio>
+
+#include "baseline/published.hh"
+#include "bench/bench_util.hh"
+#include "kernels/linpack/linpack.hh"
+#include "kernels/runner.hh"
+
+using namespace mtfpu;
+using namespace mtfpu::bench;
+
+int
+main()
+{
+    banner("Section 3.3: Linpack (100x100, DGEFA + DGESL)");
+
+    const machine::MachineConfig cfg;
+    const kernels::KernelResult scalar =
+        kernels::runKernel(kernels::linpack::make(false), cfg);
+    const kernels::KernelResult vec =
+        kernels::runKernel(kernels::linpack::make(true), cfg);
+
+    if (!scalar.valid || !vec.valid) {
+        std::fprintf(stderr, "linpack validation failed\n");
+        return 1;
+    }
+
+    const auto &paper = baseline::linpackPaper();
+    compareLine("scalar Linpack", paper.multititanScalar,
+                scalar.mflopsWarm, "MFLOPS");
+    compareLine("vector Linpack", paper.multititanVector,
+                vec.mflopsWarm, "MFLOPS");
+    compareLine("vector/scalar ratio", paper.multititanVector /
+                                           paper.multititanScalar,
+                vec.mflopsWarm / scalar.mflopsWarm, "x");
+
+    std::printf("\n  cold-cache: scalar %.1f, vector %.1f MFLOPS\n",
+                scalar.mflopsCold, vec.mflopsCold);
+    std::printf("  paper context: vector result is 1/4 of the "
+                "Cray-1S Coded BLAS (%.1f) and 1/8 of the X-MP "
+                "(%.1f)\n",
+                paper.cray1sCodedBlas, paper.crayXmp);
+    std::printf("  shape check: vector > scalar: %s\n",
+                vec.mflopsWarm > scalar.mflopsWarm ? "yes" : "NO");
+    return 0;
+}

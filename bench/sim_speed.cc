@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Google-benchmark timing of the simulator itself: simulated cycles
+ * per host second on representative workloads, plus the softfp
+ * primitive rates. Not a paper experiment — an engineering benchmark
+ * of this reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/livermore/livermore.hh"
+#include "kernels/runner.hh"
+#include "softfp/fp64.hh"
+
+namespace
+{
+
+using namespace mtfpu;
+
+void
+BM_SimulateLfk01Vector(benchmark::State &state)
+{
+    const kernels::Kernel k = kernels::livermore::make(1, true);
+    machine::Machine m;
+    m.loadProgram(k.program);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        m.resetForRun(true);
+        k.init(m.mem());
+        cycles = m.run().cycles;
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateLfk01Vector);
+
+void
+BM_SimulateLfk21Scalar(benchmark::State &state)
+{
+    const kernels::Kernel k = kernels::livermore::make(21, false);
+    machine::Machine m;
+    m.loadProgram(k.program);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        m.resetForRun(true);
+        k.init(m.mem());
+        cycles = m.run().cycles;
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateLfk21Scalar);
+
+void
+BM_SoftFpAdd(benchmark::State &state)
+{
+    softfp::Flags flags;
+    uint64_t a = softfp::fromDouble(1.25);
+    const uint64_t b = softfp::fromDouble(3.7);
+    for (auto _ : state) {
+        a = softfp::fpAdd(a, b, flags);
+        benchmark::DoNotOptimize(a);
+        a = softfp::fromDouble(1.25);
+    }
+}
+BENCHMARK(BM_SoftFpAdd);
+
+void
+BM_SoftFpMul(benchmark::State &state)
+{
+    softfp::Flags flags;
+    uint64_t a = softfp::fromDouble(1.25);
+    const uint64_t b = softfp::fromDouble(0.9999);
+    for (auto _ : state) {
+        a = softfp::fpMul(a, b, flags);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_SoftFpMul);
+
+void
+BM_SoftFpDivideMacro(benchmark::State &state)
+{
+    softfp::Flags flags;
+    const uint64_t a = softfp::fromDouble(1.0);
+    const uint64_t b = softfp::fromDouble(3.0);
+    for (auto _ : state) {
+        uint64_t q = softfp::fpDivide(a, b, flags);
+        benchmark::DoNotOptimize(q);
+    }
+}
+BENCHMARK(BM_SoftFpDivideMacro);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Recurrences as vectors: the capability that distinguishes the
+ * unified vector/scalar file from classical vector machines
+ * (paper §2.1.1). Solves a first-order linear recurrence
+ * x[i] = a*x[i-1] + b[i] in strips, using the Figure-8 pattern for
+ * the additive part, and compares against the untimed reference
+ * interpreter to show timing never changes semantics.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "kernels/builder.hh"
+#include "machine/interpreter.hh"
+#include "machine/machine.hh"
+
+int
+main()
+{
+    using namespace mtfpu;
+    using namespace mtfpu::kernels;
+
+    const int n = 64;
+
+    // Build the program with the kernel DSL: prefix-style recurrence
+    // x[i] = x[i-1] + b[i] over strips of 8 (the LFK 11 pattern).
+    KernelBuilder b;
+    b.array("bv", n);
+    b.array("x", n);
+    const unsigned rb = b.ireg("rb"), rx = b.ireg("rx"),
+                   rk = b.ireg("rk");
+    const unsigned X = b.fgroup("X", 9); // X[0] = running value
+    const unsigned B = b.fgroup("B", 8);
+    const unsigned cone = b.fconst(1.0);
+    b.fscratch(4);
+    b.loadBase(rb, "bv");
+    b.loadBase(rx, "x");
+    b.evalInto(X, eConst(0.0));
+    b.loop(rk, n / 8, [&] {
+        b.vload(B, rb, 0, 8, 8);
+        b.emitf("fadd f%u, f%u, f%u, vl=8, sra, srb", X + 1, X, B);
+        b.vstore(X + 1, rx, 0, 8, 8);
+        b.emitf("fmul f%u, f%u, f%u", X, X + 8, cone);
+        b.emitf("addi r%u, r%u, 64", rb, rb);
+        b.emitf("addi r%u, r%u, 64", rx, rx);
+    });
+
+    machine::MachineConfig cfg;
+    cfg.memory.modelCaches = false;
+    machine::Machine m(cfg);
+    m.loadProgram(b.build());
+
+    machine::Interpreter oracle;
+    oracle.loadProgram(b.build());
+
+    std::vector<double> input(n);
+    for (int i = 0; i < n; ++i) {
+        input[i] = 0.25 + 0.01 * i;
+        m.mem().writeDouble(b.layout().base("bv") + 8 * i, input[i]);
+        oracle.mem().writeDouble(b.layout().base("bv") + 8 * i,
+                                 input[i]);
+    }
+    b.initConstants(m.mem());
+    b.initConstants(oracle.mem());
+
+    const machine::RunStats stats = m.run();
+    oracle.run();
+
+    double expect = 0;
+    bool all_match = true;
+    for (int i = 0; i < n; ++i) {
+        expect += input[i];
+        const double got =
+            m.mem().readDouble(b.layout().base("x") + 8 * i);
+        const double oracle_got =
+            oracle.mem().readDouble(b.layout().base("x") + 8 * i);
+        all_match = all_match && got == oracle_got && got == expect;
+    }
+
+    std::printf("prefix sum of %d elements, vectorized as a "
+                "recurrence (VL=8 strips):\n",
+                n);
+    std::printf("  cycles: %llu (%.2f per element; a classical "
+                "vector machine cannot vectorize this at all)\n",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<double>(stats.cycles) / n);
+    std::printf("  vector elements issued: %llu in %llu instruction "
+                "transfers\n",
+                static_cast<unsigned long long>(
+                    stats.fpu.elementsIssued),
+                static_cast<unsigned long long>(
+                    stats.fpAluTransfers));
+    std::printf("  results match the untimed reference interpreter "
+                "bit for bit: %s\n",
+                all_match ? "yes" : "NO");
+    return all_match ? 0 : 1;
+}

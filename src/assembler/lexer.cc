@@ -1,0 +1,128 @@
+#include "assembler/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace mtfpu::assembler
+{
+
+namespace
+{
+
+[[noreturn]] void
+lexError(int line, const std::string &msg)
+{
+    fatal("line " + std::to_string(line) + ": " + msg);
+}
+
+} // anonymous namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = src.size();
+
+    auto push = [&](TokKind k, std::string text = "", int64_t value = 0) {
+        toks.push_back(Token{k, std::move(text), value, line});
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            // Collapse consecutive newlines.
+            if (!toks.empty() && toks.back().kind != TokKind::Newline)
+                push(TokKind::Newline);
+            ++line;
+            ++i;
+        } else if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+        } else if (c == ';' || c == '#') {
+            while (i < n && src[i] != '\n')
+                ++i;
+        } else if (c == ',') {
+            push(TokKind::Comma);
+            ++i;
+        } else if (c == ':') {
+            push(TokKind::Colon);
+            ++i;
+        } else if (c == '(') {
+            push(TokKind::LParen);
+            ++i;
+        } else if (c == ')') {
+            push(TokKind::RParen);
+            ++i;
+        } else if (c == '=') {
+            push(TokKind::Equals);
+            ++i;
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '-' &&
+                    i + 1 < n &&
+                    std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            size_t j = i + (c == '-' ? 1 : 0);
+            int base = 10;
+            if (j + 1 < n && src[j] == '0' &&
+                (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+                base = 16;
+                j += 2;
+            }
+            size_t start = j;
+            while (j < n &&
+                   std::isalnum(static_cast<unsigned char>(src[j])))
+                ++j;
+            const std::string digits = src.substr(start, j - start);
+            if (digits.empty())
+                lexError(line, "malformed number");
+            char *end = nullptr;
+            int64_t v = std::strtoll(digits.c_str(), &end, base);
+            if (end == nullptr || *end != '\0')
+                lexError(line, "malformed number '" + digits + "'");
+            if (c == '-')
+                v = -v;
+            push(TokKind::Number, digits, v);
+            i = j;
+        } else if (std::isalpha(static_cast<unsigned char>(c)) ||
+                   c == '_' || c == '.') {
+            size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_' || src[j] == '.'))
+                ++j;
+            std::string word = src.substr(i, j - i);
+            i = j;
+
+            // Register names: r<n> and f<n>.
+            auto is_reg = [&](char prefix) {
+                if (word.size() < 2 || word[0] != prefix)
+                    return false;
+                for (size_t k = 1; k < word.size(); ++k) {
+                    if (!std::isdigit(static_cast<unsigned char>(word[k])))
+                        return false;
+                }
+                return true;
+            };
+            if (is_reg('r')) {
+                push(TokKind::IntReg, word,
+                     std::strtoll(word.c_str() + 1, nullptr, 10));
+            } else if (is_reg('f')) {
+                push(TokKind::FpReg, word,
+                     std::strtoll(word.c_str() + 1, nullptr, 10));
+            } else {
+                push(TokKind::Ident, std::move(word));
+            }
+        } else {
+            lexError(line, std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    if (!toks.empty() && toks.back().kind != TokKind::Newline)
+        push(TokKind::Newline);
+    push(TokKind::Eof);
+    return toks;
+}
+
+} // namespace mtfpu::assembler

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tokenizer for the mtfpu assembly language.
+ */
+
+#ifndef MTFPU_ASSEMBLER_LEXER_HH
+#define MTFPU_ASSEMBLER_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtfpu::assembler
+{
+
+/** Token kinds produced by the lexer. */
+enum class TokKind
+{
+    Ident,   // mnemonic or label name
+    IntReg,  // r0..r31
+    FpReg,   // f0..f51
+    Number,  // decimal or 0x hex, optional leading '-'
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Equals,
+    Newline,
+    Eof,
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokKind kind;
+    std::string text; // identifier text
+    int64_t value = 0; // number value or register index
+    int line = 0;
+};
+
+/**
+ * Tokenize a full source string. Comments run from ';' or '#' to end
+ * of line. Raises fatal() with a line number on bad characters.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace mtfpu::assembler
+
+#endif // MTFPU_ASSEMBLER_LEXER_HH

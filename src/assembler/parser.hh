@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Statement parser for the assembler: turns a token stream into
+ * proto-instructions with unresolved label references.
+ */
+
+#ifndef MTFPU_ASSEMBLER_PARSER_HH
+#define MTFPU_ASSEMBLER_PARSER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assembler/lexer.hh"
+#include "isa/cpu_instr.hh"
+
+namespace mtfpu::assembler
+{
+
+/** How a statement's immediate refers to a label (if at all). */
+enum class RefKind { None, Relative };
+
+/** One parsed instruction, possibly with an unresolved label. */
+struct Stmt
+{
+    isa::Instr instr;
+    RefKind ref = RefKind::None;
+    std::string label; // target label when ref != None
+    int line = 0;
+};
+
+/** Result of parsing: statements plus label -> statement-index map. */
+struct ParseResult
+{
+    std::vector<Stmt> stmts;
+    std::map<std::string, uint32_t> labels;
+};
+
+/** Parse a token stream; fatal() with a line number on errors. */
+ParseResult parse(const std::vector<Token> &tokens);
+
+} // namespace mtfpu::assembler
+
+#endif // MTFPU_ASSEMBLER_PARSER_HH

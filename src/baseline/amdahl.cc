@@ -1,0 +1,43 @@
+#include "baseline/amdahl.hh"
+
+#include "common/log.hh"
+
+namespace mtfpu::baseline
+{
+
+double
+overallSpeedup(double f, double R)
+{
+    if (f < 0.0 || f > 1.0)
+        fatal("overallSpeedup: fraction must be in [0, 1]");
+    if (R <= 0.0)
+        fatal("overallSpeedup: ratio must be positive");
+    return 1.0 / ((1.0 - f) + f / R);
+}
+
+double
+impliedVectorFraction(double speedup, double R)
+{
+    if (speedup < 1.0 || R <= 1.0)
+        fatal("impliedVectorFraction: need speedup >= 1 and R > 1");
+    // 1/s = 1 - f + f/R  =>  f = (1 - 1/s) / (1 - 1/R).
+    return (1.0 - 1.0 / speedup) / (1.0 - 1.0 / R);
+}
+
+std::vector<SpeedupCurve>
+figure11Curves(double max_ratio, double step)
+{
+    std::vector<SpeedupCurve> curves;
+    for (double f : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        SpeedupCurve c;
+        c.fraction = f;
+        for (double r = 1.0; r <= max_ratio + 1e-9; r += step) {
+            c.ratios.push_back(r);
+            c.speedups.push_back(overallSpeedup(f, r));
+        }
+        curves.push_back(std::move(c));
+    }
+    return curves;
+}
+
+} // namespace mtfpu::baseline

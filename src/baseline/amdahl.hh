@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The vectorization-potential model behind Figure 11: overall
+ * performance relative to a scalar machine when a fraction f of the
+ * work vectorizes and the peak vector rate is R times the scalar
+ * rate: speedup(f, R) = 1 / ((1 - f) + f/R).
+ */
+
+#ifndef MTFPU_BASELINE_AMDAHL_HH
+#define MTFPU_BASELINE_AMDAHL_HH
+
+#include <vector>
+
+namespace mtfpu::baseline
+{
+
+/** Overall speedup for vectorized fraction @p f and peak ratio @p R. */
+double overallSpeedup(double f, double R);
+
+/**
+ * The vectorized fraction implied by a measured overall speedup at a
+ * given peak ratio (inverse of overallSpeedup in f).
+ */
+double impliedVectorFraction(double speedup, double R);
+
+/** A sampled Figure 11 curve for one vectorization fraction. */
+struct SpeedupCurve
+{
+    double fraction;
+    std::vector<double> ratios;
+    std::vector<double> speedups;
+};
+
+/** Sample speedup curves for the Figure 11 fractions (0.2..1.0). */
+std::vector<SpeedupCurve> figure11Curves(double max_ratio = 10.0,
+                                         double step = 0.5);
+
+} // namespace mtfpu::baseline
+
+#endif // MTFPU_BASELINE_AMDAHL_HH

@@ -1,0 +1,67 @@
+#include "baseline/published.hh"
+
+namespace mtfpu::baseline
+{
+
+const std::array<Figure14Row, 24> &
+figure14()
+{
+    static const std::array<Figure14Row, 24> rows = {{
+        {1, 4.3, 19.0, 68.4, 164.6, true},
+        {2, 2.8, 17.3, 16.4, 45.1, true},
+        {3, 2.8, 17.3, 63.1, 151.7, true},
+        {4, 2.3, 14.5, 20.6, 65.9, true},
+        {5, 2.0, 8.0, 5.3, 14.4, false},
+        {6, 3.4, 5.2, 6.6, 11.3, true},
+        {7, 6.9, 23.4, 82.1, 187.8, true},
+        {8, 6.0, 19.9, 65.6, 145.8, true},
+        {9, 3.6, 20.3, 80.4, 157.5, true},
+        {10, 1.5, 7.1, 28.1, 61.2, true},
+        {11, 1.7, 6.6, 4.4, 12.7, false},
+        {12, 1.4, 7.9, 21.8, 74.3, true},
+        {13, 1.4, 1.8, 4.1, 5.8, false},
+        {14, 2.6, 3.1, 7.3, 22.2, false},
+        {15, 1.5, 1.6, 3.8, 5.2, false},
+        {16, 2.3, 2.5, 3.2, 6.2, false},
+        {17, 4.0, 4.9, 7.6, 10.1, false},
+        {18, 7.4, 14.8, 54.9, 110.6, true},
+        {19, 2.6, 4.2, 6.5, 13.4, false},
+        {20, 4.5, 4.7, 9.6, 13.2, false},
+        {21, 15.9, 21.4, 32.8, 108.9, true},
+        {22, 2.4, 2.7, 39.9, 65.8, true},
+        {23, 3.0, 7.4, 10.4, 13.9, false},
+        {24, 1.1, 1.6, 1.6, 3.6, false},
+    }};
+    return rows;
+}
+
+const Figure14Means &
+figure14Means()
+{
+    static const Figure14Means means = {
+        2.5, 10.8, 14.4, 35.8, // loops 1-12
+        2.4, 3.2, 5.6, 10.0,   // loops 13-24
+        2.5, 4.9, 8.0, 15.6,   // loops 1-24
+    };
+    return means;
+}
+
+const std::array<LatencyRow, 3> &
+figure10()
+{
+    static const std::array<LatencyRow, 3> rows = {{
+        {"Addition, Subtraction", 120.0, 57.0},
+        {"Multiplication", 120.0, 66.5},
+        {"Division (via 1/x)", 720.0, 332.5},
+    }};
+    return rows;
+}
+
+const LinpackPaper &
+linpackPaper()
+{
+    static const LinpackPaper paper = {4.1, 6.1, 24.4, 48.8};
+    return paper;
+}
+
+} // namespace mtfpu::baseline

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Published reference numbers from the paper, used by the benchmark
+ * harnesses to print side-by-side comparisons:
+ *   - Figure 14: MultiTitan cold/warm and Cray-1S / Cray X-MP MFLOPS
+ *     per Livermore loop (Cray values from McMahon [5] and
+ *     Tang & Davidson [12], as cited by the paper);
+ *   - Figure 10: functional-unit latencies;
+ *   - §3.3: Linpack results.
+ */
+
+#ifndef MTFPU_BASELINE_PUBLISHED_HH
+#define MTFPU_BASELINE_PUBLISHED_HH
+
+#include <array>
+
+namespace mtfpu::baseline
+{
+
+/** One Figure 14 row (MFLOPS). */
+struct Figure14Row
+{
+    int loop;
+    double multititanCold;
+    double multititanWarm;
+    double cray1s;
+    double crayXmp;
+    bool vectorizedOnCray; // the '*' column marker
+};
+
+/** All 24 Figure 14 rows as printed in the paper. */
+const std::array<Figure14Row, 24> &figure14();
+
+/** Harmonic means the paper reports for Figure 14. */
+struct Figure14Means
+{
+    double cold1to12, warm1to12, cray1s1to12, xmp1to12;
+    double cold13to24, warm13to24, cray1s13to24, xmp13to24;
+    double cold1to24, warm1to24, cray1s1to24, xmp1to24;
+};
+
+const Figure14Means &figure14Means();
+
+/** One Figure 10 latency row (nanoseconds). */
+struct LatencyRow
+{
+    const char *operation;
+    double fpuNs;
+    double xmpNs;
+};
+
+/** The Figure 10 latency table. */
+const std::array<LatencyRow, 3> &figure10();
+
+/** §3.3 Linpack numbers (MFLOPS). */
+struct LinpackPaper
+{
+    double multititanScalar; // 4.1
+    double multititanVector; // 6.1
+    double cray1sCodedBlas;  // ~4x the MultiTitan vector number
+    double crayXmp;          // ~8x
+};
+
+const LinpackPaper &linpackPaper();
+
+} // namespace mtfpu::baseline
+
+#endif // MTFPU_BASELINE_PUBLISHED_HH

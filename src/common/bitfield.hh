@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction codecs and the
+ * soft floating-point units.
+ */
+
+#ifndef MTFPU_COMMON_BITFIELD_HH
+#define MTFPU_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace mtfpu
+{
+
+/** Return a mask with the low @p n bits set (n may be 0..64). */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/**
+ * Extract bits [lo, lo+width) from @p value.
+ *
+ * @param value The word to extract from.
+ * @param lo Least-significant bit of the field.
+ * @param width Field width in bits.
+ */
+constexpr uint64_t
+bits(uint64_t value, unsigned lo, unsigned width)
+{
+    return (value >> lo) & lowMask(width);
+}
+
+/**
+ * Insert @p field into bits [lo, lo+width) of @p value and return the
+ * result. Bits of @p field above @p width are discarded.
+ */
+constexpr uint64_t
+insertBits(uint64_t value, unsigned lo, unsigned width, uint64_t field)
+{
+    const uint64_t mask = lowMask(width) << lo;
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+sext(uint64_t value, unsigned width)
+{
+    const uint64_t m = 1ULL << (width - 1);
+    const uint64_t v = value & lowMask(width);
+    return static_cast<int64_t>((v ^ m) - m);
+}
+
+/** Count leading zeros of a 64-bit value; 64 if the value is zero. */
+constexpr unsigned
+clz64(uint64_t value)
+{
+    return value == 0 ? 64 : static_cast<unsigned>(__builtin_clzll(value));
+}
+
+} // namespace mtfpu
+
+#endif // MTFPU_COMMON_BITFIELD_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting helpers.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for
+ * conditions caused by the user's input (exits); warn()/inform() report
+ * conditions without stopping the simulation.
+ */
+
+#ifndef MTFPU_COMMON_LOG_HH
+#define MTFPU_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mtfpu
+{
+
+/** Thrown by fatal() so harnesses (and tests) can catch user errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Report an unrecoverable user-level error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+/** Report a suspicious-but-survivable condition. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace mtfpu
+
+#endif // MTFPU_COMMON_LOG_HH

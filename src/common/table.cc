@@ -1,0 +1,84 @@
+#include "common/table.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace mtfpu
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("TextTable::addRow: arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::string &out) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            const size_t pad = widths[c] - row[c].size();
+            // First column left-aligned (kernel names), rest right.
+            if (c == 0) {
+                out += row[c];
+                out.append(pad, ' ');
+            } else {
+                out.append(pad, ' ');
+                out += row[c];
+            }
+            out += c + 1 == row.size() ? "" : "  ";
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        sep.append(widths[c], '-');
+        sep += c + 1 == widths.size() ? "" : "  ";
+    }
+    out += sep + '\n';
+
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += sep + '\n';
+        else
+            emit_row(row, out);
+    }
+    return out;
+}
+
+} // namespace mtfpu

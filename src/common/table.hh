@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark binaries to print
+ * paper-style tables (e.g. the Figure 14 Livermore Loops table).
+ */
+
+#ifndef MTFPU_COMMON_TABLE_HH
+#define MTFPU_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mtfpu
+{
+
+/**
+ * A simple right-aligned text table. Columns are sized to fit their
+ * widest cell; numeric formatting is the caller's responsibility.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string, one line per row. */
+    std::string render() const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double value, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    // Separator rows are stored as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mtfpu
+
+#endif // MTFPU_COMMON_TABLE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CPU architectural state: the integer register file with load-delay
+ * interlock tracking, the program counter, and branch-delay-slot
+ * redirect state. Issue policy lives in the Machine, which drives
+ * this state cycle by cycle.
+ *
+ * Note on the load interlock: the real MultiTitan exposes the load
+ * delay slot architecturally (the compiler schedules around it). This
+ * model instead stalls a reader of an in-flight load result, which is
+ * timing-identical for correctly scheduled code and avoids silent
+ * corruption for unscheduled code (see DESIGN.md).
+ */
+
+#ifndef MTFPU_CPU_CPU_HH
+#define MTFPU_CPU_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/cpu_instr.hh"
+
+namespace mtfpu::cpu
+{
+
+/** CPU state container. */
+class Cpu
+{
+  public:
+    /** Read a register (r0 reads as zero). */
+    uint64_t readReg(unsigned reg) const;
+
+    /** Write a register immediately (ALU results; r0 discarded). */
+    void writeReg(unsigned reg, uint64_t value);
+
+    /**
+     * Schedule a delayed write (loads, mvfc): visible to instructions
+     * issuing @p delay active cycles after this one.
+     */
+    void scheduleWrite(unsigned reg, uint64_t value, unsigned delay);
+
+    /** True if no in-flight delayed write targets @p reg. */
+    bool regReady(unsigned reg) const;
+
+    /** Advance one active cycle: complete due delayed writes. */
+    void advance();
+
+    /** True while any delayed write is in flight. */
+    bool pendingWrites() const { return !pending_.empty(); }
+
+    /** Current program counter (instruction index). */
+    uint32_t pc = 0;
+
+    /** Pending taken-branch redirect: target applied after the delay
+     *  slot instruction issues. */
+    std::optional<uint32_t> redirect;
+
+    /** True once a halt instruction has issued. */
+    bool halted = false;
+
+    /** Full reset. */
+    void reset();
+
+  private:
+    struct Pending
+    {
+        unsigned remaining;
+        uint8_t reg;
+        uint64_t value;
+    };
+
+    std::array<uint64_t, isa::kNumIntRegs> regs_{};
+    std::vector<Pending> pending_;
+};
+
+} // namespace mtfpu::cpu
+
+#endif // MTFPU_CPU_CPU_HH

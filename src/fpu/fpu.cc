@@ -1,0 +1,151 @@
+#include "fpu/fpu.hh"
+
+#include "common/log.hh"
+#include "softfp/fp64.hh"
+
+namespace mtfpu::fpu
+{
+
+Fpu::Fpu(unsigned latency)
+    : units_(latency)
+{
+}
+
+void
+Fpu::beginCycle()
+{
+    elementIssuedThisCycle_ = false;
+
+    // Retire finished ALU operations: write back, release
+    // reservations, accumulate PSW state. An element that overflowed
+    // discards all remaining elements of its own vector instruction
+    // when it retires (paper §2.3.1); elements already in the pipeline
+    // behind it complete normally.
+    for (const PendingOp &op : units_.advance(regs_, sb_)) {
+        psw_.flags.merge(op.flags);
+        if (op.flags.overflow) {
+            psw_.recordOverflow(op.reg);
+            if (ir_.busy() && ir_.currentSeq() == op.seq) {
+                stats_.squashedElements += ir_.remainingElements();
+                ir_.squash();
+            }
+        }
+    }
+
+    lsu_.advance(regs_);
+}
+
+ElementEvent
+Fpu::tryIssueElement()
+{
+    ElementEvent event;
+    if (elementIssuedThisCycle_ || !ir_.busy())
+        return event;
+
+    const uint64_t seq = ir_.currentSeq();
+    ElementIssue element;
+    switch (ir_.tryIssue(sb_, element)) {
+      case IssueStall::SourceBusy:
+        ++stats_.sourceStallCycles;
+        return event;
+      case IssueStall::DestBusy:
+        ++stats_.destStallCycles;
+        return event;
+      case IssueStall::Empty:
+        return event;
+      case IssueStall::None:
+        break;
+    }
+
+    // Execute at issue: read the A/B ports, run the (functionally
+    // instantaneous) unit, and enter the 3-cycle pipeline. The result
+    // becomes architecturally visible at retirement.
+    const uint64_t a = regs_.read(element.ra);
+    const uint64_t b = regs_.read(element.rb);
+    softfp::Flags flags;
+    const uint64_t value = softfp::fpuOperate(
+        isa::fpOpUnit(element.op), isa::fpOpFunc(element.op), a, b, flags);
+
+    sb_.reserve(element.rr);
+    units_.issue(element.op, element.rr, value, flags, seq);
+
+    ++stats_.elementsIssued;
+    ++stats_.opCounts[static_cast<unsigned>(element.op)];
+    elementIssuedThisCycle_ = true;
+
+    event.issued = true;
+    event.element = element;
+    return event;
+}
+
+bool
+Fpu::canTransferAlu() const
+{
+    return !ir_.busy() && !elementIssuedThisCycle_;
+}
+
+void
+Fpu::transferAlu(const isa::FpuAluInstr &instr)
+{
+    if (!canTransferAlu())
+        panic("Fpu::transferAlu: ALU IR not ready");
+    ir_.transfer(instr, nextSeq_++);
+    if (instr.length() > 1)
+        ++stats_.vectorInstructions;
+    else
+        ++stats_.scalarInstructions;
+}
+
+bool
+Fpu::transferStall(unsigned reg) const
+{
+    return sb_.reserved(reg);
+}
+
+void
+Fpu::issueLoad(unsigned reg, uint64_t value)
+{
+    if (transferStall(reg))
+        panic("Fpu::issueLoad: load issued against a reserved register");
+    lsu_.issueLoad(reg, value);
+}
+
+uint64_t
+Fpu::readForTransfer(unsigned reg) const
+{
+    return regs_.read(reg);
+}
+
+bool
+Fpu::currentElementInterlock(unsigned reg, bool include_sources) const
+{
+    return ir_.currentTouches(reg, include_sources);
+}
+
+bool
+Fpu::hazardWithUnissued(unsigned reg, bool include_sources) const
+{
+    return ir_.touchesBeyondCurrent(reg, include_sources);
+}
+
+bool
+Fpu::busy() const
+{
+    return ir_.busy() || units_.busy() || lsu_.busy();
+}
+
+void
+Fpu::reset()
+{
+    regs_.clear();
+    sb_.clear();
+    units_.clear();
+    ir_.clear();
+    lsu_.clear();
+    psw_.clear();
+    stats_ = FpuStats{};
+    nextSeq_ = 1;
+    elementIssuedThisCycle_ = false;
+}
+
+} // namespace mtfpu::fpu

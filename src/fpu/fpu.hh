@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The MultiTitan FPU model: the unified vector/scalar register file,
+ * the reservation-table scoreboard, the three 3-cycle pipelined
+ * functional units, the ALU instruction register with vector element
+ * re-issue, the load/store path, and the PSW.
+ *
+ * The Machine drives it cycle by cycle:
+ *
+ *     fpu.beginCycle();               // writebacks (active cycles only)
+ *     fpu.tryIssueElement();          // issue from the occupied ALU IR
+ *     ...
+ *     if (fpu.canTransferAlu()) {     // CPU-side FPALU transfer
+ *         fpu.transferAlu(instr);
+ *         fpu.tryIssueElement();      // first element, same cycle
+ *     }
+ *
+ * During a lock-step global stall (cache miss) beginCycle is not
+ * called, freezing every pipeline in place.
+ */
+
+#ifndef MTFPU_FPU_FPU_HH
+#define MTFPU_FPU_FPU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "fpu/functional_unit.hh"
+#include "fpu/load_store_unit.hh"
+#include "fpu/psw.hh"
+#include "fpu/register_file.hh"
+#include "fpu/scoreboard.hh"
+#include "fpu/vector_issue.hh"
+
+namespace mtfpu::fpu
+{
+
+/** Counters exposed to the Machine statistics. */
+struct FpuStats
+{
+    uint64_t elementsIssued = 0;
+    uint64_t vectorInstructions = 0; // FPALU transfers with VL > 1
+    uint64_t scalarInstructions = 0; // FPALU transfers with VL == 1
+    uint64_t sourceStallCycles = 0;
+    uint64_t destStallCycles = 0;
+    uint64_t squashedElements = 0;
+    std::array<uint64_t, 8> opCounts{}; // indexed by isa::FpOp
+};
+
+/** Result of one element-issue attempt. */
+struct ElementEvent
+{
+    bool issued = false;
+    ElementIssue element{}; // valid when issued
+};
+
+/** The FPU coprocessor. */
+class Fpu
+{
+  public:
+    /** @param latency Functional-unit latency (3 in the paper). */
+    explicit Fpu(unsigned latency = kFpuLatency);
+
+    /**
+     * Start an active cycle: retire finished ALU operations (merging
+     * their flags into the PSW and applying overflow squash) and
+     * complete in-flight load writes.
+     */
+    void beginCycle();
+
+    /** Attempt to issue one vector element from the ALU IR. */
+    ElementEvent tryIssueElement();
+
+    /** True if the CPU may transfer an FPU ALU instruction now. */
+    bool canTransferAlu() const;
+
+    /** Transfer an FPU ALU instruction into the ALU IR. */
+    void transferAlu(const isa::FpuAluInstr &instr);
+
+    /** True while the ALU IR is occupied. */
+    bool aluIrBusy() const { return ir_.busy(); }
+
+    /**
+     * True if an FPU load/store/mvfc of register @p reg must stall
+     * (outstanding ALU write reservation).
+     */
+    bool transferStall(unsigned reg) const;
+
+    /** Enter an FPU load (data visible next cycle). */
+    void issueLoad(unsigned reg, uint64_t value);
+
+    /** Read a register for a store or mvfc (caller checked stalls). */
+    uint64_t readForTransfer(unsigned reg) const;
+
+    /**
+     * Hardware execution constraint (§2.3.2): true if @p reg is an
+     * operand of the current, not-yet-issued element in the ALU IR —
+     * a following load/store/mvfc must stall until it issues.
+     */
+    bool currentElementInterlock(unsigned reg,
+                                 bool include_sources) const;
+
+    /**
+     * Compiler-responsibility hazard (§2.3.2): true if @p reg belongs
+     * to an unissued element beyond the current one. The MultiTitan
+     * hardware does not interlock this case; the simulator flags it
+     * per the configured policy.
+     */
+    bool hazardWithUnissued(unsigned reg, bool include_sources) const;
+
+    /** True if any ALU or load operation is still in flight. */
+    bool busy() const;
+
+    RegisterFile &regs() { return regs_; }
+    const RegisterFile &regs() const { return regs_; }
+    Psw &psw() { return psw_; }
+    const Psw &psw() const { return psw_; }
+    const FpuStats &stats() const { return stats_; }
+    unsigned latency() const { return units_.latency(); }
+
+    /** Full reset (registers, pipelines, PSW, statistics). */
+    void reset();
+
+  private:
+    RegisterFile regs_;
+    Scoreboard sb_;
+    FunctionalUnits units_;
+    AluInstructionRegister ir_;
+    LoadStoreUnit lsu_;
+    Psw psw_;
+    FpuStats stats_;
+    uint64_t nextSeq_ = 1;
+    bool elementIssuedThisCycle_ = false;
+};
+
+} // namespace mtfpu::fpu
+
+#endif // MTFPU_FPU_FPU_HH

@@ -1,0 +1,43 @@
+#include "fpu/functional_unit.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "fpu/register_file.hh"
+#include "fpu/scoreboard.hh"
+
+namespace mtfpu::fpu
+{
+
+FunctionalUnits::FunctionalUnits(unsigned latency)
+    : latency_(latency)
+{
+    if (latency == 0)
+        fatal("FunctionalUnits: latency must be at least 1");
+}
+
+void
+FunctionalUnits::issue(isa::FpOp op, unsigned reg, uint64_t value,
+                       const softfp::Flags &flags, uint64_t seq)
+{
+    inflight_.push_back(PendingOp{latency_, static_cast<uint8_t>(reg),
+                                  value, flags, op, seq});
+}
+
+std::vector<PendingOp>
+FunctionalUnits::advance(RegisterFile &regs, Scoreboard &sb)
+{
+    std::vector<PendingOp> retired;
+    for (auto &op : inflight_) {
+        if (--op.remaining == 0) {
+            regs.write(op.reg, op.value);
+            sb.release(op.reg);
+            retired.push_back(op);
+        }
+    }
+    std::erase_if(inflight_,
+                  [](const PendingOp &op) { return op.remaining == 0; });
+    return retired;
+}
+
+} // namespace mtfpu::fpu

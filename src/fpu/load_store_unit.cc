@@ -1,0 +1,36 @@
+#include "fpu/load_store_unit.hh"
+
+#include <algorithm>
+
+#include "fpu/register_file.hh"
+
+namespace mtfpu::fpu
+{
+
+void
+LoadStoreUnit::issueLoad(unsigned reg, uint64_t value)
+{
+    pending_.push_back(PendingLoad{1, static_cast<uint8_t>(reg), value});
+}
+
+void
+LoadStoreUnit::advance(RegisterFile &regs)
+{
+    for (auto &load : pending_) {
+        if (--load.remaining == 0)
+            regs.write(load.reg, load.value);
+    }
+    std::erase_if(pending_,
+                  [](const PendingLoad &l) { return l.remaining == 0; });
+}
+
+bool
+LoadStoreUnit::pendingTo(unsigned reg) const
+{
+    return std::any_of(pending_.begin(), pending_.end(),
+                       [reg](const PendingLoad &l) {
+                           return l.reg == reg;
+                       });
+}
+
+} // namespace mtfpu::fpu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The FPU load/store instruction register path (paper §2). FPU loads
+ * and stores arrive over the 10-bit coprocessor bus and move 64-bit
+ * words between the shared data cache and the register file's M port,
+ * in parallel with ALU element issue. A load's data is written at the
+ * end of the issue cycle and is visible to FPU operations issuing the
+ * following cycle.
+ */
+
+#ifndef MTFPU_FPU_LOAD_STORE_UNIT_HH
+#define MTFPU_FPU_LOAD_STORE_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mtfpu::fpu
+{
+
+class RegisterFile;
+
+/** In-flight FPU load writes. */
+class LoadStoreUnit
+{
+  public:
+    /**
+     * Enter a load issued this cycle; its data reaches the register
+     * file at the start of the next active cycle.
+     */
+    void issueLoad(unsigned reg, uint64_t value);
+
+    /** Apply writes that have completed; call once per active cycle. */
+    void advance(RegisterFile &regs);
+
+    /** True if a load is still in flight to @p reg. */
+    bool pendingTo(unsigned reg) const;
+
+    /** True if any load is in flight. */
+    bool busy() const { return !pending_.empty(); }
+
+    /** Drop all in-flight state (reset). */
+    void clear() { pending_.clear(); }
+
+  private:
+    struct PendingLoad
+    {
+        unsigned remaining;
+        uint8_t reg;
+        uint64_t value;
+    };
+
+    std::vector<PendingLoad> pending_;
+};
+
+} // namespace mtfpu::fpu
+
+#endif // MTFPU_FPU_LOAD_STORE_UNIT_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The FPU program status word. It lives conceptually in the register
+ * file (paper §2); it accumulates IEEE exception flags and records the
+ * destination register specifier of the first vector element to
+ * overflow (paper §2.3.1: "Vector instructions that overflow on one
+ * element discard all remaining elements after the overflow. The
+ * destination register specifier of the first element to overflow is
+ * saved in the PSW.").
+ */
+
+#ifndef MTFPU_FPU_PSW_HH
+#define MTFPU_FPU_PSW_HH
+
+#include <cstdint>
+
+#include "softfp/fp64.hh"
+
+namespace mtfpu::fpu
+{
+
+/** Accumulated FPU status. */
+struct Psw
+{
+    softfp::Flags flags;
+    /** True once a vector element has overflowed. */
+    bool overflowValid = false;
+    /** Destination specifier of the first overflowing element. */
+    uint8_t overflowReg = 0;
+
+    /** Record an overflow (only the first one sticks). */
+    void
+    recordOverflow(unsigned reg)
+    {
+        if (!overflowValid) {
+            overflowValid = true;
+            overflowReg = static_cast<uint8_t>(reg);
+        }
+    }
+
+    /** Clear all status (e.g. between benchmark runs). */
+    void
+    clear()
+    {
+        flags = softfp::Flags{};
+        overflowValid = false;
+        overflowReg = 0;
+    }
+};
+
+} // namespace mtfpu::fpu
+
+#endif // MTFPU_FPU_PSW_HH

@@ -1,0 +1,42 @@
+#include "fpu/scoreboard.hh"
+
+#include "common/log.hh"
+
+namespace mtfpu::fpu
+{
+
+void
+Scoreboard::reserve(unsigned reg)
+{
+    if (reg >= isa::kNumFpuRegs)
+        fatal("Scoreboard: reserve of f" + std::to_string(reg));
+    if (bits_[reg])
+        panic("Scoreboard: double reservation of f" + std::to_string(reg));
+    bits_[reg] = true;
+}
+
+void
+Scoreboard::release(unsigned reg)
+{
+    if (reg >= isa::kNumFpuRegs)
+        fatal("Scoreboard: release of f" + std::to_string(reg));
+    if (!bits_[reg])
+        panic("Scoreboard: release of unreserved f" + std::to_string(reg));
+    bits_[reg] = false;
+}
+
+bool
+Scoreboard::reserved(unsigned reg) const
+{
+    if (reg >= isa::kNumFpuRegs)
+        fatal("Scoreboard: probe of f" + std::to_string(reg));
+    return bits_[reg];
+}
+
+void
+Scoreboard::clear()
+{
+    bits_.reset();
+}
+
+} // namespace mtfpu::fpu

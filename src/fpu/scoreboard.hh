@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The register write reservation table (paper §2.3.1): one bit per
+ * register, set when an outstanding ALU operation will write that
+ * register, cleared when the operation retires. Loads and stores read
+ * the table through their own port but never set bits.
+ */
+
+#ifndef MTFPU_FPU_SCOREBOARD_HH
+#define MTFPU_FPU_SCOREBOARD_HH
+
+#include <bitset>
+
+#include "isa/fpu_instr.hh"
+
+namespace mtfpu::fpu
+{
+
+/** The one-bit-per-register reservation table. */
+class Scoreboard
+{
+  public:
+    /** Set the reservation bit at ALU element issue. */
+    void reserve(unsigned reg);
+
+    /** Clear the reservation bit at ALU operation retire. */
+    void release(unsigned reg);
+
+    /** True if an outstanding ALU write targets @p reg. */
+    bool reserved(unsigned reg) const;
+
+    /** Clear every bit. */
+    void clear();
+
+    /** Number of set bits (for invariants in tests). */
+    size_t count() const { return bits_.count(); }
+
+  private:
+    std::bitset<isa::kNumFpuRegs> bits_;
+};
+
+} // namespace mtfpu::fpu
+
+#endif // MTFPU_FPU_SCOREBOARD_HH

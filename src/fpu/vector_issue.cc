@@ -1,0 +1,124 @@
+#include "fpu/vector_issue.hh"
+
+#include "common/log.hh"
+#include "fpu/scoreboard.hh"
+
+namespace mtfpu::fpu
+{
+
+bool
+AluInstructionRegister::opIsUnary(isa::FpOp op)
+{
+    return op == isa::FpOp::Float || op == isa::FpOp::Truncate ||
+           op == isa::FpOp::Recip;
+}
+
+void
+AluInstructionRegister::transfer(const isa::FpuAluInstr &instr,
+                                 uint64_t seq)
+{
+    if (busy())
+        panic("AluInstructionRegister: transfer while busy");
+    current_ = Live{instr.op, instr.rr, instr.ra, instr.rb, instr.vlm1,
+                    instr.sra, instr.srb, seq};
+}
+
+uint64_t
+AluInstructionRegister::currentSeq() const
+{
+    return current_ ? current_->seq : 0;
+}
+
+IssueStall
+AluInstructionRegister::tryIssue(const Scoreboard &sb, ElementIssue &out)
+{
+    if (!current_)
+        return IssueStall::Empty;
+
+    Live &live = *current_;
+
+    // Scalar scoreboarding of this element: both source reservation
+    // bits must be clear (unary operations read only Ra), and the
+    // destination must not carry an outstanding reservation.
+    if (sb.reserved(live.ra))
+        return IssueStall::SourceBusy;
+    if (!opIsUnary(live.op) && sb.reserved(live.rb))
+        return IssueStall::SourceBusy;
+    if (sb.reserved(live.rr))
+        return IssueStall::DestBusy;
+
+    out = ElementIssue{live.op, live.rr, live.ra, live.rb, live.vl == 0};
+
+    // After issue: check the VL field; if zero, clear the IR,
+    // otherwise decrement it and increment the register specifiers
+    // (Rr always; Ra/Rb under their stride bits). Paper §2.1.1.
+    if (live.vl == 0) {
+        current_.reset();
+    } else {
+        --live.vl;
+        ++live.rr;
+        if (live.sra)
+            ++live.ra;
+        if (live.srb)
+            ++live.rb;
+        if (live.rr >= isa::kNumFpuRegs ||
+            live.ra >= isa::kNumFpuRegs ||
+            live.rb >= isa::kNumFpuRegs) {
+            fatal("vector element specifier incremented past f51");
+        }
+    }
+    return IssueStall::None;
+}
+
+void
+AluInstructionRegister::squash()
+{
+    current_.reset();
+}
+
+bool
+AluInstructionRegister::currentTouches(unsigned reg,
+                                       bool include_sources) const
+{
+    if (!current_)
+        return false;
+    const Live &live = *current_;
+    if (reg == live.rr)
+        return true;
+    if (!include_sources)
+        return false;
+    if (reg == live.ra)
+        return true;
+    return !opIsUnary(live.op) && reg == live.rb;
+}
+
+bool
+AluInstructionRegister::touchesBeyondCurrent(unsigned reg,
+                                             bool include_sources) const
+{
+    if (!current_ || current_->vl == 0)
+        return false;
+    const Live &live = *current_;
+    const unsigned n = live.vl; // elements beyond the current one
+    // The element after the current one starts at rr+1 (and ra+1/rb+1
+    // when strided).
+    if (reg >= live.rr + 1u && reg <= live.rr + n)
+        return true;
+    if (!include_sources)
+        return false;
+    if (live.sra && reg >= live.ra + 1u && reg <= live.ra + n)
+        return true;
+    if (!opIsUnary(live.op) && live.srb &&
+        reg >= live.rb + 1u && reg <= live.rb + n) {
+        return true;
+    }
+    return false;
+}
+
+unsigned
+AluInstructionRegister::remainingElements() const
+{
+    return current_ ? current_->vl + 1u : 0u;
+}
+
+} // namespace mtfpu::fpu

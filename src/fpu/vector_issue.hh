@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The FPU ALU instruction register and vector element issue logic
+ * (paper §2.1.1). A vector instruction is issued by re-issuing the IR
+ * contents once per cycle: after each element issues, the vector
+ * length field is checked — if zero the instruction is cleared,
+ * otherwise VL decrements, the result specifier Rr increments, and
+ * Ra/Rb increment iff their stride bits are set. Each element goes
+ * through the ordinary scalar scoreboard, so arbitrary inter-element
+ * dependencies (reductions, recurrences) are legal and interlocked.
+ *
+ * The only vector-specific hardware this models is exactly what the
+ * paper lists (§2.3): three 6-bit incrementers, one 4-bit decrementer,
+ * and the re-issue control.
+ */
+
+#ifndef MTFPU_FPU_VECTOR_ISSUE_HH
+#define MTFPU_FPU_VECTOR_ISSUE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/fpu_instr.hh"
+
+namespace mtfpu::fpu
+{
+
+/** Why the IR could not issue an element this cycle. */
+enum class IssueStall
+{
+    None,        // an element issued
+    SourceBusy,  // a source reservation bit is set
+    DestBusy,    // the destination reservation bit is set
+    Empty,       // the IR holds no instruction
+};
+
+/** One element ready to execute, as produced by the IR. */
+struct ElementIssue
+{
+    isa::FpOp op;
+    uint8_t rr, ra, rb;
+    bool last; // true if this was the final element of the instruction
+};
+
+class Scoreboard;
+
+/** The ALU instruction register. */
+class AluInstructionRegister
+{
+  public:
+    /** True while an instruction occupies the IR. */
+    bool busy() const { return current_.has_value(); }
+
+    /**
+     * Transfer a new instruction from the CPU. Only legal when the IR
+     * is empty (the CPU stalls otherwise). @p seq tags the
+     * instruction so overflow squash can match in-flight elements to
+     * their originating vector instruction.
+     */
+    void transfer(const isa::FpuAluInstr &instr, uint64_t seq);
+
+    /** Sequence tag of the occupying instruction (0 if empty). */
+    uint64_t currentSeq() const;
+
+    /**
+     * Attempt to issue the current element against the scoreboard.
+     * On success the caller must execute the element and reserve its
+     * destination; the IR advances its specifiers (or clears itself
+     * after the last element).
+     */
+    IssueStall tryIssue(const Scoreboard &sb, ElementIssue &out);
+
+    /**
+     * Discard all remaining elements (overflow semantics, §2.3.1).
+     * No-op if the IR is empty.
+     */
+    void squash();
+
+    /**
+     * True if register @p reg is an operand of the *current* (next to
+     * issue) element. The hardware places an execution constraint
+     * between the occupying instruction and following loads/stores
+     * for this element (§2.3.2: constraints cover the pending
+     * element; only "elements in a vector other than the first"
+     * require the compiler to break the vector). Result register is
+     * always checked; sources only when @p include_sources is set.
+     */
+    bool currentTouches(unsigned reg, bool include_sources) const;
+
+    /**
+     * True if register @p reg belongs to a not-yet-issued element
+     * *beyond* the current one — the races the paper leaves to the
+     * compiler (§2.3.2), detected by the configurable hazard policy.
+     * Result range always checked; source ranges when
+     * @p include_sources is set (loads can break WAR against unissued
+     * sources, stores only RAW against unissued results).
+     */
+    bool touchesBeyondCurrent(unsigned reg, bool include_sources) const;
+
+    /** Remaining element count including the one pending (0 if idle). */
+    unsigned remainingElements() const;
+
+    /** Reset to empty. */
+    void clear() { current_.reset(); }
+
+  private:
+    /** The live IR fields (mutated between elements). */
+    struct Live
+    {
+        isa::FpOp op;
+        uint8_t rr, ra, rb;
+        uint8_t vl; // remaining VL field value (elements left - 1)
+        bool sra, srb;
+        uint64_t seq;
+    };
+
+    static bool opIsUnary(isa::FpOp op);
+
+    std::optional<Live> current_;
+};
+
+} // namespace mtfpu::fpu
+
+#endif // MTFPU_FPU_VECTOR_ISSUE_HH

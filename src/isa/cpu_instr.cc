@@ -1,0 +1,367 @@
+#include "isa/cpu_instr.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace mtfpu::isa
+{
+
+bool
+fitsSigned(int64_t value, int width)
+{
+    const int64_t lo = -(1LL << (width - 1));
+    const int64_t hi = (1LL << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+namespace
+{
+
+void
+checkReg(unsigned r, unsigned limit, const char *what)
+{
+    if (r >= limit)
+        fatal(std::string("bad register specifier for ") + what);
+}
+
+void
+checkImm(int64_t v, int width, const char *what)
+{
+    if (!fitsSigned(v, width))
+        fatal(std::string("immediate out of range for ") + what);
+}
+
+} // anonymous namespace
+
+uint32_t
+Instr::encode() const
+{
+    uint64_t w = 0;
+    w = insertBits(w, 28, 4, static_cast<uint64_t>(major));
+    switch (major) {
+      case Major::Alu:
+        w = insertBits(w, 23, 5, rd);
+        w = insertBits(w, 18, 5, rs1);
+        w = insertBits(w, 13, 5, rs2);
+        w = insertBits(w, 9, 4, static_cast<uint64_t>(func));
+        break;
+      case Major::AluImm:
+        w = insertBits(w, 23, 5, rd);
+        w = insertBits(w, 18, 5, rs1);
+        w = insertBits(w, 14, 4, static_cast<uint64_t>(func));
+        w = insertBits(w, 0, 14, static_cast<uint64_t>(imm));
+        break;
+      case Major::Ld:
+      case Major::St:
+        w = insertBits(w, 23, 5, rd);
+        w = insertBits(w, 18, 5, rs1);
+        w = insertBits(w, 0, 18, static_cast<uint64_t>(imm));
+        break;
+      case Major::Ldf:
+      case Major::Stf:
+        w = insertBits(w, 22, 6, fr);
+        w = insertBits(w, 17, 5, rs1);
+        w = insertBits(w, 0, 17, static_cast<uint64_t>(imm));
+        break;
+      case Major::FpAlu:
+        return fp.encode();
+      case Major::Branch:
+        w = insertBits(w, 25, 3, static_cast<uint64_t>(cond));
+        w = insertBits(w, 20, 5, rs1);
+        w = insertBits(w, 15, 5, rs2);
+        w = insertBits(w, 0, 15, static_cast<uint64_t>(imm));
+        break;
+      case Major::Jump:
+        w = insertBits(w, 26, 2, static_cast<uint64_t>(jkind));
+        w = insertBits(w, 21, 5, rd);
+        w = insertBits(w, 16, 5, rs1);
+        w = insertBits(w, 0, 16, static_cast<uint64_t>(imm));
+        break;
+      case Major::Lui:
+        w = insertBits(w, 23, 5, rd);
+        w = insertBits(w, 0, 23, static_cast<uint64_t>(imm));
+        break;
+      case Major::Mvfc:
+        w = insertBits(w, 23, 5, rd);
+        w = insertBits(w, 17, 6, fr);
+        break;
+      case Major::Halt:
+        break;
+    }
+    return static_cast<uint32_t>(w);
+}
+
+Instr
+Instr::decode(uint32_t word)
+{
+    Instr i;
+    i.major = static_cast<Major>(bits(word, 28, 4));
+    switch (i.major) {
+      case Major::Alu:
+        i.rd = static_cast<uint8_t>(bits(word, 23, 5));
+        i.rs1 = static_cast<uint8_t>(bits(word, 18, 5));
+        i.rs2 = static_cast<uint8_t>(bits(word, 13, 5));
+        i.func = static_cast<AluFunc>(bits(word, 9, 4));
+        break;
+      case Major::AluImm:
+        i.rd = static_cast<uint8_t>(bits(word, 23, 5));
+        i.rs1 = static_cast<uint8_t>(bits(word, 18, 5));
+        i.func = static_cast<AluFunc>(bits(word, 14, 4));
+        i.imm = static_cast<int32_t>(sext(word, 14));
+        break;
+      case Major::Ld:
+      case Major::St:
+        i.rd = static_cast<uint8_t>(bits(word, 23, 5));
+        i.rs1 = static_cast<uint8_t>(bits(word, 18, 5));
+        i.imm = static_cast<int32_t>(sext(word, 18));
+        break;
+      case Major::Ldf:
+      case Major::Stf:
+        i.fr = static_cast<uint8_t>(bits(word, 22, 6));
+        i.rs1 = static_cast<uint8_t>(bits(word, 17, 5));
+        i.imm = static_cast<int32_t>(sext(word, 17));
+        break;
+      case Major::FpAlu:
+        i.fp = FpuAluInstr::decode(word);
+        break;
+      case Major::Branch:
+        i.cond = static_cast<BranchCond>(bits(word, 25, 3));
+        i.rs1 = static_cast<uint8_t>(bits(word, 20, 5));
+        i.rs2 = static_cast<uint8_t>(bits(word, 15, 5));
+        i.imm = static_cast<int32_t>(sext(word, 15));
+        break;
+      case Major::Jump:
+        i.jkind = static_cast<JumpKind>(bits(word, 26, 2));
+        i.rd = static_cast<uint8_t>(bits(word, 21, 5));
+        i.rs1 = static_cast<uint8_t>(bits(word, 16, 5));
+        i.imm = static_cast<int32_t>(sext(word, 16));
+        break;
+      case Major::Lui:
+        i.rd = static_cast<uint8_t>(bits(word, 23, 5));
+        i.imm = static_cast<int32_t>(bits(word, 0, 23));
+        break;
+      case Major::Mvfc:
+        i.rd = static_cast<uint8_t>(bits(word, 23, 5));
+        i.fr = static_cast<uint8_t>(bits(word, 17, 6));
+        break;
+      case Major::Halt:
+        break;
+      default:
+        fatal("Instr::decode: unknown major opcode");
+    }
+    return i;
+}
+
+Instr
+Instr::alu(AluFunc f, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    checkReg(rd, kNumIntRegs, "alu");
+    checkReg(rs1, kNumIntRegs, "alu");
+    checkReg(rs2, kNumIntRegs, "alu");
+    Instr i;
+    i.major = Major::Alu;
+    i.func = f;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.rs2 = static_cast<uint8_t>(rs2);
+    return i;
+}
+
+Instr
+Instr::aluImm(AluFunc f, unsigned rd, unsigned rs1, int imm)
+{
+    checkReg(rd, kNumIntRegs, "alui");
+    checkReg(rs1, kNumIntRegs, "alui");
+    checkImm(imm, kAluImmBits, "alui");
+    Instr i;
+    i.major = Major::AluImm;
+    i.func = f;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::ld(unsigned rd, unsigned base, int imm)
+{
+    checkReg(rd, kNumIntRegs, "ld");
+    checkReg(base, kNumIntRegs, "ld");
+    checkImm(imm, kLdStImmBits, "ld");
+    Instr i;
+    i.major = Major::Ld;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(base);
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::st(unsigned rs, unsigned base, int imm)
+{
+    checkReg(rs, kNumIntRegs, "st");
+    checkReg(base, kNumIntRegs, "st");
+    checkImm(imm, kLdStImmBits, "st");
+    Instr i;
+    i.major = Major::St;
+    i.rd = static_cast<uint8_t>(rs);
+    i.rs1 = static_cast<uint8_t>(base);
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::ldf(unsigned fr, unsigned base, int imm)
+{
+    checkReg(fr, kNumFpuRegs, "ldf");
+    checkReg(base, kNumIntRegs, "ldf");
+    checkImm(imm, kLdfStfImmBits, "ldf");
+    Instr i;
+    i.major = Major::Ldf;
+    i.fr = static_cast<uint8_t>(fr);
+    i.rs1 = static_cast<uint8_t>(base);
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::stf(unsigned fr, unsigned base, int imm)
+{
+    checkReg(fr, kNumFpuRegs, "stf");
+    checkReg(base, kNumIntRegs, "stf");
+    checkImm(imm, kLdfStfImmBits, "stf");
+    Instr i;
+    i.major = Major::Stf;
+    i.fr = static_cast<uint8_t>(fr);
+    i.rs1 = static_cast<uint8_t>(base);
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::fpAlu(FpOp op, unsigned rr, unsigned ra, unsigned rb, unsigned vl,
+             bool sra, bool srb)
+{
+    if (vl < 1 || vl > kMaxVectorLength)
+        fatal("fpAlu: vector length must be 1..16");
+    // The last element written is rr + vl - 1; all element specifiers
+    // must stay inside the register file.
+    if (rr + vl > kNumFpuRegs)
+        fatal("fpAlu: result vector exceeds register file");
+    if (ra + (sra ? vl : 1) > kNumFpuRegs)
+        fatal("fpAlu: source A vector exceeds register file");
+    if (rb + (srb ? vl : 1) > kNumFpuRegs)
+        fatal("fpAlu: source B vector exceeds register file");
+    Instr i;
+    i.major = Major::FpAlu;
+    i.fp.op = op;
+    i.fp.rr = static_cast<uint8_t>(rr);
+    i.fp.ra = static_cast<uint8_t>(ra);
+    i.fp.rb = static_cast<uint8_t>(rb);
+    i.fp.vlm1 = static_cast<uint8_t>(vl - 1);
+    i.fp.sra = sra;
+    i.fp.srb = srb;
+    return i;
+}
+
+Instr
+Instr::branch(BranchCond c, unsigned rs1, unsigned rs2, int disp)
+{
+    checkReg(rs1, kNumIntRegs, "branch");
+    checkReg(rs2, kNumIntRegs, "branch");
+    checkImm(disp, kBranchDispBits, "branch");
+    Instr i;
+    i.major = Major::Branch;
+    i.cond = c;
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.rs2 = static_cast<uint8_t>(rs2);
+    i.imm = disp;
+    return i;
+}
+
+Instr
+Instr::jump(int disp)
+{
+    checkImm(disp, kJumpDispBits, "jump");
+    Instr i;
+    i.major = Major::Jump;
+    i.jkind = JumpKind::J;
+    i.imm = disp;
+    return i;
+}
+
+Instr
+Instr::jal(unsigned rd, int disp)
+{
+    checkReg(rd, kNumIntRegs, "jal");
+    checkImm(disp, kJumpDispBits, "jal");
+    Instr i;
+    i.major = Major::Jump;
+    i.jkind = JumpKind::Jal;
+    i.rd = static_cast<uint8_t>(rd);
+    i.imm = disp;
+    return i;
+}
+
+Instr
+Instr::jr(unsigned rs)
+{
+    checkReg(rs, kNumIntRegs, "jr");
+    Instr i;
+    i.major = Major::Jump;
+    i.jkind = JumpKind::Jr;
+    i.rs1 = static_cast<uint8_t>(rs);
+    return i;
+}
+
+Instr
+Instr::jalr(unsigned rd, unsigned rs)
+{
+    checkReg(rd, kNumIntRegs, "jalr");
+    checkReg(rs, kNumIntRegs, "jalr");
+    Instr i;
+    i.major = Major::Jump;
+    i.jkind = JumpKind::Jalr;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs);
+    return i;
+}
+
+Instr
+Instr::lui(unsigned rd, int imm)
+{
+    checkReg(rd, kNumIntRegs, "lui");
+    if (imm < 0 || imm >= (1 << kLuiImmBits))
+        fatal("lui: immediate out of range");
+    Instr i;
+    i.major = Major::Lui;
+    i.rd = static_cast<uint8_t>(rd);
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::mvfc(unsigned rd, unsigned fr)
+{
+    checkReg(rd, kNumIntRegs, "mvfc");
+    checkReg(fr, kNumFpuRegs, "mvfc");
+    Instr i;
+    i.major = Major::Mvfc;
+    i.rd = static_cast<uint8_t>(rd);
+    i.fr = static_cast<uint8_t>(fr);
+    return i;
+}
+
+Instr
+Instr::halt()
+{
+    return Instr{};
+}
+
+Instr
+Instr::nop()
+{
+    return alu(AluFunc::Add, 0, 0, 0);
+}
+
+} // namespace mtfpu::isa

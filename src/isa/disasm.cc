@@ -1,0 +1,152 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+#include <map>
+
+#include "assembler/assembler.hh"
+#include "common/log.hh"
+
+namespace mtfpu::isa
+{
+
+const char *
+aluFuncName(AluFunc f)
+{
+    switch (f) {
+      case AluFunc::Add: return "add";
+      case AluFunc::Sub: return "sub";
+      case AluFunc::And: return "and";
+      case AluFunc::Or: return "or";
+      case AluFunc::Xor: return "xor";
+      case AluFunc::Sll: return "sll";
+      case AluFunc::Srl: return "srl";
+      case AluFunc::Sra: return "sra";
+      case AluFunc::Slt: return "slt";
+      case AluFunc::Sltu: return "sltu";
+      case AluFunc::Mul: return "mul";
+    }
+    return "?";
+}
+
+const char *
+branchCondName(BranchCond c)
+{
+    switch (c) {
+      case BranchCond::Eq: return "beq";
+      case BranchCond::Ne: return "bne";
+      case BranchCond::Lt: return "blt";
+      case BranchCond::Ge: return "bge";
+      case BranchCond::Ltu: return "bltu";
+      case BranchCond::Geu: return "bgeu";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instr &i)
+{
+    char buf[96];
+    switch (i.major) {
+      case Major::Alu:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u",
+                      aluFuncName(i.func), i.rd, i.rs1, i.rs2);
+        break;
+      case Major::AluImm:
+        std::snprintf(buf, sizeof(buf), "%si r%u, r%u, %d",
+                      aluFuncName(i.func), i.rd, i.rs1, i.imm);
+        break;
+      case Major::Ld:
+        std::snprintf(buf, sizeof(buf), "ld r%u, %d(r%u)", i.rd, i.imm,
+                      i.rs1);
+        break;
+      case Major::St:
+        std::snprintf(buf, sizeof(buf), "st r%u, %d(r%u)", i.rd, i.imm,
+                      i.rs1);
+        break;
+      case Major::Ldf:
+        std::snprintf(buf, sizeof(buf), "ldf f%u, %d(r%u)", i.fr, i.imm,
+                      i.rs1);
+        break;
+      case Major::Stf:
+        std::snprintf(buf, sizeof(buf), "stf f%u, %d(r%u)", i.fr, i.imm,
+                      i.rs1);
+        break;
+      case Major::FpAlu:
+        return i.fp.toString();
+      case Major::Branch:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d",
+                      branchCondName(i.cond), i.rs1, i.rs2, i.imm);
+        break;
+      case Major::Jump:
+        switch (i.jkind) {
+          case JumpKind::J:
+            std::snprintf(buf, sizeof(buf), "j %d", i.imm);
+            break;
+          case JumpKind::Jal:
+            std::snprintf(buf, sizeof(buf), "jal r%u, %d", i.rd, i.imm);
+            break;
+          case JumpKind::Jr:
+            std::snprintf(buf, sizeof(buf), "jr r%u", i.rs1);
+            break;
+          case JumpKind::Jalr:
+            std::snprintf(buf, sizeof(buf), "jalr r%u, r%u", i.rd, i.rs1);
+            break;
+        }
+        break;
+      case Major::Lui:
+        std::snprintf(buf, sizeof(buf), "lui r%u, %d", i.rd, i.imm);
+        break;
+      case Major::Mvfc:
+        std::snprintf(buf, sizeof(buf), "mvfc r%u, f%u", i.rd, i.fr);
+        break;
+      case Major::Halt:
+        return "halt";
+      default:
+        return "<bad>";
+    }
+    return buf;
+}
+
+std::string
+disassemble(uint32_t word)
+{
+    return disassemble(Instr::decode(word));
+}
+
+std::string
+disassembleProgram(const assembler::Program &program)
+{
+    // Reverse label map (first label wins per address).
+    std::map<uint32_t, std::string> names;
+    for (const auto &[name, addr] : program.labels)
+        names.emplace(addr, name);
+
+    std::string out;
+    char buf[160];
+    for (uint32_t pc = 0; pc < program.code.size(); ++pc) {
+        const Instr &in = program.code[pc];
+        if (auto it = names.find(pc); it != names.end())
+            out += it->second + ":\n";
+
+        std::string text = disassemble(in);
+        // Annotate relative control flow with resolved targets.
+        if (in.major == Major::Branch ||
+            (in.major == Major::Jump && (in.jkind == JumpKind::J ||
+                                         in.jkind == JumpKind::Jal))) {
+            const uint32_t target = pc + in.imm;
+            std::string label;
+            if (auto it = names.find(target); it != names.end())
+                label = it->second;
+            std::snprintf(buf, sizeof(buf), "   ; -> %u%s%s", target,
+                          label.empty() ? "" : " (",
+                          label.empty() ? "" : (label + ")").c_str());
+            text += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%6u:  %08x  %s\n", pc,
+                      in.encode(), text.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace mtfpu::isa

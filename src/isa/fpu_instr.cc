@@ -1,0 +1,121 @@
+#include "isa/fpu_instr.hh"
+
+#include <cstdio>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace mtfpu::isa
+{
+
+namespace
+{
+
+struct OpFields { unsigned unit, func; };
+
+constexpr OpFields kOpFields[] = {
+    {1, 0}, // Add
+    {1, 1}, // Sub
+    {1, 2}, // Float
+    {1, 3}, // Truncate
+    {2, 0}, // Mul
+    {2, 1}, // IntMul
+    {2, 2}, // IterStep
+    {3, 0}, // Recip
+};
+
+constexpr const char *kOpNames[] = {
+    "fadd", "fsub", "ffloat", "ftrunc", "fmul", "fimul", "fiter", "frecip",
+};
+
+} // anonymous namespace
+
+unsigned
+fpOpUnit(FpOp op)
+{
+    return kOpFields[static_cast<unsigned>(op)].unit;
+}
+
+unsigned
+fpOpFunc(FpOp op)
+{
+    return kOpFields[static_cast<unsigned>(op)].func;
+}
+
+bool
+fpOpReserved(unsigned unit, unsigned func)
+{
+    if (unit == 0)
+        return true;
+    if (unit == 2 && func == 3)
+        return true;
+    if (unit == 3 && func != 0)
+        return true;
+    return false;
+}
+
+FpOp
+fpOpFromFields(unsigned unit, unsigned func)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        if (kOpFields[i].unit == unit && kOpFields[i].func == func)
+            return static_cast<FpOp>(i);
+    }
+    fatal("fpOpFromFields: reserved unit/func encoding");
+}
+
+const char *
+fpOpName(FpOp op)
+{
+    return kOpNames[static_cast<unsigned>(op)];
+}
+
+uint32_t
+FpuAluInstr::encode() const
+{
+    uint64_t w = 0;
+    w = insertBits(w, 28, 4, kFpAluMajor);
+    w = insertBits(w, 22, 6, rr);
+    w = insertBits(w, 16, 6, ra);
+    w = insertBits(w, 10, 6, rb);
+    w = insertBits(w, 8, 2, fpOpUnit(op));
+    w = insertBits(w, 6, 2, fpOpFunc(op));
+    w = insertBits(w, 2, 4, vlm1);
+    w = insertBits(w, 1, 1, sra);
+    w = insertBits(w, 0, 1, srb);
+    return static_cast<uint32_t>(w);
+}
+
+FpuAluInstr
+FpuAluInstr::decode(uint32_t word)
+{
+    if (bits(word, 28, 4) != kFpAluMajor)
+        fatal("FpuAluInstr::decode: not an FPU ALU word");
+    FpuAluInstr instr;
+    instr.rr = static_cast<uint8_t>(bits(word, 22, 6));
+    instr.ra = static_cast<uint8_t>(bits(word, 16, 6));
+    instr.rb = static_cast<uint8_t>(bits(word, 10, 6));
+    instr.op = fpOpFromFields(static_cast<unsigned>(bits(word, 8, 2)),
+                              static_cast<unsigned>(bits(word, 6, 2)));
+    instr.vlm1 = static_cast<uint8_t>(bits(word, 2, 4));
+    instr.sra = bits(word, 1, 1) != 0;
+    instr.srb = bits(word, 0, 1) != 0;
+    return instr;
+}
+
+std::string
+FpuAluInstr::toString() const
+{
+    char buf[96];
+    if (vlm1 == 0) {
+        std::snprintf(buf, sizeof(buf), "%s f%u, f%u, f%u", fpOpName(op),
+                      rr, ra, rb);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s f%u, f%u, f%u, vl=%u%s%s",
+                      fpOpName(op), rr, ra, rb, vlm1 + 1u,
+                      sra ? ", sra" : "", srb ? ", srb" : "");
+    }
+    return buf;
+}
+
+} // namespace mtfpu::isa

@@ -1,0 +1,488 @@
+#include "kernels/builder.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace mtfpu::kernels
+{
+
+// ---------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------
+
+uint64_t
+Layout::define(const std::string &name, size_t doubles)
+{
+    if (arrays_.count(name))
+        fatal("Layout: duplicate array '" + name + "'");
+    const uint64_t base = next_;
+    arrays_[name] = Array{base, doubles};
+    next_ += doubles * 8;
+    return base;
+}
+
+uint64_t
+Layout::base(const std::string &name) const
+{
+    auto it = arrays_.find(name);
+    if (it == arrays_.end())
+        fatal("Layout: unknown array '" + name + "'");
+    return it->second.base;
+}
+
+uint64_t
+Layout::addr(const std::string &name, size_t index) const
+{
+    auto it = arrays_.find(name);
+    if (it == arrays_.end())
+        fatal("Layout: unknown array '" + name + "'");
+    if (index >= it->second.size)
+        fatal("Layout: index out of range in '" + name + "'");
+    return it->second.base + index * 8;
+}
+
+void
+Layout::fill(memory::MainMemory &mem, const std::string &name,
+             const std::vector<double> &values) const
+{
+    auto it = arrays_.find(name);
+    if (it == arrays_.end())
+        fatal("Layout: unknown array '" + name + "'");
+    if (values.size() > it->second.size)
+        fatal("Layout: fill overflows '" + name + "'");
+    for (size_t i = 0; i < it->second.size; ++i) {
+        mem.writeDouble(it->second.base + i * 8,
+                        i < values.size() ? values[i] : 0.0);
+    }
+}
+
+std::vector<double>
+Layout::read(const memory::MainMemory &mem, const std::string &name) const
+{
+    auto it = arrays_.find(name);
+    if (it == arrays_.end())
+        fatal("Layout: unknown array '" + name + "'");
+    std::vector<double> out(it->second.size);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = mem.readDouble(it->second.base + i * 8);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Expression constructors
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ExprP
+binary(Expr::Kind kind, ExprP a, ExprP b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+}
+
+} // anonymous namespace
+
+ExprP
+eLoad(unsigned base, int64_t offset)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Load;
+    e->base = base;
+    e->offset = offset;
+    return e;
+}
+
+ExprP
+eConst(double value)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Const;
+    e->value = value;
+    return e;
+}
+
+ExprP
+eReg(unsigned freg)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Reg;
+    e->freg = freg;
+    return e;
+}
+
+ExprP eAdd(ExprP a, ExprP b)
+{ return binary(Expr::Kind::Add, std::move(a), std::move(b)); }
+ExprP eSub(ExprP a, ExprP b)
+{ return binary(Expr::Kind::Sub, std::move(a), std::move(b)); }
+ExprP eMul(ExprP a, ExprP b)
+{ return binary(Expr::Kind::Mul, std::move(a), std::move(b)); }
+ExprP eDiv(ExprP a, ExprP b)
+{ return binary(Expr::Kind::Div, std::move(a), std::move(b)); }
+
+// ---------------------------------------------------------------------
+// KernelBuilder
+// ---------------------------------------------------------------------
+
+/** Integer register holding the constant-pool base in prologues. */
+constexpr unsigned kPoolReg = 26;
+/** Maximum number of pooled constants per kernel. */
+constexpr unsigned kMaxConstants = 64;
+
+KernelBuilder::KernelBuilder() = default;
+
+void
+KernelBuilder::emit(const std::string &line)
+{
+    body_.push_back("    " + line);
+}
+
+void
+KernelBuilder::emitf(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    emit(buf);
+}
+
+std::string
+KernelBuilder::newLabel(const std::string &stem)
+{
+    return stem + "_" + std::to_string(nextLabel_++);
+}
+
+void
+KernelBuilder::bind(const std::string &label)
+{
+    body_.push_back(label + ":");
+}
+
+unsigned
+KernelBuilder::ireg(const std::string &name)
+{
+    auto it = iregs_.find(name);
+    if (it != iregs_.end())
+        return it->second;
+    if (nextIreg_ > 25)
+        fatal("KernelBuilder: out of integer registers");
+    return iregs_[name] = nextIreg_++;
+}
+
+unsigned
+KernelBuilder::freg(const std::string &name)
+{
+    auto it = fregs_.find(name);
+    if (it != fregs_.end())
+        return it->second;
+    return fregs_[name] = fgroup(name + "@1", 1);
+}
+
+unsigned
+KernelBuilder::fgroup(const std::string &name, unsigned len)
+{
+    (void)name;
+    if (nextFreg_ + len > isa::kNumFpuRegs)
+        fatal("KernelBuilder: out of FPU registers");
+    const unsigned base = nextFreg_;
+    nextFreg_ += len;
+    return base;
+}
+
+void
+KernelBuilder::fscratch(unsigned count)
+{
+    scratchBase_ = fgroup("@scratch", count);
+    scratchCount_ = count;
+    scratchUsed_.assign(count, false);
+}
+
+unsigned
+KernelBuilder::fconst(double value)
+{
+    for (size_t i = 0; i < constants_.size(); ++i) {
+        if (constants_[i] == value)
+            return constRegs_[i];
+    }
+    if (constants_.size() >= kMaxConstants)
+        fatal("KernelBuilder: constant pool full");
+    if (constants_.empty())
+        layout_.define("_const", kMaxConstants);
+    const unsigned reg =
+        fgroup("_const" + std::to_string(constants_.size()), 1);
+    constants_.push_back(value);
+    constRegs_.push_back(reg);
+    return reg;
+}
+
+uint64_t
+KernelBuilder::array(const std::string &name, size_t doubles)
+{
+    return layout_.define(name, doubles);
+}
+
+void
+KernelBuilder::loadBase(unsigned reg, const std::string &name,
+                        int64_t elem_offset)
+{
+    li(reg, static_cast<int64_t>(layout_.base(name)) + 8 * elem_offset);
+}
+
+void
+KernelBuilder::li(unsigned reg, int64_t value)
+{
+    emitf("li r%u, %lld", reg, static_cast<long long>(value));
+}
+
+void
+KernelBuilder::loop(unsigned counter, int64_t n,
+                    const std::function<void()> &body,
+                    const std::string &delay_slot)
+{
+    if (n <= 0)
+        fatal("KernelBuilder::loop: trip count must be positive");
+    const std::string top = newLabel("loop");
+    li(counter, n);
+    bind(top);
+    body();
+    emitf("subi r%u, r%u, 1", counter, counter);
+    emitf("bne r%u, r0, %s", counter, top.c_str());
+    emit(delay_slot);
+}
+
+void
+KernelBuilder::vload(unsigned fbase, unsigned addr_reg,
+                     int64_t byte_offset, int64_t byte_stride, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        emitf("ldf f%u, %lld(r%u)", fbase + i,
+              static_cast<long long>(byte_offset + byte_stride * i),
+              addr_reg);
+    }
+}
+
+void
+KernelBuilder::vstore(unsigned fbase, unsigned addr_reg,
+                      int64_t byte_offset, int64_t byte_stride,
+                      unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        emitf("stf f%u, %lld(r%u)", fbase + i,
+              static_cast<long long>(byte_offset + byte_stride * i),
+              addr_reg);
+    }
+}
+
+void
+KernelBuilder::vop(const char *op, unsigned fr, unsigned fa, unsigned fb,
+                   unsigned n, bool sra, bool srb)
+{
+    const std::string m = op;
+    const bool unary =
+        m == "frecip" || m == "ffloat" || m == "ftrunc";
+    if (n == 1) {
+        if (unary)
+            emitf("%s f%u, f%u", op, fr, fa);
+        else
+            emitf("%s f%u, f%u, f%u", op, fr, fa, fb);
+        return;
+    }
+    if (unary) {
+        emitf("%s f%u, f%u, vl=%u%s", op, fr, fa, n,
+              sra ? ", sra" : "");
+    } else {
+        emitf("%s f%u, f%u, f%u, vl=%u%s%s", op, fr, fa, fb, n,
+              sra ? ", sra" : "", srb ? ", srb" : "");
+    }
+}
+
+unsigned
+KernelBuilder::vsum(unsigned fbase, unsigned n)
+{
+    if (n == 0 || (n & (n - 1)) != 0 || n > 16)
+        fatal("KernelBuilder::vsum: n must be a power of two <= 16");
+    unsigned cur = fbase;
+    unsigned next = fbase + n;
+    unsigned len = n;
+    while (len > 1) {
+        const unsigned half = len / 2;
+        vop("fadd", next, cur, cur + half, half, half > 1, half > 1);
+        cur = next;
+        next += half;
+        len = half;
+    }
+    return cur;
+}
+
+unsigned
+KernelBuilder::allocScratch()
+{
+    for (unsigned i = 0; i < scratchCount_; ++i) {
+        if (!scratchUsed_[i]) {
+            scratchUsed_[i] = true;
+            return scratchBase_ + i;
+        }
+    }
+    fatal("KernelBuilder: expression too deep for scratch pool");
+}
+
+void
+KernelBuilder::freeScratch(unsigned reg)
+{
+    if (reg >= scratchBase_ && reg < scratchBase_ + scratchCount_)
+        scratchUsed_[reg - scratchBase_] = false;
+}
+
+void
+KernelBuilder::fdiv(unsigned fr, unsigned fa, unsigned fb)
+{
+    const unsigned t0 = allocScratch();
+    const unsigned t1 = allocScratch();
+    emitf("frecip f%u, f%u", t0, fb);
+    emitf("fmul f%u, f%u, f%u", t1, fb, t0);
+    emitf("fiter f%u, f%u, f%u", t0, t0, t1);
+    emitf("fmul f%u, f%u, f%u", t1, fb, t0);
+    emitf("fiter f%u, f%u, f%u", t0, t0, t1);
+    emitf("fmul f%u, f%u, f%u", fr, fa, t0);
+    freeScratch(t0);
+    freeScratch(t1);
+}
+
+void
+KernelBuilder::freeVal(const Val &val)
+{
+    if (val.owned)
+        freeScratch(val.reg);
+}
+
+KernelBuilder::Val
+KernelBuilder::evalInternal(const ExprP &expr)
+{
+    switch (expr->kind) {
+      case Expr::Kind::Load: {
+        const unsigned r = allocScratch();
+        emitf("ldf f%u, %lld(r%u)", r,
+              static_cast<long long>(expr->offset), expr->base);
+        return Val{r, true};
+      }
+      case Expr::Kind::Const:
+        return Val{fconst(expr->value), false};
+      case Expr::Kind::Reg:
+        // Caller-owned register: never freed by the evaluator, so a
+        // held eval() result can safely be referenced via eReg.
+        return Val{expr->freg, false};
+      case Expr::Kind::Add:
+      case Expr::Kind::Sub:
+      case Expr::Kind::Mul: {
+        const Val a = evalInternal(expr->lhs);
+        const Val b = evalInternal(expr->rhs);
+        freeVal(a);
+        freeVal(b);
+        // Reusing a source as destination is safe: operands are read
+        // at issue, the result is written three cycles later.
+        const unsigned r = allocScratch();
+        const char *op = expr->kind == Expr::Kind::Add   ? "fadd"
+                         : expr->kind == Expr::Kind::Sub ? "fsub"
+                                                         : "fmul";
+        emitf("%s f%u, f%u, f%u", op, r, a.reg, b.reg);
+        return Val{r, true};
+      }
+      case Expr::Kind::Div: {
+        const Val a = evalInternal(expr->lhs);
+        const Val b = evalInternal(expr->rhs);
+        // Keep operands live across the whole macro sequence.
+        const unsigned r = allocScratch();
+        fdiv(r, a.reg, b.reg);
+        freeVal(a);
+        freeVal(b);
+        return Val{r, true};
+      }
+    }
+    fatal("KernelBuilder: bad expression node");
+}
+
+unsigned
+KernelBuilder::eval(const ExprP &expr)
+{
+    const Val v = evalInternal(expr);
+    if (v.owned)
+        return v.reg;
+    // Root is a caller-owned register or constant: copy into a fresh
+    // scratch so the caller's release() contract holds uniformly.
+    const unsigned r = allocScratch();
+    emitf("fmul f%u, f%u, f%u", r, v.reg, fconst(1.0));
+    return r;
+}
+
+void
+KernelBuilder::release(unsigned reg)
+{
+    freeScratch(reg);
+}
+
+void
+KernelBuilder::evalStore(const ExprP &expr, unsigned base, int64_t offset)
+{
+    const unsigned r = eval(expr);
+    emitf("stf f%u, %lld(r%u)", r, static_cast<long long>(offset), base);
+    freeScratch(r);
+}
+
+void
+KernelBuilder::evalInto(unsigned dest, const ExprP &expr)
+{
+    const unsigned r = eval(expr);
+    if (r != dest) {
+        // Exact register move: multiply by 1.0 preserves every value.
+        emitf("fmul f%u, f%u, f%u", dest, r, fconst(1.0));
+    }
+    freeScratch(r);
+}
+
+std::string
+KernelBuilder::source() const
+{
+    std::string out;
+    if (!constants_.empty()) {
+        out += "    ; constant-pool prologue\n";
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "    li r%u, %llu\n", kPoolReg,
+                      static_cast<unsigned long long>(
+                          layout_.base("_const")));
+        out += buf;
+        for (size_t i = 0; i < constants_.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "    ldf f%u, %zu(r%u)\n",
+                          constRegs_[i], i * 8, kPoolReg);
+            out += buf;
+        }
+    }
+    for (const std::string &line : body_)
+        out += line + "\n";
+    out += "    halt\n";
+    return out;
+}
+
+assembler::Program
+KernelBuilder::build() const
+{
+    return assembler::assemble(source());
+}
+
+void
+KernelBuilder::initConstants(memory::MainMemory &mem) const
+{
+    if (constants_.empty())
+        return;
+    std::vector<double> pool = constants_;
+    layout_.fill(mem, "_const", pool);
+}
+
+} // namespace mtfpu::kernels

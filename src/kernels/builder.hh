@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The kernel-construction DSL — this repository's stand-in for the
+ * paper's Mahler vector primitives (§3). It provides:
+ *
+ *   - assembly text emission with unique labels and counted loops;
+ *   - FPU register allocation (named scalars, vector groups, scratch);
+ *   - preloaded floating-point constants (a constant pool in memory,
+ *     loaded by an emitted prologue);
+ *   - fixed-stride vector load/store expansion (Figure 9);
+ *   - the halving vector-sum operator the paper added to Mahler;
+ *   - the six-operation division macro (§2.2.3);
+ *   - a small scalar expression compiler (loads, constants, + - * /)
+ *     so the scalar kernels read like the original FORTRAN.
+ *
+ * Correctness never depends on instruction scheduling: the machine
+ * interlocks every scalar hazard, and vector code emitted by the
+ * helpers keeps loads/stores ordered with element issue (§2.3.2).
+ */
+
+#ifndef MTFPU_KERNELS_BUILDER_HH
+#define MTFPU_KERNELS_BUILDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace mtfpu::kernels
+{
+
+class KernelBuilder;
+
+/** Scalar floating-point expression tree. */
+struct Expr
+{
+    enum class Kind { Load, Const, Reg, Add, Sub, Mul, Div };
+    Kind kind;
+    unsigned base = 0;  // Load: integer base register
+    int64_t offset = 0; // Load: byte offset
+    double value = 0;   // Const
+    unsigned freg = 0;  // Reg
+    std::shared_ptr<Expr> lhs, rhs;
+};
+
+using ExprP = std::shared_ptr<Expr>;
+
+/** mem[base + offset] (base is an integer register). */
+ExprP eLoad(unsigned base, int64_t offset);
+/** A floating-point constant (preloaded into a register). */
+ExprP eConst(double value);
+/** An already-live FPU register. */
+ExprP eReg(unsigned freg);
+ExprP eAdd(ExprP a, ExprP b);
+ExprP eSub(ExprP a, ExprP b);
+ExprP eMul(ExprP a, ExprP b);
+/** Division via the six-operation macro sequence. */
+ExprP eDiv(ExprP a, ExprP b);
+
+/** Builds one kernel program. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder();
+
+    // ---- raw emission -------------------------------------------------
+
+    /** Append one line of assembly (without trailing newline). */
+    void emit(const std::string &line);
+
+    /** printf-style emission. */
+    void emitf(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Create a fresh unique label name. */
+    std::string newLabel(const std::string &stem);
+
+    /** Bind a label at the current position. */
+    void bind(const std::string &label);
+
+    // ---- registers ----------------------------------------------------
+
+    /** Allocate (or look up) a named integer register (r1..r25). */
+    unsigned ireg(const std::string &name);
+
+    /** Allocate (or look up) a named FPU register. */
+    unsigned freg(const std::string &name);
+
+    /** Allocate a contiguous FPU register group of @p len. */
+    unsigned fgroup(const std::string &name, unsigned len);
+
+    /**
+     * Reserve @p count FPU registers as the expression-compiler
+     * scratch pool (call once, after allocating named registers).
+     */
+    void fscratch(unsigned count);
+
+    /**
+     * A preloaded floating-point constant: allocates an FPU register
+     * and schedules a prologue load from the constant pool.
+     */
+    unsigned fconst(double value);
+
+    // ---- data ----------------------------------------------------------
+
+    /** Define a named array in the kernel's layout. */
+    uint64_t array(const std::string &name, size_t doubles);
+
+    /** Load an array's base byte address into an integer register. */
+    void loadBase(unsigned reg, const std::string &name,
+                  int64_t elem_offset = 0);
+
+    /** Load an arbitrary immediate. */
+    void li(unsigned reg, int64_t value);
+
+    // ---- control -------------------------------------------------------
+
+    /**
+     * Counted loop: r[counter] runs n, n-1, ..., 1. The delay slot of
+     * the back branch holds @p delay_slot (default nop; it also
+     * executes once on loop exit, so it must be harmless then).
+     */
+    void loop(unsigned counter, int64_t n,
+              const std::function<void()> &body,
+              const std::string &delay_slot = "nop");
+
+    // ---- vector helpers (Mahler-equivalent primitives) -----------------
+
+    /** Fixed-stride vector load: n ldf with folded offsets (Fig. 9). */
+    void vload(unsigned fbase, unsigned addr_reg, int64_t byte_offset,
+               int64_t byte_stride, unsigned n);
+
+    /** Fixed-stride vector store (element order, hazard-safe). */
+    void vstore(unsigned fbase, unsigned addr_reg, int64_t byte_offset,
+                int64_t byte_stride, unsigned n);
+
+    /** Vector op: fr[0..n) := fa op fb element-wise per stride bits. */
+    void vop(const char *op, unsigned fr, unsigned fa, unsigned fb,
+             unsigned n, bool sra, bool srb);
+
+    /**
+     * The paper's vector-sum operator: reduce f[base..base+n) by
+     * repeatedly adding the two halves (§3), consuming registers above
+     * the group as temporaries. Returns the register holding the sum.
+     * Requires n a power of two and n <= 16; the temporaries occupy
+     * f[base+n .. base+2n).
+     */
+    unsigned vsum(unsigned fbase, unsigned n);
+
+    // ---- scalar expression compilation ----------------------------------
+
+    /**
+     * Compile an expression; result lands in a scratch register that
+     * the caller must release() when done (evalStore/evalInto release
+     * automatically).
+     */
+    unsigned eval(const ExprP &expr);
+
+    /** Return an eval() result register to the scratch pool. */
+    void release(unsigned reg);
+
+    /** Compile and store to mem[base + offset]. */
+    void evalStore(const ExprP &expr, unsigned base, int64_t offset);
+
+    /** Copy an evaluated expression into a named register. */
+    void evalInto(unsigned freg, const ExprP &expr);
+
+    /** Emit the 6-op division fr := fa / fb (uses 3 scratch regs). */
+    void fdiv(unsigned fr, unsigned fa, unsigned fb);
+
+    // ---- finalization ----------------------------------------------------
+
+    /** The accumulated assembly text (prologue + body + halt). */
+    std::string source() const;
+
+    /** Assemble into a program. */
+    assembler::Program build() const;
+
+    /** The kernel's data layout (constant pool included). */
+    Layout &layout() { return layout_; }
+    const Layout &layout() const { return layout_; }
+
+    /**
+     * Write the constant pool values into memory. Must be called by
+     * the kernel's init function before each run.
+     */
+    void initConstants(memory::MainMemory &mem) const;
+
+  private:
+    /** An evaluated value: the register and whether eval owns it. */
+    struct Val
+    {
+        unsigned reg;
+        bool owned; // true if allocated by the evaluator (freeable)
+    };
+
+    unsigned allocScratch();
+    void freeScratch(unsigned reg);
+    void freeVal(const Val &val);
+    Val evalInternal(const ExprP &expr);
+
+    std::vector<std::string> body_;
+    Layout layout_;
+    unsigned nextLabel_ = 0;
+    unsigned nextIreg_ = 1;   // r1..r25 for kernels
+    unsigned nextFreg_ = 0;   // f0 upward
+    std::map<std::string, unsigned> iregs_;
+    std::map<std::string, unsigned> fregs_;
+    std::vector<double> constants_; // pool values, index = slot
+    std::vector<unsigned> constRegs_;
+    unsigned scratchBase_ = 0;
+    unsigned scratchCount_ = 0;
+    std::vector<bool> scratchUsed_;
+};
+
+} // namespace mtfpu::kernels
+
+#endif // MTFPU_KERNELS_BUILDER_HH

@@ -1,0 +1,87 @@
+#include "kernels/graphics/transform.hh"
+
+namespace mtfpu::kernels::graphics
+{
+
+std::string
+transformSource(bool load_matrix)
+{
+    std::string src;
+    if (load_matrix) {
+        // 16 scalar loads, one per cycle (Figure 9 folded strides).
+        for (int i = 0; i < 16; ++i) {
+            src += "ldf f" + std::to_string(i) + ", " +
+                   std::to_string(64 + 8 * i) + "(r1)\n";
+        }
+    }
+    src += R"(
+        ldf f32, 0(r1)
+        fmul f16, f32, f0, vl=4, srb
+        ldf f33, 8(r1)
+        fmul f20, f33, f4, vl=4, srb
+        ldf f34, 16(r1)
+        fmul f24, f34, f8, vl=4, srb
+        ldf f35, 24(r1)
+        fmul f28, f35, f12, vl=4, srb
+        fadd f16, f16, f20, vl=4, sra, srb
+        fadd f24, f24, f28, vl=4, sra, srb
+        fadd f36, f16, f24, vl=4, sra, srb
+        stf f36, 32(r1)
+        stf f37, 40(r1)
+        stf f38, 48(r1)
+        stf f39, 56(r1)
+        halt
+    )";
+    return src;
+}
+
+std::array<double, 4>
+referenceTransform(const std::array<double, 16> &matrix,
+                   const std::array<double, 4> &point)
+{
+    // With column c of the row-major input matrix living in register
+    // group c, the routine computes out = A * p; the addition tree is
+    // (p0*a + p1*b) + (p2*c + p3*d), matching the Figure 13 code.
+    std::array<double, 4> out{};
+    for (int k = 0; k < 4; ++k) {
+        out[k] = (point[0] * matrix[k * 4 + 0] +
+                  point[1] * matrix[k * 4 + 1]) +
+                 (point[2] * matrix[k * 4 + 2] +
+                  point[3] * matrix[k * 4 + 3]);
+    }
+    return out;
+}
+
+TransformResult
+runTransform(const machine::MachineConfig &config, bool load_matrix,
+             const std::array<double, 16> &matrix,
+             const std::array<double, 4> &point)
+{
+    machine::Machine m(config);
+    m.loadProgram(assembler::assemble(transformSource(load_matrix)));
+
+    constexpr uint64_t base = 0x4000;
+    m.cpu().writeReg(1, base);
+    for (int i = 0; i < 4; ++i)
+        m.mem().writeDouble(base + 8 * i, point[i]);
+    // Column c of the matrix occupies register group c*4..c*4+3; in
+    // memory the matrix image is stored column-major at base+64.
+    for (int c = 0; c < 4; ++c) {
+        for (int r = 0; r < 4; ++r) {
+            const double v = matrix[r * 4 + c];
+            m.mem().writeDouble(base + 64 + 8 * (c * 4 + r), v);
+            if (!load_matrix)
+                m.fpu().regs().writeDouble(c * 4 + r, v);
+        }
+    }
+
+    const machine::RunStats stats = m.run();
+    TransformResult result;
+    result.cycles = stats.cycles;
+    result.mflops = stats.mflops(28.0, config.cycleNs);
+    for (int k = 0; k < 4; ++k)
+        result.out[k] = m.mem().readDouble(base + 32 + 8 * k);
+    return result;
+}
+
+} // namespace mtfpu::kernels::graphics

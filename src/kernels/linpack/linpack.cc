@@ -1,0 +1,371 @@
+#include "kernels/linpack/linpack.hh"
+
+#include <cmath>
+
+#include "kernels/builder.hh"
+#include "kernels/livermore/livermore.hh" // testData
+#include "softfp/fp64.hh"
+
+namespace mtfpu::kernels::linpack
+{
+
+using livermore::testData;
+
+double
+linpackFlops(int n)
+{
+    const double dn = n;
+    return 2.0 * dn * dn * dn / 3.0 + 2.0 * dn * dn;
+}
+
+namespace
+{
+
+/** Host-side exact mirror of the architectural division macro. */
+double
+archDiv(double a, double b)
+{
+    softfp::Flags flags;
+    return softfp::asDouble(softfp::fpDivide(softfp::fromDouble(a),
+                                             softfp::fromDouble(b),
+                                             flags));
+}
+
+/**
+ * Host mirror of DGEFA + DGESL on a column-major matrix, using
+ * archDiv for every division so the simulated run matches bitwise.
+ */
+std::vector<double>
+hostSolve(int n, std::vector<double> a, std::vector<double> b)
+{
+    std::vector<int> ipvt(n);
+    auto at = [&](int i, int j) -> double & { return a[j * n + i]; };
+
+    for (int k = 0; k < n - 1; ++k) {
+        // idamax over column k, rows k..n-1.
+        int l = k;
+        double maxmag = std::fabs(at(k, k));
+        for (int i = k + 1; i < n; ++i) {
+            if (std::fabs(at(i, k)) > maxmag) {
+                maxmag = std::fabs(at(i, k));
+                l = i;
+            }
+        }
+        ipvt[k] = l;
+        std::swap(at(l, k), at(k, k));
+        const double t = -archDiv(1.0, at(k, k));
+        for (int i = k + 1; i < n; ++i)
+            at(i, k) = at(i, k) * t;
+        for (int j = k + 1; j < n; ++j) {
+            const double tj = at(l, j);
+            at(l, j) = at(k, j);
+            at(k, j) = tj;
+            for (int i = k + 1; i < n; ++i)
+                at(i, j) = at(i, j) + tj * at(i, k);
+        }
+    }
+
+    for (int k = 0; k < n - 1; ++k) {
+        const int l = ipvt[k];
+        const double t = b[l];
+        b[l] = b[k];
+        b[k] = t;
+        for (int i = k + 1; i < n; ++i)
+            b[i] = b[i] + t * at(i, k);
+    }
+    for (int k = n - 1; k >= 0; --k) {
+        b[k] = archDiv(b[k], at(k, k));
+        const double t = -b[k];
+        for (int i = 0; i < k; ++i)
+            b[i] = b[i] + t * at(i, k);
+    }
+    return b;
+}
+
+} // anonymous namespace
+
+Kernel
+make(bool vector, int n)
+{
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("a", n * n);
+    b->array("bv", n);
+    b->array("ipvt", n);
+    const auto a0 = testData(n * n, -1.0, 1.0, 3001);
+    const auto b0 = testData(n, -1.0, 1.0, 3002);
+
+    const unsigned rab = b->ireg("rab"), rbb = b->ireg("rbb"),
+                   rpv = b->ireg("rpv"), rk = b->ireg("rk"),
+                   rl = b->ireg("rl"), rj = b->ireg("rj"),
+                   rcnt = b->ireg("rcnt"), ri = b->ireg("ri"),
+                   rt = b->ireg("rt"), rt2 = b->ireg("rt2"),
+                   rck = b->ireg("rck"), rcj = b->ireg("rcj"),
+                   rkk = b->ireg("rkk"), rp = b->ireg("rp"),
+                   rq = b->ireg("rq"), rmx = b->ireg("rmx");
+    const unsigned fP = b->freg("piv"), fS = b->freg("scale"),
+                   fT = b->freg("t"), fU = b->freg("u");
+    const unsigned cone = b->fconst(1.0), czero = b->fconst(0.0);
+    unsigned A = 0, B = 0;
+    if (vector) {
+        A = b->fgroup("A", 8);
+        B = b->fgroup("B", 8);
+    }
+    b->fscratch(6);
+
+    b->loadBase(rab, "a");
+    b->loadBase(rbb, "bv");
+    b->loadBase(rpv, "ipvt");
+
+    // DAXPY: mem[rp + 8i] += fT * mem[rq + 8i] for i in [0, rcnt).
+    // Clobbers rp, rq, rcnt (and rt in the vector strip count).
+    auto daxpy = [&] {
+        const std::string done = b->newLabel("daxpy_done");
+        if (!vector) {
+            const std::string loop = b->newLabel("daxpy");
+            b->emitf("beq r%u, r0, %s", rcnt, done.c_str());
+            b->emit("nop");
+            b->bind(loop);
+            b->evalStore(eAdd(eLoad(rp, 0),
+                              eMul(eReg(fT), eLoad(rq, 0))),
+                         rp, 0);
+            b->emitf("addi r%u, r%u, 8", rp, rp);
+            b->emitf("addi r%u, r%u, 8", rq, rq);
+            b->emitf("subi r%u, r%u, 1", rcnt, rcnt);
+            b->emitf("bne r%u, r0, %s", rcnt, loop.c_str());
+            b->emit("nop");
+        } else {
+            const std::string vloop = b->newLabel("daxpyv");
+            const std::string rem = b->newLabel("daxpyr");
+            const std::string remloop = b->newLabel("daxpyrl");
+            b->emitf("srli r%u, r%u, 3", rt, rcnt); // strips
+            b->emitf("andi r%u, r%u, 7", rcnt, rcnt);
+            b->emitf("beq r%u, r0, %s", rt, rem.c_str());
+            b->emit("nop");
+            b->bind(vloop);
+            b->vload(B, rq, 0, 8, 8);
+            b->vop("fmul", B, B, fT, 8, true, false);
+            b->vload(A, rp, 0, 8, 8);
+            b->vop("fadd", A, A, B, 8, true, true);
+            b->vstore(A, rp, 0, 8, 8);
+            b->emitf("addi r%u, r%u, 64", rp, rp);
+            b->emitf("addi r%u, r%u, 64", rq, rq);
+            b->emitf("subi r%u, r%u, 1", rt, rt);
+            b->emitf("bne r%u, r0, %s", rt, vloop.c_str());
+            b->emit("nop");
+            b->bind(rem);
+            b->emitf("beq r%u, r0, %s", rcnt, done.c_str());
+            b->emit("nop");
+            b->bind(remloop);
+            b->evalStore(eAdd(eLoad(rp, 0),
+                              eMul(eReg(fT), eLoad(rq, 0))),
+                         rp, 0);
+            b->emitf("addi r%u, r%u, 8", rp, rp);
+            b->emitf("addi r%u, r%u, 8", rq, rq);
+            b->emitf("subi r%u, r%u, 1", rcnt, rcnt);
+            b->emitf("bne r%u, r0, %s", rcnt, remloop.c_str());
+            b->emit("nop");
+        }
+        b->bind(done);
+    };
+
+    // ================= DGEFA =================
+    const std::string outer_k = b->newLabel("dgefa_k");
+    b->li(rk, 0);
+    b->bind(outer_k);
+    // Column-k base and diagonal address.
+    b->emitf("muli r%u, r%u, %d", rt, rk, 8 * n);
+    b->emitf("add r%u, r%u, r%u", rck, rab, rt);
+    b->emitf("slli r%u, r%u, 3", rt, rk);
+    b->emitf("add r%u, r%u, r%u", rkk, rck, rt);
+
+    // ---- idamax over rows k..n-1 of column k ----
+    // Magnitude comparison: the bit pattern shifted left one (sign
+    // dropped) compares monotonically as an unsigned integer.
+    b->emitf("add r%u, r%u, r0", rl, rk);
+    b->emitf("ldf f%u, 0(r%u)", fT, rkk);
+    b->emitf("mvfc r%u, f%u", rmx, fT);
+    b->emit("nop");
+    b->emitf("slli r%u, r%u, 1", rmx, rmx);
+    b->emitf("addi r%u, r%u, 1", ri, rk);
+    b->emitf("addi r%u, r%u, 8", rp, rkk);
+    b->emitf("li r%u, %d", rcnt, n - 1);
+    b->emitf("sub r%u, r%u, r%u", rcnt, rcnt, rk); // n-1-k
+    {
+        const std::string loop = b->newLabel("idamax");
+        const std::string skip = b->newLabel("idamax_skip");
+        const std::string none = b->newLabel("idamax_none");
+        b->emitf("beq r%u, r0, %s", rcnt, none.c_str());
+        b->emit("nop");
+        b->bind(loop);
+        b->emitf("ldf f%u, 0(r%u)", fT, rp);
+        b->emitf("mvfc r%u, f%u", rt, fT);
+        b->emit("nop");
+        b->emitf("slli r%u, r%u, 1", rt, rt);
+        b->emitf("bgeu r%u, r%u, %s", rmx, rt, skip.c_str());
+        b->emit("nop");
+        b->emitf("add r%u, r%u, r0", rmx, rt);
+        b->emitf("add r%u, r%u, r0", rl, ri);
+        b->bind(skip);
+        b->emitf("addi r%u, r%u, 1", ri, ri);
+        b->emitf("addi r%u, r%u, 8", rp, rp);
+        b->emitf("subi r%u, r%u, 1", rcnt, rcnt);
+        b->emitf("bne r%u, r0, %s", rcnt, loop.c_str());
+        b->emit("nop");
+        b->bind(none);
+    }
+    // Record the pivot row.
+    b->emitf("slli r%u, r%u, 3", rt, rk);
+    b->emitf("add r%u, r%u, r%u", rt, rpv, rt);
+    b->emitf("st r%u, 0(r%u)", rl, rt);
+
+    // ---- swap a(l,k) <-> a(k,k); fP = pivot ----
+    b->emitf("slli r%u, r%u, 3", rt, rl);
+    b->emitf("add r%u, r%u, r%u", rt, rck, rt);
+    b->emitf("ldf f%u, 0(r%u)", fP, rt);
+    b->emitf("ldf f%u, 0(r%u)", fU, rkk);
+    b->emitf("stf f%u, 0(r%u)", fU, rt);
+    b->emitf("stf f%u, 0(r%u)", fP, rkk);
+
+    // ---- scale the multipliers: a(k+1..,k) *= -1/pivot ----
+    b->fdiv(fS, cone, fP);
+    b->emitf("fsub f%u, f%u, f%u", fS, czero, fS);
+    b->emitf("li r%u, %d", rcnt, n - 1);
+    b->emitf("sub r%u, r%u, r%u", rcnt, rcnt, rk);
+    b->emitf("addi r%u, r%u, 8", rp, rkk);
+    {
+        const std::string loop = b->newLabel("dscal");
+        b->bind(loop);
+        b->emitf("ldf f%u, 0(r%u)", fT, rp);
+        b->emitf("fmul f%u, f%u, f%u", fT, fT, fS);
+        b->emitf("stf f%u, 0(r%u)", fT, rp);
+        b->emitf("addi r%u, r%u, 8", rp, rp);
+        b->emitf("subi r%u, r%u, 1", rcnt, rcnt);
+        b->emitf("bne r%u, r0, %s", rcnt, loop.c_str());
+        b->emit("nop");
+    }
+
+    // ---- column updates: j = k+1 .. n-1 ----
+    b->emitf("addi r%u, r%u, 1", rj, rk);
+    b->emitf("addi r%u, r%u, %d", rcj, rck, 8 * n);
+    {
+        const std::string jloop = b->newLabel("dgefa_j");
+        b->bind(jloop);
+        // t = a(l,j); a(l,j) = a(k,j); a(k,j) = t.
+        b->emitf("slli r%u, r%u, 3", rt, rl);
+        b->emitf("add r%u, r%u, r%u", rt, rcj, rt);
+        b->emitf("slli r%u, r%u, 3", rt2, rk);
+        b->emitf("add r%u, r%u, r%u", rt2, rcj, rt2);
+        b->emitf("ldf f%u, 0(r%u)", fT, rt);
+        b->emitf("ldf f%u, 0(r%u)", fU, rt2);
+        b->emitf("stf f%u, 0(r%u)", fU, rt);
+        b->emitf("stf f%u, 0(r%u)", fT, rt2);
+        // daxpy(n-k-1, t, a(k+1..,k), a(k+1..,j)).
+        b->emitf("addi r%u, r%u, 8", rq, rkk);
+        b->emitf("slli r%u, r%u, 3", rt, rk);
+        b->emitf("add r%u, r%u, r%u", rp, rcj, rt);
+        b->emitf("addi r%u, r%u, 8", rp, rp);
+        b->emitf("li r%u, %d", rcnt, n - 1);
+        b->emitf("sub r%u, r%u, r%u", rcnt, rcnt, rk);
+        daxpy();
+        b->emitf("addi r%u, r%u, 1", rj, rj);
+        b->emitf("addi r%u, r%u, %d", rcj, rcj, 8 * n);
+        b->emitf("slti r%u, r%u, %d", rt, rj, n);
+        b->emitf("bne r%u, r0, %s", rt, jloop.c_str());
+        b->emit("nop");
+    }
+    b->emitf("addi r%u, r%u, 1", rk, rk);
+    b->emitf("slti r%u, r%u, %d", rt, rk, n - 1);
+    b->emitf("bne r%u, r0, %s", rt, outer_k.c_str());
+    b->emit("nop");
+
+    // ================= DGESL =================
+    // Forward elimination.
+    {
+        const std::string floop = b->newLabel("dgesl_f");
+        b->li(rk, 0);
+        b->bind(floop);
+        b->emitf("slli r%u, r%u, 3", rt, rk);
+        b->emitf("add r%u, r%u, r%u", rt, rpv, rt);
+        b->emitf("ld r%u, 0(r%u)", rl, rt);
+        b->emit("nop");
+        // t = b[l]; b[l] = b[k]; b[k] = t.
+        b->emitf("slli r%u, r%u, 3", rt, rl);
+        b->emitf("add r%u, r%u, r%u", rt, rbb, rt);
+        b->emitf("slli r%u, r%u, 3", rt2, rk);
+        b->emitf("add r%u, r%u, r%u", rt2, rbb, rt2);
+        b->emitf("ldf f%u, 0(r%u)", fT, rt);
+        b->emitf("ldf f%u, 0(r%u)", fU, rt2);
+        b->emitf("stf f%u, 0(r%u)", fU, rt);
+        b->emitf("stf f%u, 0(r%u)", fT, rt2);
+        // daxpy(n-k-1, t, a(k+1..,k), b[k+1..]).
+        b->emitf("muli r%u, r%u, %d", rt, rk, 8 * n);
+        b->emitf("add r%u, r%u, r%u", rq, rab, rt);
+        b->emitf("slli r%u, r%u, 3", rt, rk);
+        b->emitf("add r%u, r%u, r%u", rq, rq, rt);
+        b->emitf("addi r%u, r%u, 8", rq, rq);
+        b->emitf("addi r%u, r%u, 8", rp, rt2);
+        b->emitf("li r%u, %d", rcnt, n - 1);
+        b->emitf("sub r%u, r%u, r%u", rcnt, rcnt, rk);
+        daxpy();
+        b->emitf("addi r%u, r%u, 1", rk, rk);
+        b->emitf("slti r%u, r%u, %d", rt, rk, n - 1);
+        b->emitf("bne r%u, r0, %s", rt, floop.c_str());
+        b->emit("nop");
+    }
+    // Back substitution.
+    {
+        const std::string bloop = b->newLabel("dgesl_b");
+        b->li(rk, n - 1);
+        b->bind(bloop);
+        // b[k] /= a(k,k).
+        b->emitf("muli r%u, r%u, %d", rt, rk, 8 * n);
+        b->emitf("add r%u, r%u, r%u", rq, rab, rt);
+        b->emitf("slli r%u, r%u, 3", rt, rk);
+        b->emitf("add r%u, r%u, r%u", rt2, rq, rt); // &a(k,k)
+        b->emitf("add r%u, r%u, r%u", rp, rbb, rt); // &b[k]
+        b->emitf("ldf f%u, 0(r%u)", fT, rp);
+        b->emitf("ldf f%u, 0(r%u)", fU, rt2);
+        b->fdiv(fT, fT, fU);
+        b->emitf("stf f%u, 0(r%u)", fT, rp);
+        // t = -b[k]; daxpy(k, t, a(0..,k), b[0..]).
+        b->emitf("fsub f%u, f%u, f%u", fT, czero, fT);
+        b->emitf("add r%u, r%u, r0", rcnt, rk);
+        b->emitf("add r%u, r%u, r0", rp, rbb);
+        // rq already points at column k base.
+        daxpy();
+        b->emitf("subi r%u, r%u, 1", rk, rk);
+        b->emitf("bge r%u, r0, %s", rk, bloop.c_str());
+        b->emit("nop");
+    }
+
+    Kernel k;
+    k.name = vector ? "linpack-vector" : "linpack-scalar";
+    k.title = "Linpack (DGEFA + DGESL)";
+    k.variant = vector ? "vector" : "scalar";
+    k.program = b->build();
+    k.layout = b->layout();
+    k.flops = linpackFlops(n);
+    k.tolerance = 0.0; // the host mirror uses the same division macro
+    k.init = [b, a0, b0](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "a", a0);
+        b->layout().fill(mem, "bv", b0);
+        b->layout().fill(mem, "ipvt", {});
+    };
+    k.checksum = [b](const memory::MainMemory &mem) {
+        double s = 0;
+        for (double v : b->layout().read(mem, "bv"))
+            s += v;
+        return s;
+    };
+    k.reference = [n, a0, b0] {
+        const auto x = hostSolve(n, a0, b0);
+        double s = 0;
+        for (double v : x)
+            s += v;
+        return s;
+    };
+    return k;
+}
+
+} // namespace mtfpu::kernels::linpack

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Linpack (§3.3): LU factorization with partial pivoting (DGEFA) and
+ * solve (DGESL) on an N x N column-major matrix, DAXPY-dominated.
+ * The scalar variant is straightforward scalar code; the vector
+ * variant runs the DAXPY and DSCAL inner loops as length-8 vector
+ * strips. The host reference mirrors the computation exactly,
+ * including the six-operation division macro, so validation is
+ * bit-exact and pivot choices can never diverge.
+ */
+
+#ifndef MTFPU_KERNELS_LINPACK_LINPACK_HH
+#define MTFPU_KERNELS_LINPACK_LINPACK_HH
+
+#include "kernels/kernel.hh"
+
+namespace mtfpu::kernels::linpack
+{
+
+/** Default problem size (the classic Linpack 100). */
+constexpr int kDefaultN = 100;
+
+/**
+ * Build the Linpack kernel.
+ *
+ * @param vector Use the vectorized DAXPY/DSCAL inner loops.
+ * @param n Problem size (default 100).
+ */
+Kernel make(bool vector, int n = kDefaultN);
+
+/** Standard Linpack operation count: 2n^3/3 + 2n^2. */
+double linpackFlops(int n);
+
+} // namespace mtfpu::kernels::linpack
+
+#endif // MTFPU_KERNELS_LINPACK_LINPACK_HH

@@ -1,0 +1,608 @@
+/**
+ * @file
+ * Livermore kernels 1-6.
+ */
+
+#include "kernels/livermore/lfk_common.hh"
+
+namespace mtfpu::kernels::livermore
+{
+
+// ---------------------------------------------------------------------
+// LFK 1 — hydro fragment:
+//   x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+// ---------------------------------------------------------------------
+
+Kernel
+lfk01(bool vector)
+{
+    const int n = span(1);
+    const double q = 0.5, r = 0.25, t = 0.125;
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("y", n);
+    b->array("z", n + 11);
+    const auto y = testData(n, 0.1, 1.0, 101);
+    const auto z = testData(n + 11, 0.1, 1.0, 102);
+
+    const unsigned rx = b->ireg("rx"), ry = b->ireg("ry"),
+                   rz = b->ireg("rz"), rk = b->ireg("rk");
+
+    if (!vector) {
+        b->fscratch(8);
+        b->loadBase(rx, "x");
+        b->loadBase(ry, "y");
+        b->loadBase(rz, "z");
+        b->loop(rk, n, [&] {
+            b->evalStore(
+                eAdd(eConst(q),
+                     eMul(eLoad(ry, 0),
+                          eAdd(eMul(eConst(r), eLoad(rz, 80)),
+                               eMul(eConst(t), eLoad(rz, 88))))),
+                rx, 0);
+            b->emitf("addi r%u, r%u, 8", rx, rx);
+            b->emitf("addi r%u, r%u, 8", ry, ry);
+            b->emitf("addi r%u, r%u, 8", rz, rz);
+        });
+    } else {
+        // Strips of 8. z[k+10..k+11+7] overlaps across the two source
+        // vectors, so load the 9 distinct words once into Z and read
+        // the shifted window Z+1 for the z[k+11] term: the Mahler
+        // subvector trick the unified register file makes free.
+        const unsigned Z = b->fgroup("Z", 9);
+        const unsigned C = b->fgroup("C", 8);
+        const unsigned Y = b->fgroup("Y", 8);
+        const unsigned cq = b->fconst(q), cr = b->fconst(r),
+                       ct = b->fconst(t);
+        b->fscratch(6);
+        b->loadBase(rx, "x");
+        b->loadBase(ry, "y");
+        b->loadBase(rz, "z");
+        b->loop(rk, (n - 1) / 8, [&] {
+            b->vload(Z, rz, 80, 8, 9);
+            // C = t * z[k+11..] must read Z+1..Z+8 before the
+            // in-place scale of Z overwrites them; element issue is
+            // serialized through the ALU IR, so program order is
+            // enough.
+            b->vop("fmul", C, Z + 1, ct, 8, true, false);
+            b->vop("fmul", Z, Z, cr, 8, true, false);
+            b->vop("fadd", Z, Z, C, 8, true, true);
+            b->vload(Y, ry, 0, 8, 8);
+            b->vop("fmul", Z, Z, Y, 8, true, true);
+            b->vop("fadd", Z, Z, cq, 8, true, false);
+            b->vstore(Z, rx, 0, 8, 8);
+            b->emitf("addi r%u, r%u, 64", rx, rx);
+            b->emitf("addi r%u, r%u, 64", ry, ry);
+            b->emitf("addi r%u, r%u, 64", rz, rz);
+        });
+        // Remainder element (n = 1001 -> one leftover iteration).
+        b->evalStore(
+            eAdd(eConst(q),
+                 eMul(eLoad(ry, 0),
+                      eAdd(eMul(eConst(r), eLoad(rz, 80)),
+                           eMul(eConst(t), eLoad(rz, 88))))),
+            rx, 0);
+    }
+
+    Kernel k;
+    finishKernel(k, 1, vector, b);
+    k.flops = 5.0 * n;
+    k.tolerance = 0.0;
+    k.init = [b, y, z](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "y", y);
+        b->layout().fill(mem, "z", z);
+        b->layout().fill(mem, "x", {});
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [n, q, r, t, y, z] {
+        std::vector<double> x(n);
+        for (int i = 0; i < n; ++i)
+            x[i] = q + y[i] * (r * z[i + 10] + t * z[i + 11]);
+        return sumVec(x);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 2 — ICCG excerpt (incomplete Cholesky conjugate gradient)
+// ---------------------------------------------------------------------
+
+Kernel
+lfk02(bool vector)
+{
+    const int n = span(2);
+    const int size = 2 * n + 16;
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", size);
+    b->array("v", size);
+    const auto x0 = testData(size, 0.1, 0.9, 201);
+    const auto v0 = testData(size, 0.01, 0.2, 202);
+
+    const unsigned rii = b->ireg("rii"), ripntp = b->ireg("ripntp"),
+                   rcnt = b->ireg("rcnt"), rxk = b->ireg("rxk"),
+                   rvk = b->ireg("rvk"), rxi = b->ireg("rxi"),
+                   rt = b->ireg("rt"), rxb = b->ireg("rxb"),
+                   rvb = b->ireg("rvb"),
+                   rstr = b->ireg("rstr");
+    unsigned A = 0, B = 0, C = 0, D = 0;
+    if (vector) {
+        A = b->fgroup("A", 8);
+        B = b->fgroup("B", 8);
+        C = b->fgroup("C", 8);
+        D = b->fgroup("D", 8);
+    }
+    b->fscratch(8);
+
+    b->loadBase(rxb, "x");
+    b->loadBase(rvb, "v");
+    b->li(rii, n);
+    b->li(ripntp, 0);
+
+    const std::string outer = b->newLabel("outer");
+    const std::string inner = b->newLabel("inner");
+    const std::string pass_done = b->newLabel("pass_done");
+    const std::string done = b->newLabel("done");
+
+    b->bind(outer);
+    // ipnt = ipntp; ipntp += ii; ii /= 2.
+    // Pointers: xk -> x[ipnt+1], vk -> v[ipnt+1], xi -> x[ipntp].
+    b->emitf("slli r%u, r%u, 3", rt, ripntp);
+    b->emitf("add r%u, r%u, r%u", rxk, rxb, rt);
+    b->emitf("addi r%u, r%u, 8", rxk, rxk);
+    b->emitf("add r%u, r%u, r%u", rvk, rvb, rt);
+    b->emitf("addi r%u, r%u, 8", rvk, rvk);
+    b->emitf("add r%u, r%u, r%u", ripntp, ripntp, rii);
+    b->emitf("srai r%u, r%u, 1", rii, rii);
+    b->emitf("slli r%u, r%u, 3", rt, ripntp);
+    b->emitf("add r%u, r%u, r%u", rxi, rxb, rt);
+    // Inner trip count equals the halved ii; skip if zero.
+    b->emitf("beq r%u, r0, %s", rii, pass_done.c_str());
+    b->emitf("add r%u, r%u, r0", rcnt, rii);
+
+    if (vector) {
+        // Within one pass the writes (x[ipntp..]) are disjoint from
+        // the reads (x[ipnt..ipntp]), so the elementwise form
+        // vectorizes: strips of 8 with the strides folded into the
+        // load offsets (reads stride 16, writes stride 8), then a
+        // scalar remainder.
+        const std::string vloop = b->newLabel("vloop");
+        const std::string vdone = b->newLabel("vdone");
+        b->emitf("srli r%u, r%u, 3", rstr, rcnt);
+        b->emitf("andi r%u, r%u, 7", rcnt, rcnt);
+        b->emitf("beq r%u, r0, %s", rstr, vdone.c_str());
+        b->emit("nop");
+        b->bind(vloop);
+        b->vload(A, rxk, 0, 16, 8);  // x[k]
+        b->vload(B, rxk, -8, 16, 8); // x[k-1]
+        b->vload(C, rvk, 0, 16, 8);  // v[k]
+        b->vop("fmul", B, B, C, 8, true, true);
+        b->vop("fsub", A, A, B, 8, true, true);
+        b->vload(C, rvk, 8, 16, 8);  // v[k+1]
+        b->vload(D, rxk, 8, 16, 8);  // x[k+1]
+        b->vop("fmul", C, C, D, 8, true, true);
+        b->vop("fsub", A, A, C, 8, true, true);
+        b->vstore(A, rxi, 0, 8, 8);
+        b->emitf("addi r%u, r%u, 128", rxk, rxk);
+        b->emitf("addi r%u, r%u, 128", rvk, rvk);
+        b->emitf("addi r%u, r%u, 64", rxi, rxi);
+        b->emitf("subi r%u, r%u, 1", rstr, rstr);
+        b->emitf("bne r%u, r0, %s", rstr, vloop.c_str());
+        b->emit("nop");
+        b->bind(vdone);
+        b->emitf("beq r%u, r0, %s", rcnt, pass_done.c_str());
+        b->emit("nop");
+    }
+
+    b->bind(inner);
+    b->evalStore(eSub(eSub(eLoad(rxk, 0),
+                           eMul(eLoad(rvk, 0), eLoad(rxk, -8))),
+                      eMul(eLoad(rvk, 8), eLoad(rxk, 8))),
+                 rxi, 0);
+    b->emitf("addi r%u, r%u, 16", rxk, rxk);
+    b->emitf("addi r%u, r%u, 16", rvk, rvk);
+    b->emitf("addi r%u, r%u, 8", rxi, rxi);
+    b->emitf("subi r%u, r%u, 1", rcnt, rcnt);
+    b->emitf("bne r%u, r0, %s", rcnt, inner.c_str());
+    b->emit("nop");
+
+    b->bind(pass_done);
+    b->emitf("bne r%u, r0, %s", rii, outer.c_str());
+    b->emit("nop");
+    b->bind(done);
+
+    // Host mirror (also counts the useful flops).
+    auto mirror = [n, size, x0, v0](double *flops) {
+        std::vector<double> x = x0;
+        const std::vector<double> &v = v0;
+        long ii = n, ipntp = 0;
+        double fl = 0;
+        do {
+            const long ipnt = ipntp;
+            ipntp += ii;
+            ii /= 2;
+            long i = ipntp;
+            for (long k = ipnt + 1; k < ipntp; k += 2) {
+                x[i] = (x[k] - v[k] * x[k - 1]) - v[k + 1] * x[k + 1];
+                ++i;
+                fl += 4;
+            }
+        } while (ii > 0);
+        (void)size;
+        if (flops)
+            *flops = fl;
+        return sumVec(x);
+    };
+
+    Kernel k;
+    finishKernel(k, 2, vector, b);
+    mirror(&k.flops);
+    k.tolerance = 0.0;
+    k.init = [b, x0, v0](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", x0);
+        b->layout().fill(mem, "v", v0);
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [mirror] { return mirror(nullptr); };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 3 — inner product: q += z[k] * x[k]
+// ---------------------------------------------------------------------
+
+Kernel
+lfk03(bool vector)
+{
+    const int n = span(3);
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("z", n);
+    b->array("q", 1);
+    const auto x = testData(n, 0.1, 1.0, 301);
+    const auto z = testData(n, 0.1, 1.0, 302);
+
+    const unsigned rx = b->ireg("rx"), rz = b->ireg("rz"),
+                   rq = b->ireg("rq"), rk = b->ireg("rk");
+
+    double refv = 0;
+    if (!vector) {
+        const unsigned facc = b->freg("acc");
+        b->fscratch(6);
+        b->loadBase(rx, "x");
+        b->loadBase(rz, "z");
+        b->loadBase(rq, "q");
+        b->evalInto(facc, eConst(0.0));
+        b->loop(rk, n, [&] {
+            const unsigned p = b->eval(eMul(eLoad(rz, 0), eLoad(rx, 0)));
+            b->emitf("fadd f%u, f%u, f%u", facc, facc, p);
+            b->release(p);
+            b->emitf("addi r%u, r%u, 8", rx, rx);
+            b->emitf("addi r%u, r%u, 8", rz, rz);
+        });
+        b->emitf("stf f%u, 0(r%u)", facc, rq);
+
+        double q = 0;
+        for (int i = 0; i < n; ++i)
+            q += z[i] * x[i];
+        refv = q;
+    } else {
+        // Eight partial accumulators; halving-tree reduction at the
+        // end (the paper's Mahler vector-sum operator, §3).
+        const unsigned ACC = b->fgroup("ACC", 16); // 8 + tree temps
+        const unsigned A = b->fgroup("A", 8);
+        const unsigned B = b->fgroup("B", 8);
+        const unsigned zero = b->fconst(0.0);
+        b->fscratch(6);
+        b->loadBase(rx, "x");
+        b->loadBase(rz, "z");
+        b->loadBase(rq, "q");
+        b->vop("fmul", ACC, zero, zero, 8, false, false); // clear
+        b->loop(rk, (n - 1) / 8, [&] {
+            b->vload(A, rz, 0, 8, 8);
+            b->vload(B, rx, 0, 8, 8);
+            b->vop("fmul", A, A, B, 8, true, true);
+            b->vop("fadd", ACC, ACC, A, 8, true, true);
+            b->emitf("addi r%u, r%u, 64", rx, rx);
+            b->emitf("addi r%u, r%u, 64", rz, rz);
+        });
+        const unsigned total = b->vsum(ACC, 8);
+        // Remainder element: q += z[n-1]*x[n-1].
+        const unsigned p = b->eval(eMul(eLoad(rz, 0), eLoad(rx, 0)));
+        b->emitf("fadd f%u, f%u, f%u", total, total, p);
+        b->release(p);
+        b->emitf("stf f%u, 0(r%u)", total, rq);
+
+        // Reference replicating the partial-sum tree order.
+        double acc[8] = {0};
+        const int strips = (n - 1) / 8;
+        for (int s = 0; s < strips; ++s)
+            for (int j = 0; j < 8; ++j)
+                acc[j] += z[8 * s + j] * x[8 * s + j];
+        double t1[4], t2[2];
+        for (int j = 0; j < 4; ++j)
+            t1[j] = acc[j] + acc[4 + j];
+        for (int j = 0; j < 2; ++j)
+            t2[j] = t1[j] + t1[2 + j];
+        refv = (t2[0] + t2[1]) + z[n - 1] * x[n - 1];
+    }
+
+    Kernel k;
+    finishKernel(k, 3, vector, b);
+    k.flops = 2.0 * n;
+    k.tolerance = 0.0;
+    k.init = [b, x, z](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", x);
+        b->layout().fill(mem, "z", z);
+        b->layout().fill(mem, "q", {0.0});
+    };
+    k.checksum = sumChecksum(b, "q");
+    k.reference = [refv] { return refv; };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 4 — banded linear equations
+// ---------------------------------------------------------------------
+
+Kernel
+lfk04()
+{
+    const int n = span(4);
+    const int m = (n - 7) / 2; // 497
+    // The last outer iteration's inner loop walks x[lw] for lw up to
+    // k-6+199 ~ n+192; size the array to cover the overrun the
+    // original FORTRAN kernel also relies on.
+    const int xsize = n + 208;
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", xsize);
+    b->array("y", n + 8);
+    const auto x0 = testData(xsize, 0.1, 1.0, 401);
+    const auto y0 = testData(n + 8, 0.0, 0.02, 402);
+
+    const unsigned rxk = b->ireg("rxk"), rlw = b->ireg("rlw"),
+                   rj = b->ireg("rj"), rcnt = b->ireg("rcnt"),
+                   rko = b->ireg("rko"), rxb = b->ireg("rxb"),
+                   ryb = b->ireg("ryb");
+    const unsigned ftemp = b->freg("temp");
+    b->fscratch(8);
+
+    b->loadBase(rxb, "x");
+    b->loadBase(ryb, "y");
+
+    const int inner_trips = (n - 1 - 4 + 4) / 5; // j = 4, 9, ... < n
+    b->loop(rko, 3, [&] {
+        // k walks 6, 6+m, 6+2m; outer counter rko = 3, 2, 1.
+        // Compute k from the counter: k = 6 + (3 - rko) * m.
+        b->emitf("li r%u, 3", rcnt);
+        b->emitf("sub r%u, r%u, r%u", rcnt, rcnt, rko);
+        b->emitf("muli r%u, r%u, %d", rcnt, rcnt, m);
+        b->emitf("addi r%u, r%u, 6", rcnt, rcnt); // rcnt = k
+        // lw = k - 6 -> pointer x + (k-6)*8; xk -> x[k-1].
+        b->emitf("slli r%u, r%u, 3", rlw, rcnt);
+        b->emitf("add r%u, r%u, r%u", rxk, rxb, rlw);
+        b->emitf("subi r%u, r%u, 8", rxk, rxk); // &x[k-1]
+        b->emitf("subi r%u, r%u, 48", rlw, rlw);
+        b->emitf("add r%u, r%u, r%u", rlw, rxb, rlw); // &x[k-6]
+        b->emitf("ldf f%u, 0(r%u)", ftemp, rxk);      // temp = x[k-1]
+        b->emitf("addi r%u, r%u, 32", rj, ryb);       // &y[4]
+        b->loop(rcnt, inner_trips, [&] {
+            const unsigned p =
+                b->eval(eMul(eLoad(rlw, 0), eLoad(rj, 0)));
+            b->emitf("fsub f%u, f%u, f%u", ftemp, ftemp, p);
+            b->release(p);
+            b->emitf("addi r%u, r%u, 8", rlw, rlw);
+            b->emitf("addi r%u, r%u, 40", rj, rj);
+        });
+        // x[k-1] = y[4] * temp.
+        const unsigned p2 =
+            b->eval(eMul(eLoad(ryb, 32), eReg(ftemp)));
+        b->emitf("stf f%u, 0(r%u)", p2, rxk);
+        b->release(p2);
+    });
+
+    auto mirror = [n, m, inner_trips, x0, y0](double *flops) {
+        std::vector<double> x = x0;
+        double fl = 0;
+        for (int k = 6; k < n; k += m) {
+            int lw = k - 6;
+            double temp = x[k - 1];
+            for (int t = 0; t < inner_trips; ++t) {
+                temp -= x[lw] * y0[4 + 5 * t];
+                ++lw;
+                fl += 2;
+            }
+            x[k - 1] = y0[4] * temp;
+            fl += 1;
+        }
+        if (flops)
+            *flops = fl;
+        return sumVec(x);
+    };
+
+    Kernel k;
+    finishKernel(k, 4, false, b);
+    mirror(&k.flops);
+    k.tolerance = 0.0;
+    k.init = [b, x0, y0](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", x0);
+        b->layout().fill(mem, "y", y0);
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [mirror] { return mirror(nullptr); };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 5 — tri-diagonal elimination, below diagonal:
+//   x[i] = z[i]*(y[i] - x[i-1])
+// A first-order recurrence: not vectorizable on classical machines;
+// the MultiTitan runs it as fast scalar code (§3.2, table row 5).
+// ---------------------------------------------------------------------
+
+Kernel
+lfk05()
+{
+    const int n = span(5);
+    auto b = std::make_shared<KernelBuilder>();
+    // Padding: the software-pipelined loop preloads one element past
+    // the end of y and z.
+    b->array("x", n);
+    b->array("y", n + 4);
+    b->array("z", n + 4);
+    const auto y = testData(n, 0.2, 1.0, 501);
+    const auto z = testData(n, 0.2, 0.9, 502);
+
+    const unsigned rx = b->ireg("rx"), ry = b->ireg("ry"),
+                   rz = b->ireg("rz"), rk = b->ireg("rk");
+    // Software-pipelined, unrolled by four: iteration j computes
+    // fm[j] = z*(y - fm[j-1]) with a 6-cycle critical path (fsub then
+    // fmul, 3 cycles each); the loads of the next iteration, the
+    // store of the previous result, and the loop overhead all issue
+    // in the latency shadows. This is the Mahler-style scheduling the
+    // paper's fast-scalar numbers for loop 5 rely on (it beats the
+    // Cray-1S, which cannot vectorize a first-order recurrence).
+    const unsigned fm = b->fgroup("fm", 4);
+    const unsigned fy = b->fgroup("fy", 4);
+    const unsigned fz = b->fgroup("fz", 4);
+    b->fscratch(4);
+
+    b->loadBase(rx, "x", 1);
+    b->loadBase(ry, "y", 1);
+    b->loadBase(rz, "z", 1);
+    b->evalInto(fm + 3, eConst(0.0)); // x[0] = 0 seeds the recurrence
+    b->emitf("ldf f%u, 0(r%u)", fy, ry);
+    b->emitf("ldf f%u, 0(r%u)", fz, rz);
+
+    b->loop(rk, (n - 1) / 4, [&] {
+        for (int j = 0; j < 4; ++j) {
+            const unsigned prev = fm + ((j + 3) & 3);
+            b->emitf("fsub f%u, f%u, f%u", fy + j, fy + j, prev);
+            if (j < 3) {
+                b->emitf("ldf f%u, %d(r%u)", fy + j + 1, 8 * (j + 1),
+                         ry);
+                b->emitf("ldf f%u, %d(r%u)", fz + j + 1, 8 * (j + 1),
+                         rz);
+            } else {
+                b->emitf("addi r%u, r%u, 32", ry, ry);
+                b->emitf("addi r%u, r%u, 32", rz, rz);
+            }
+            b->emitf("fmul f%u, f%u, f%u", fm + j, fz + j, fy + j);
+            // Store the previous unroll's (completed) result.
+            b->emitf("stf f%u, %d(r%u)", prev, 8 * (j - 1), rx);
+        }
+        // Preload the next iteration's first element.
+        b->emitf("ldf f%u, 0(r%u)", fy, ry);
+        b->emitf("ldf f%u, 0(r%u)", fz, rz);
+    }, /*delay_slot=*/"addi r" + std::to_string(rx) + ", r" +
+           std::to_string(rx) + ", 32");
+    // Final element of the pipeline.
+    b->emitf("stf f%u, -8(r%u)", fm + 3, rx);
+
+    Kernel k;
+    finishKernel(k, 5, false, b);
+    k.flops = 2.0 * (n - 1);
+    k.tolerance = 0.0;
+    k.init = [b, y, z](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", {});
+        b->layout().fill(mem, "y", y);
+        b->layout().fill(mem, "z", z);
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [n, y, z] {
+        std::vector<double> x(n, 0.0);
+        for (int i = 1; i < n; ++i)
+            x[i] = z[i] * (y[i] - x[i - 1]);
+        return sumVec(x);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 6 — general linear recurrence equations:
+//   w[i] = 0.01; for k < i: w[i] += b[k][i] * w[i-k-1]
+// ---------------------------------------------------------------------
+
+Kernel
+lfk06()
+{
+    const int n = span(6); // 64
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("w", n);
+    b->array("b", n * n);
+    const auto bm = testData(n * n, 0.0, 0.015, 601);
+
+    const unsigned rw = b->ireg("rw"), rbp = b->ireg("rbp"),
+                   rwp = b->ireg("rwp"), ri = b->ireg("ri"),
+                   rcnt = b->ireg("rcnt"), rwb = b->ireg("rwb"),
+                   rbb = b->ireg("rbb"), rt = b->ireg("rt");
+    const unsigned facc = b->freg("acc");
+    const unsigned c01 = b->fconst(0.01);
+    b->fscratch(6);
+
+    b->loadBase(rwb, "w");
+    b->loadBase(rbb, "b");
+    // w[0] = 0.01.
+    b->emitf("stf f%u, 0(r%u)", c01, rwb);
+
+    const std::string outer = b->newLabel("outer");
+    const std::string inner = b->newLabel("inner");
+    b->li(ri, 1);
+    b->bind(outer);
+    // acc = 0.01; bp = &b[0][i]; wp = &w[i-1] (descending).
+    b->emitf("fmul f%u, f%u, f%u", facc, c01, b->fconst(1.0));
+    b->emitf("slli r%u, r%u, 3", rt, ri);
+    b->emitf("add r%u, r%u, r%u", rbp, rbb, rt);
+    b->emitf("add r%u, r%u, r%u", rwp, rwb, rt);
+    b->emitf("subi r%u, r%u, 8", rwp, rwp);
+    b->emitf("add r%u, r%u, r0", rcnt, ri);
+    b->bind(inner);
+    {
+        const unsigned p =
+            b->eval(eMul(eLoad(rbp, 0), eLoad(rwp, 0)));
+        b->emitf("fadd f%u, f%u, f%u", facc, facc, p);
+        b->release(p);
+    }
+    b->emitf("addi r%u, r%u, %d", rbp, rbp, 8 * n); // next row k
+    b->emitf("subi r%u, r%u, 8", rwp, rwp);
+    b->emitf("subi r%u, r%u, 1", rcnt, rcnt);
+    b->emitf("bne r%u, r0, %s", rcnt, inner.c_str());
+    b->emit("nop");
+    // w[i] = acc.
+    b->emitf("slli r%u, r%u, 3", rt, ri);
+    b->emitf("add r%u, r%u, r%u", rw, rwb, rt);
+    b->emitf("stf f%u, 0(r%u)", facc, rw);
+    b->emitf("addi r%u, r%u, 1", ri, ri);
+    b->emitf("slti r%u, r%u, %d", rt, ri, n);
+    b->emitf("bne r%u, r0, %s", rt, outer.c_str());
+    b->emit("nop");
+
+    Kernel k;
+    finishKernel(k, 6, false, b);
+    k.flops = static_cast<double>(n) * (n - 1); // 2 * sum(i)
+    k.tolerance = 0.0;
+    k.init = [b, bm](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "w", {});
+        b->layout().fill(mem, "b", bm);
+    };
+    k.checksum = sumChecksum(b, "w");
+    k.reference = [n, bm] {
+        std::vector<double> w(n, 0.0);
+        w[0] = 0.01;
+        for (int i = 1; i < n; ++i) {
+            double acc = 0.01;
+            for (int kk = 0; kk < i; ++kk)
+                acc += bm[kk * n + i] * w[i - kk - 1];
+            w[i] = acc;
+        }
+        return sumVec(w);
+    };
+    return k;
+}
+
+} // namespace mtfpu::kernels::livermore

@@ -1,0 +1,826 @@
+/**
+ * @file
+ * Livermore kernels 7-12.
+ */
+
+#include "kernels/livermore/lfk_common.hh"
+
+namespace mtfpu::kernels::livermore
+{
+
+// ---------------------------------------------------------------------
+// LFK 7 — equation of state fragment. The nested form
+//   x[k] = u[k] + r*(z[k]+r*y[k]) + t*(u[k+3]+r*(u[k+2]+r*u[k+1])
+//        + t*(u[k+6]+q*(u[k+5]+q*u[k+4])))
+// is distributed into a sum of constant-coefficient terms so the
+// vector variant becomes a clean multiply-accumulate chain (the same
+// 16 flops per element).
+// ---------------------------------------------------------------------
+
+Kernel
+lfk07(bool vector)
+{
+    const int n = span(7);
+    const double q = 0.5, r = 0.25, t = 0.125;
+    // Distributed coefficients, term order fixed for both variants.
+    struct Term { const char *arr; int off; double coeff; };
+    const Term terms[8] = {
+        {"z", 0, r},         {"y", 0, r * r},
+        {"u", 3, t},         {"u", 2, t * r},
+        {"u", 1, t * r * r}, {"u", 6, t * t},
+        {"u", 5, t * t * q}, {"u", 4, t * t * q * q},
+    };
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("u", n + 8);
+    b->array("y", n);
+    b->array("z", n);
+    const auto u = testData(n + 8, 0.1, 1.0, 701);
+    const auto y = testData(n, 0.1, 1.0, 702);
+    const auto z = testData(n, 0.1, 1.0, 703);
+
+    const unsigned rx = b->ireg("rx"), ru = b->ireg("ru"),
+                   ry = b->ireg("ry"), rz = b->ireg("rz"),
+                   rk = b->ireg("rk");
+
+    auto addr_reg = [&](const char *arr) {
+        return arr[0] == 'u' ? ru : (arr[0] == 'y' ? ry : rz);
+    };
+
+    if (!vector) {
+        b->fscratch(8);
+        b->loadBase(rx, "x");
+        b->loadBase(ru, "u");
+        b->loadBase(ry, "y");
+        b->loadBase(rz, "z");
+        b->loop(rk, n, [&] {
+            ExprP e = eLoad(ru, 0);
+            for (const Term &tm : terms) {
+                e = eAdd(e, eMul(eConst(tm.coeff),
+                                 eLoad(addr_reg(tm.arr), 8 * tm.off)));
+            }
+            b->evalStore(e, rx, 0);
+            b->emitf("addi r%u, r%u, 8", rx, rx);
+            b->emitf("addi r%u, r%u, 8", ru, ru);
+            b->emitf("addi r%u, r%u, 8", ry, ry);
+            b->emitf("addi r%u, r%u, 8", rz, rz);
+        });
+    } else {
+        const unsigned A = b->fgroup("A", 8);
+        const unsigned B = b->fgroup("B", 8);
+        const unsigned C = b->fgroup("C", 8);
+        unsigned coeff[8];
+        for (int i = 0; i < 8; ++i)
+            coeff[i] = b->fconst(terms[i].coeff);
+        b->fscratch(8);
+        b->loadBase(rx, "x");
+        b->loadBase(ru, "u");
+        b->loadBase(ry, "y");
+        b->loadBase(rz, "z");
+        const int strips = n / 8;      // 124
+        const int rem = n - strips * 8; // 3
+        b->loop(rk, strips, [&] {
+            b->vload(A, ru, 0, 8, 8); // ACC = u[k]
+            bool use_b = true;
+            for (int i = 0; i < 8; ++i) {
+                const unsigned G = use_b ? B : C;
+                b->vload(G, addr_reg(terms[i].arr), 8 * terms[i].off,
+                         8, 8);
+                b->vop("fmul", G, G, coeff[i], 8, true, false);
+                b->vop("fadd", A, A, G, 8, true, true);
+                use_b = !use_b;
+            }
+            b->vstore(A, rx, 0, 8, 8);
+            b->emitf("addi r%u, r%u, 64", rx, rx);
+            b->emitf("addi r%u, r%u, 64", ru, ru);
+            b->emitf("addi r%u, r%u, 64", ry, ry);
+            b->emitf("addi r%u, r%u, 64", rz, rz);
+        });
+        for (int j = 0; j < rem; ++j) {
+            ExprP e = eLoad(ru, 8 * j);
+            for (const Term &tm : terms) {
+                e = eAdd(e, eMul(eConst(tm.coeff),
+                                 eLoad(addr_reg(tm.arr),
+                                       8 * (tm.off + j))));
+            }
+            b->evalStore(e, rx, 8 * j);
+        }
+    }
+
+    Kernel k;
+    finishKernel(k, 7, vector, b);
+    k.flops = 16.0 * n;
+    k.tolerance = 0.0;
+    k.init = [b, u, y, z](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", {});
+        b->layout().fill(mem, "u", u);
+        b->layout().fill(mem, "y", y);
+        b->layout().fill(mem, "z", z);
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [n, terms, u, y, z] {
+        std::vector<double> x(n);
+        for (int i = 0; i < n; ++i) {
+            double acc = u[i];
+            for (const Term &tm : terms) {
+                const double *arr = tm.arr[0] == 'u'
+                                        ? u.data()
+                                        : (tm.arr[0] == 'y' ? y.data()
+                                                            : z.data());
+                acc += tm.coeff * arr[i + tm.off];
+            }
+            x[i] = acc;
+        }
+        return sumVec(x);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 8 — ADI integration (three coupled 2-D sweeps).
+// u1/u2/u3 are [2][n+1][4] arrays; the kernel reads plane 0 and
+// writes plane 1, plus the du scratch vectors.
+// ---------------------------------------------------------------------
+
+Kernel lfk08Vector();
+
+Kernel
+lfk08()
+{
+    const int n = span(8); // 100
+    const int plane = (n + 1) * 4;
+    const int usize = 2 * plane;
+    const double a11 = 0.031, a12 = -0.017, a13 = 0.006;
+    const double a21 = 0.012, a22 = 0.021, a23 = -0.015;
+    const double a31 = -0.008, a32 = 0.011, a33 = 0.018;
+    const double sig = 0.25;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("u1", usize);
+    b->array("u2", usize);
+    b->array("u3", usize);
+    b->array("du1", n + 1);
+    b->array("du2", n + 1);
+    b->array("du3", n + 1);
+    const auto u1 = testData(usize, 0.1, 1.0, 801);
+    const auto u2 = testData(usize, 0.1, 1.0, 802);
+    const auto u3 = testData(usize, 0.1, 1.0, 803);
+
+    const unsigned r1 = b->ireg("r1"), r2 = b->ireg("r2"),
+                   r3 = b->ireg("r3"), rd1 = b->ireg("rd1"),
+                   rd2 = b->ireg("rd2"), rd3 = b->ireg("rd3"),
+                   rky = b->ireg("rky");
+    const unsigned fdu1 = b->freg("du1"), fdu2 = b->freg("du2"),
+                   fdu3 = b->freg("du3");
+    b->fscratch(10);
+
+    // One sweep per kx value; pointers address u*[0][ky][kx].
+    for (int kx = 1; kx <= 2; ++kx) {
+        b->loadBase(r1, "u1", 4 + kx); // ky = 1
+        b->loadBase(r2, "u2", 4 + kx);
+        b->loadBase(r3, "u3", 4 + kx);
+        b->loadBase(rd1, "du1", 1);
+        b->loadBase(rd2, "du2", 1);
+        b->loadBase(rd3, "du3", 1);
+        b->loop(rky, n - 1, [&] {
+            b->evalInto(fdu1, eSub(eLoad(r1, 32), eLoad(r1, -32)));
+            b->evalInto(fdu2, eSub(eLoad(r2, 32), eLoad(r2, -32)));
+            b->evalInto(fdu3, eSub(eLoad(r3, 32), eLoad(r3, -32)));
+            b->emitf("stf f%u, 0(r%u)", fdu1, rd1);
+            b->emitf("stf f%u, 0(r%u)", fdu2, rd2);
+            b->emitf("stf f%u, 0(r%u)", fdu3, rd3);
+            struct Row { unsigned reg; double a1, a2, a3; };
+            const Row rows[3] = {{r1, a11, a12, a13},
+                                 {r2, a21, a22, a23},
+                                 {r3, a31, a32, a33}};
+            for (const Row &row : rows) {
+                ExprP e = eAdd(
+                    eLoad(row.reg, 0),
+                    eAdd(eAdd(eMul(eConst(row.a1), eReg(fdu1)),
+                              eMul(eConst(row.a2), eReg(fdu2))),
+                         eMul(eConst(row.a3), eReg(fdu3))));
+                ExprP lap = eAdd(eSub(eLoad(row.reg, 8),
+                                      eMul(eConst(2.0),
+                                           eLoad(row.reg, 0))),
+                                 eLoad(row.reg, -8));
+                e = eAdd(e, eMul(eConst(sig), lap));
+                b->evalStore(e, row.reg, 8 * plane); // plane 1
+            }
+            b->emitf("addi r%u, r%u, 32", r1, r1);
+            b->emitf("addi r%u, r%u, 32", r2, r2);
+            b->emitf("addi r%u, r%u, 32", r3, r3);
+            b->emitf("addi r%u, r%u, 8", rd1, rd1);
+            b->emitf("addi r%u, r%u, 8", rd2, rd2);
+            b->emitf("addi r%u, r%u, 8", rd3, rd3);
+        });
+    }
+
+    auto mirror = [=](double *flops) {
+        std::vector<double> w1 = u1, w2 = u2, w3 = u3;
+        std::vector<double> d1(n + 1), d2(n + 1), d3(n + 1);
+        double fl = 0;
+        auto at = [&](std::vector<double> &u, int l, int ky,
+                      int kx) -> double & {
+            return u[(l * (n + 1) + ky) * 4 + kx];
+        };
+        for (int kx = 1; kx <= 2; ++kx) {
+            for (int ky = 1; ky < n; ++ky) {
+                d1[ky] = at(w1, 0, ky + 1, kx) - at(w1, 0, ky - 1, kx);
+                d2[ky] = at(w2, 0, ky + 1, kx) - at(w2, 0, ky - 1, kx);
+                d3[ky] = at(w3, 0, ky + 1, kx) - at(w3, 0, ky - 1, kx);
+                struct Row { std::vector<double> *u; double a1, a2, a3; };
+                const Row rows[3] = {{&w1, a11, a12, a13},
+                                     {&w2, a21, a22, a23},
+                                     {&w3, a31, a32, a33}};
+                for (const Row &row : rows) {
+                    const double lap =
+                        (at(*row.u, 0, ky, kx + 1) -
+                         2.0 * at(*row.u, 0, ky, kx)) +
+                        at(*row.u, 0, ky, kx - 1);
+                    at(*row.u, 1, ky, kx) =
+                        at(*row.u, 0, ky, kx) +
+                        ((row.a1 * d1[ky] + row.a2 * d2[ky]) +
+                         row.a3 * d3[ky]) +
+                        sig * lap;
+                    fl += 11;
+                }
+                fl += 3;
+            }
+        }
+        if (flops)
+            *flops = fl;
+        return sumVec(w1) + sumVec(w2) + sumVec(w3) + sumVec(d1) +
+               sumVec(d2) + sumVec(d3);
+    };
+
+    Kernel k;
+    finishKernel(k, 8, false, b);
+    mirror(&k.flops);
+    k.tolerance = 0.0;
+    k.init = [b, u1, u2, u3](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "u1", u1);
+        b->layout().fill(mem, "u2", u2);
+        b->layout().fill(mem, "u3", u3);
+        b->layout().fill(mem, "du1", {});
+        b->layout().fill(mem, "du2", {});
+        b->layout().fill(mem, "du3", {});
+    };
+    k.checksum = [b](const memory::MainMemory &mem) {
+        double s = 0;
+        for (const char *a : {"u1", "u2", "u3", "du1", "du2", "du3"})
+            s += sumVec(b->layout().read(mem, a));
+        return s;
+    };
+    k.reference = [mirror] { return mirror(nullptr); };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 8, vectorized: the ky sweeps are elementwise with the 32-byte
+// row stride folded into the scalar loads. du1/du2 strips stay
+// resident in register groups across the three row updates; du3 is
+// stored and reloaded (the register file is 52 entries, and the
+// paper's point is exactly that such dynamic repartitioning is an
+// instruction-by-instruction choice).
+// ---------------------------------------------------------------------
+
+Kernel
+lfk08Vector()
+{
+    const int n = span(8); // 100
+    const int plane = (n + 1) * 4;
+    const int usize = 2 * plane;
+    const double a[3][3] = {{0.031, -0.017, 0.006},
+                            {0.012, 0.021, -0.015},
+                            {-0.008, 0.011, 0.018}};
+    const double sig = 0.25;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("u1", usize);
+    b->array("u2", usize);
+    b->array("u3", usize);
+    b->array("du1", n + 1);
+    b->array("du2", n + 1);
+    b->array("du3", n + 1);
+    const auto u1 = testData(usize, 0.1, 1.0, 801);
+    const auto u2 = testData(usize, 0.1, 1.0, 802);
+    const auto u3 = testData(usize, 0.1, 1.0, 803);
+
+    const unsigned r1 = b->ireg("r1"), r2 = b->ireg("r2"),
+                   r3 = b->ireg("r3"), rd1 = b->ireg("rd1"),
+                   rd2 = b->ireg("rd2"), rd3 = b->ireg("rd3"),
+                   rs = b->ireg("rs");
+    const unsigned DU1 = b->fgroup("DU1", 8);
+    const unsigned DU2 = b->fgroup("DU2", 8);
+    const unsigned ACC = b->fgroup("ACC", 8);
+    const unsigned B = b->fgroup("B", 8);
+    const unsigned C = b->fgroup("C", 8);
+    const unsigned csig = b->fconst(sig), c2 = b->fconst(2.0);
+    unsigned ca[3][3];
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            ca[r][c] = b->fconst(a[r][c]);
+    // Register budget: 40 group + 11 constants + 1 pool base = 52.
+
+    const int stride = 32; // one ky step in bytes
+
+    // One strip of up to `len` ky values, pointers pre-positioned.
+    auto strip = [&](int len) {
+        // du passes: DUx = u[ky+1] - u[ky-1]; du3 goes to memory.
+        struct Src { unsigned reg, dst_reg, grp; };
+        const Src srcs[3] = {{r1, rd1, DU1}, {r2, rd2, DU2}, {r3, rd3, C}};
+        for (const Src &sc : srcs) {
+            b->vload(sc.grp, sc.reg, stride, stride, len);
+            b->vload(B, sc.reg, -stride, stride, len);
+            b->vop("fsub", sc.grp, sc.grp, B, len, true, true);
+            b->vstore(sc.grp, sc.dst_reg, 0, 8, len);
+        }
+        // Row updates; du3 is reloaded into C per row.
+        struct Row { unsigned u; int idx; };
+        const Row rows[3] = {{r1, 0}, {r2, 1}, {r3, 2}};
+        for (const Row &row : rows) {
+            b->vload(ACC, row.u, 8, stride, len);  // u[kx+1]
+            b->vload(B, row.u, 0, stride, len);    // u[kx]
+            b->vop("fmul", B, B, c2, len, true, false);
+            b->vop("fsub", ACC, ACC, B, len, true, true);
+            b->vload(C, row.u, -8, stride, len);   // u[kx-1]
+            b->vop("fadd", ACC, ACC, C, len, true, true);
+            b->vop("fmul", ACC, ACC, csig, len, true, false);
+            b->vload(B, row.u, 0, stride, len);
+            b->vop("fadd", ACC, ACC, B, len, true, true);
+            b->vop("fmul", B, DU1, ca[row.idx][0], len, true, false);
+            b->vop("fadd", ACC, ACC, B, len, true, true);
+            b->vop("fmul", B, DU2, ca[row.idx][1], len, true, false);
+            b->vop("fadd", ACC, ACC, B, len, true, true);
+            b->vload(C, rd3, 0, 8, len);
+            b->vop("fmul", C, C, ca[row.idx][2], len, true, false);
+            b->vop("fadd", ACC, ACC, C, len, true, true);
+            b->vstore(ACC, row.u, 8 * plane, stride, len);
+        }
+    };
+
+    for (int kx = 1; kx <= 2; ++kx) {
+        b->loadBase(r1, "u1", 4 + kx);
+        b->loadBase(r2, "u2", 4 + kx);
+        b->loadBase(r3, "u3", 4 + kx);
+        b->loadBase(rd1, "du1", 1);
+        b->loadBase(rd2, "du2", 1);
+        b->loadBase(rd3, "du3", 1);
+        const int full = (n - 1) / 8, rem = (n - 1) % 8;
+        b->loop(rs, full, [&] {
+            strip(8);
+            b->emitf("addi r%u, r%u, %d", r1, r1, 8 * stride);
+            b->emitf("addi r%u, r%u, %d", r2, r2, 8 * stride);
+            b->emitf("addi r%u, r%u, %d", r3, r3, 8 * stride);
+            b->emitf("addi r%u, r%u, 64", rd1, rd1);
+            b->emitf("addi r%u, r%u, 64", rd2, rd2);
+            b->emitf("addi r%u, r%u, 64", rd3, rd3);
+        });
+        if (rem > 0)
+            strip(rem);
+    }
+
+    auto mirror = [=](double *flops) {
+        std::vector<double> w1 = u1, w2 = u2, w3 = u3;
+        std::vector<double> d1(n + 1), d2(n + 1), d3(n + 1);
+        double fl = 0;
+        auto at = [&](std::vector<double> &u, int l, int ky,
+                      int kx) -> double & {
+            return u[(l * (n + 1) + ky) * 4 + kx];
+        };
+        for (int kx = 1; kx <= 2; ++kx) {
+            for (int ky = 1; ky < n; ++ky) {
+                d1[ky] = at(w1, 0, ky + 1, kx) - at(w1, 0, ky - 1, kx);
+                d2[ky] = at(w2, 0, ky + 1, kx) - at(w2, 0, ky - 1, kx);
+                d3[ky] = at(w3, 0, ky + 1, kx) - at(w3, 0, ky - 1, kx);
+                struct Row { std::vector<double> *u; int idx; };
+                const Row rows[3] = {{&w1, 0}, {&w2, 1}, {&w3, 2}};
+                for (const Row &row : rows) {
+                    // The vector variant's linear chain:
+                    // ((((u + sig*lap) + a1*d1) + a2*d2) + a3*d3)
+                    // with lap = (u+ - 2*u) + u-.
+                    const double lap =
+                        (at(*row.u, 0, ky, kx + 1) -
+                         2.0 * at(*row.u, 0, ky, kx)) +
+                        at(*row.u, 0, ky, kx - 1);
+                    double acc =
+                        at(*row.u, 0, ky, kx) + sig * lap;
+                    acc = acc + a[row.idx][0] * d1[ky];
+                    acc = acc + a[row.idx][1] * d2[ky];
+                    acc = acc + a[row.idx][2] * d3[ky];
+                    at(*row.u, 1, ky, kx) = acc;
+                    fl += 11;
+                }
+                fl += 3;
+            }
+        }
+        if (flops)
+            *flops = fl;
+        return sumVec(w1) + sumVec(w2) + sumVec(w3) + sumVec(d1) +
+               sumVec(d2) + sumVec(d3);
+    };
+
+    Kernel k;
+    finishKernel(k, 8, true, b);
+    mirror(&k.flops);
+    k.tolerance = 0.0;
+    k.init = [b, u1, u2, u3](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "u1", u1);
+        b->layout().fill(mem, "u2", u2);
+        b->layout().fill(mem, "u3", u3);
+        b->layout().fill(mem, "du1", {});
+        b->layout().fill(mem, "du2", {});
+        b->layout().fill(mem, "du3", {});
+    };
+    k.checksum = [b](const memory::MainMemory &mem) {
+        double s2 = 0;
+        for (const char *arr : {"u1", "u2", "u3", "du1", "du2", "du3"})
+            s2 += sumVec(b->layout().read(mem, arr));
+        return s2;
+    };
+    k.reference = [mirror] { return mirror(nullptr); };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 9 — integrate predictors.
+// ---------------------------------------------------------------------
+
+Kernel
+lfk09(bool vector)
+{
+    const int n = span(9); // 101
+    const int cols = 13;
+    const double dm[7] = {0.012, -0.015, 0.021, -0.018, 0.026,
+                          -0.023, 0.028}; // dm22..dm28
+    const double c0 = 0.5;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("px", n * cols);
+    const auto px0 = testData(n * cols, 0.1, 1.0, 901);
+
+    if (vector) {
+        // Rows are independent: strips of 8 rows with the row stride
+        // (13 doubles) folded into the scalar loads, a linear
+        // multiply-accumulate chain per term, alternating load
+        // groups.
+        const unsigned rp = b->ireg("rp"), ri = b->ireg("ri");
+        const unsigned ACC = b->fgroup("ACC", 8);
+        const unsigned B = b->fgroup("B", 8);
+        const unsigned C = b->fgroup("C", 8);
+        unsigned cdm[7];
+        for (int j = 0; j < 7; ++j)
+            cdm[j] = b->fconst(dm[j]);
+        const unsigned cc0 = b->fconst(c0);
+        b->fscratch(6);
+        b->loadBase(rp, "px");
+        const int stride = 8 * cols;
+        const int strips = n / 8, rem = n % 8;
+        b->loop(ri, strips, [&] {
+            // ACC = dm28 * px[.][12].
+            b->vload(ACC, rp, 8 * 12, stride, 8);
+            b->vop("fmul", ACC, ACC, cdm[6], 8, true, false);
+            bool use_b = true;
+            for (int j = 5; j >= 0; --j) {
+                const unsigned G = use_b ? B : C;
+                b->vload(G, rp, 8 * (6 + j), stride, 8);
+                b->vop("fmul", G, G, cdm[j], 8, true, false);
+                b->vop("fadd", ACC, ACC, G, 8, true, true);
+                use_b = !use_b;
+            }
+            {
+                const unsigned G = use_b ? B : C;
+                const unsigned H = use_b ? C : B;
+                b->vload(G, rp, 8 * 4, stride, 8);
+                b->vload(H, rp, 8 * 5, stride, 8);
+                b->vop("fadd", G, G, H, 8, true, true);
+                b->vop("fmul", G, G, cc0, 8, true, false);
+                b->vop("fadd", ACC, ACC, G, 8, true, true);
+                b->vload(H, rp, 8 * 2, stride, 8);
+                b->vop("fadd", ACC, ACC, H, 8, true, true);
+            }
+            b->vstore(ACC, rp, 0, stride, 8);
+            b->emitf("addi r%u, r%u, %d", rp, rp, 8 * stride);
+        });
+        // Remainder rows, same chain order via the expression
+        // compiler.
+        for (int r2 = 0; r2 < rem; ++r2) {
+            const int base = r2 * cols * 8;
+            ExprP e = eMul(eLoad(rp, base + 8 * 12), eConst(dm[6]));
+            for (int j = 5; j >= 0; --j) {
+                e = eAdd(e, eMul(eLoad(rp, base + 8 * (6 + j)),
+                                 eConst(dm[j])));
+            }
+            e = eAdd(e, eMul(eAdd(eLoad(rp, base + 8 * 4),
+                                  eLoad(rp, base + 8 * 5)),
+                             eConst(c0)));
+            e = eAdd(e, eLoad(rp, base + 8 * 2));
+            b->evalStore(e, rp, base);
+        }
+
+        Kernel k;
+        finishKernel(k, 9, true, b);
+        k.flops = 17.0 * n;
+        k.tolerance = 0.0;
+        k.init = [b, px0](memory::MainMemory &mem) {
+            b->initConstants(mem);
+            b->layout().fill(mem, "px", px0);
+        };
+        k.checksum = sumChecksum(b, "px");
+        k.reference = [n, cols, dm, c0, px0] {
+            std::vector<double> px = px0;
+            for (int i = 0; i < n; ++i) {
+                double *row = &px[i * cols];
+                // The linear chain the vector variant computes.
+                double acc = row[12] * dm[6];
+                for (int j = 5; j >= 0; --j)
+                    acc = acc + row[6 + j] * dm[j];
+                acc = acc + (row[4] + row[5]) * c0;
+                acc = acc + row[2];
+                row[0] = acc;
+            }
+            return sumVec(px);
+        };
+        return k;
+    }
+
+    const unsigned rp = b->ireg("rp"), ri = b->ireg("ri");
+    // Balanced schedule: the seven dm products and the c0 term are
+    // independent, so issue them back to back (one load + one multiply
+    // per product, no stalls), then reduce with a pipelined add tree —
+    // the Mahler-style ordering behind the paper's strong loop-9
+    // scalar number.
+    const unsigned M = b->fgroup("m", 8);   // products
+    const unsigned t45 = b->freg("t45");    // px4 + px5
+    const unsigned p2 = b->freg("p2");      // px2 term
+    unsigned cdm[7];
+    for (int j = 0; j < 7; ++j)
+        cdm[j] = b->fconst(dm[j]);
+    const unsigned cc0 = b->fconst(c0);
+    b->fscratch(6);
+    b->loadBase(rp, "px");
+    b->loop(ri, n, [&] {
+        b->emitf("ldf f%u, %d(r%u)", t45, 8 * 4, rp);
+        b->emitf("ldf f%u, %d(r%u)", p2, 8 * 5, rp);
+        b->emitf("fadd f%u, f%u, f%u", t45, t45, p2); // px4 + px5
+        for (int j = 0; j < 7; ++j) {
+            // m[j] = dm[22+j] * px[6+j], via a scratch load.
+            const unsigned a = b->eval(eLoad(rp, 8 * (6 + j)));
+            b->emitf("fmul f%u, f%u, f%u", M + j, cdm[j], a);
+            b->release(a);
+        }
+        b->emitf("fmul f%u, f%u, f%u", M + 7, cc0, t45);
+        b->emitf("ldf f%u, %d(r%u)", p2, 8 * 2, rp);
+        // Pairwise tree: ((m0+m1)+(m2+m3)) + ((m4+m5)+(m6+m7)) + px2.
+        b->emitf("fadd f%u, f%u, f%u", M + 0, M + 0, M + 1);
+        b->emitf("fadd f%u, f%u, f%u", M + 2, M + 2, M + 3);
+        b->emitf("fadd f%u, f%u, f%u", M + 4, M + 4, M + 5);
+        b->emitf("fadd f%u, f%u, f%u", M + 6, M + 6, M + 7);
+        b->emitf("fadd f%u, f%u, f%u", M + 0, M + 0, M + 2);
+        b->emitf("fadd f%u, f%u, f%u", M + 4, M + 4, M + 6);
+        b->emitf("fadd f%u, f%u, f%u", M + 0, M + 0, M + 4);
+        b->emitf("fadd f%u, f%u, f%u", M + 0, M + 0, p2);
+        b->emitf("stf f%u, 0(r%u)", M + 0, rp);
+        b->emitf("addi r%u, r%u, %d", rp, rp, 8 * cols);
+    });
+
+    Kernel k;
+    finishKernel(k, 9, false, b);
+    k.flops = 17.0 * n;
+    k.tolerance = 0.0;
+    k.init = [b, px0](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "px", px0);
+    };
+    k.checksum = sumChecksum(b, "px");
+    k.reference = [n, cols, dm, c0, px0] {
+        std::vector<double> px = px0;
+        for (int i = 0; i < n; ++i) {
+            double *row = &px[i * cols];
+            double m[8];
+            for (int j = 0; j < 7; ++j)
+                m[j] = dm[j] * row[6 + j];
+            m[7] = c0 * (row[4] + row[5]);
+            // The emitted pairwise tree, exactly.
+            const double a = (m[0] + m[1]) + (m[2] + m[3]);
+            const double b2 = (m[4] + m[5]) + (m[6] + m[7]);
+            row[0] = (a + b2) + row[2];
+        }
+        return sumVec(px);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 10 — difference predictors.
+// ---------------------------------------------------------------------
+
+Kernel
+lfk10()
+{
+    const int n = span(10); // 101
+    const int cols = 14;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("px", n * cols);
+    b->array("cx", n * cols);
+    const auto px0 = testData(n * cols, 0.1, 1.0, 1001);
+    const auto cx0 = testData(n * cols, 0.1, 1.0, 1002);
+
+    const unsigned rp = b->ireg("rp"), rc = b->ireg("rc"),
+                   ri = b->ireg("ri");
+    const unsigned far = b->freg("ar"), fbr = b->freg("br"),
+                   fcr = b->freg("cr");
+    b->fscratch(6);
+    b->loadBase(rp, "px");
+    b->loadBase(rc, "cx");
+    b->loop(ri, n, [&] {
+        b->emitf("ldf f%u, %d(r%u)", far, 8 * 4, rc); // ar = cx[i][4]
+        // br = ar - px[4]; px[4] = ar; and so on down the chain.
+        const unsigned regs[3] = {far, fbr, fcr};
+        for (int j = 4; j <= 11; ++j) {
+            const unsigned cur = regs[(j - 4) % 3];
+            const unsigned nxt = regs[(j - 3) % 3];
+            b->emitf("ldf f%u, %d(r%u)", nxt, 8 * j, rp);
+            b->emitf("fsub f%u, f%u, f%u", nxt, cur, nxt);
+            b->emitf("stf f%u, %d(r%u)", cur, 8 * j, rp);
+        }
+        // px[13] = cr' - px[12]; px[12] = cr' (chain position 12).
+        const unsigned cur = regs[(12 - 4) % 3];
+        const unsigned nxt = regs[(12 - 3) % 3];
+        b->emitf("ldf f%u, %d(r%u)", nxt, 8 * 12, rp);
+        b->emitf("fsub f%u, f%u, f%u", nxt, cur, nxt);
+        b->emitf("stf f%u, %d(r%u)", cur, 8 * 12, rp);
+        b->emitf("stf f%u, %d(r%u)", nxt, 8 * 13, rp);
+        b->emitf("addi r%u, r%u, %d", rp, rp, 8 * cols);
+        b->emitf("addi r%u, r%u, %d", rc, rc, 8 * cols);
+    });
+
+    Kernel k;
+    finishKernel(k, 10, false, b);
+    k.flops = 9.0 * n;
+    k.tolerance = 0.0;
+    k.init = [b, px0, cx0](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "px", px0);
+        b->layout().fill(mem, "cx", cx0);
+    };
+    k.checksum = sumChecksum(b, "px");
+    k.reference = [n, cols, px0, cx0] {
+        std::vector<double> px = px0;
+        for (int i = 0; i < n; ++i) {
+            double *row = &px[i * cols];
+            double cur = cx0[i * cols + 4];
+            for (int j = 4; j <= 12; ++j) {
+                const double nxt = cur - row[j];
+                row[j] = cur;
+                cur = nxt;
+            }
+            row[13] = cur;
+        }
+        return sumVec(px);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 11 — first sum (prefix sum): x[k] = x[k-1] + y[k].
+// A first-order recurrence the unified vector/scalar file CAN
+// vectorize (Figure 8 pattern): fadd fX, fX-1, fY with both strides.
+// ---------------------------------------------------------------------
+
+Kernel
+lfk11(bool vector)
+{
+    const int n = span(11); // 1001
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("y", n);
+    const auto y = testData(n, 0.01, 0.1, 1101);
+
+    const unsigned rx = b->ireg("rx"), ry = b->ireg("ry"),
+                   rk = b->ireg("rk");
+
+    if (!vector) {
+        const unsigned fprev = b->freg("prev");
+        b->fscratch(6);
+        b->loadBase(rx, "x", 1);
+        b->loadBase(ry, "y", 1);
+        b->evalInto(fprev, eConst(0.0));
+        b->loop(rk, n - 1, [&] {
+            const unsigned t = b->eval(eLoad(ry, 0));
+            b->emitf("fadd f%u, f%u, f%u", fprev, fprev, t);
+            b->release(t);
+            b->emitf("stf f%u, 0(r%u)", fprev, rx);
+            b->emitf("addi r%u, r%u, 8", rx, rx);
+            b->emitf("addi r%u, r%u, 8", ry, ry);
+        });
+    } else {
+        // f15 holds the running sum; the vector op's strided A source
+        // starts one register below the result group, so each element
+        // consumes the previous element's result.
+        const unsigned fprev = b->freg("prev");       // f0... see below
+        const unsigned X = b->fgroup("X", 9);         // prev + results
+        const unsigned Y = b->fgroup("Y", 8);
+        const unsigned cone = b->fconst(1.0);
+        b->fscratch(4);
+        (void)fprev;
+        // Re-map: use X[0] as the running previous value, results in
+        // X[1..8].
+        b->loadBase(rx, "x", 1);
+        b->loadBase(ry, "y", 1);
+        b->evalInto(X, eConst(0.0));
+        b->loop(rk, (n - 1) / 8, [&] {
+            b->vload(Y, ry, 0, 8, 8);
+            b->emitf("fadd f%u, f%u, f%u, vl=8, sra, srb", X + 1, X, Y);
+            b->vstore(X + 1, rx, 0, 8, 8);
+            b->emitf("fmul f%u, f%u, f%u", X, X + 8, cone);
+            b->emitf("addi r%u, r%u, 64", rx, rx);
+            b->emitf("addi r%u, r%u, 64", ry, ry);
+        });
+    }
+
+    Kernel k;
+    finishKernel(k, 11, vector, b);
+    k.flops = 1.0 * (n - 1);
+    k.tolerance = 0.0;
+    k.init = [b, y](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", {});
+        b->layout().fill(mem, "y", y);
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [n, y] {
+        std::vector<double> x(n, 0.0);
+        for (int i = 1; i < n; ++i)
+            x[i] = x[i - 1] + y[i];
+        return sumVec(x);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 12 — first difference: x[k] = y[k+1] - y[k].
+// ---------------------------------------------------------------------
+
+Kernel
+lfk12(bool vector)
+{
+    const int n = span(12); // 1000
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("y", n + 1);
+    const auto y = testData(n + 1, 0.1, 1.0, 1201);
+
+    const unsigned rx = b->ireg("rx"), ry = b->ireg("ry"),
+                   rk = b->ireg("rk");
+
+    if (!vector) {
+        b->fscratch(6);
+        b->loadBase(rx, "x");
+        b->loadBase(ry, "y");
+        b->loop(rk, n, [&] {
+            b->evalStore(eSub(eLoad(ry, 8), eLoad(ry, 0)), rx, 0);
+            b->emitf("addi r%u, r%u, 8", rx, rx);
+            b->emitf("addi r%u, r%u, 8", ry, ry);
+        });
+    } else {
+        const unsigned A = b->fgroup("A", 8);
+        const unsigned B = b->fgroup("B", 8);
+        b->fscratch(4);
+        b->loadBase(rx, "x");
+        b->loadBase(ry, "y");
+        b->loop(rk, n / 8, [&] {
+            b->vload(A, ry, 8, 8, 8);
+            b->vload(B, ry, 0, 8, 8);
+            b->vop("fsub", A, A, B, 8, true, true);
+            b->vstore(A, rx, 0, 8, 8);
+            b->emitf("addi r%u, r%u, 64", rx, rx);
+            b->emitf("addi r%u, r%u, 64", ry, ry);
+        });
+    }
+
+    Kernel k;
+    finishKernel(k, 12, vector, b);
+    k.flops = 1.0 * n;
+    k.tolerance = 0.0;
+    k.init = [b, y](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", {});
+        b->layout().fill(mem, "y", y);
+    };
+    k.checksum = sumChecksum(b, "x");
+    k.reference = [n, y] {
+        std::vector<double> x(n);
+        for (int i = 0; i < n; ++i)
+            x[i] = y[i + 1] - y[i];
+        return sumVec(x);
+    };
+    return k;
+}
+
+} // namespace mtfpu::kernels::livermore

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Livermore kernels 19-24.
+ */
+
+#include "kernels/livermore/lfk_common.hh"
+
+namespace mtfpu::kernels::livermore
+{
+
+// ---------------------------------------------------------------------
+// LFK 19 — general linear recurrence equations (forward then backward
+// first-order recurrences).
+// ---------------------------------------------------------------------
+
+Kernel
+lfk19()
+{
+    const int n = span(19); // 101
+    const double stb5_init = 0.0153;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("b5", n);
+    b->array("sa", n);
+    b->array("sb", n);
+    const auto sa = testData(n, 0.1, 0.9, 1901);
+    const auto sb = testData(n, 0.1, 0.5, 1902);
+
+    const unsigned rb5 = b->ireg("rb5"), rsa = b->ireg("rsa"),
+                   rsb = b->ireg("rsb"), rk = b->ireg("rk");
+    const unsigned fst = b->freg("stb5");
+    b->fscratch(6);
+
+    auto sweep = [&](bool forward) {
+        b->loadBase(rb5, "b5", forward ? 0 : n - 1);
+        b->loadBase(rsa, "sa", forward ? 0 : n - 1);
+        b->loadBase(rsb, "sb", forward ? 0 : n - 1);
+        const int step = forward ? 8 : -8;
+        b->loop(rk, n, [&] {
+            // b5[k] = sa[k] + stb5*sb[k]; stb5 = b5[k] - stb5.
+            const unsigned v = b->eval(
+                eAdd(eLoad(rsa, 0), eMul(eReg(fst), eLoad(rsb, 0))));
+            b->emitf("stf f%u, 0(r%u)", v, rb5);
+            b->emitf("fsub f%u, f%u, f%u", fst, v, fst);
+            b->release(v);
+            b->emitf("addi r%u, r%u, %d", rb5, rb5, step);
+            b->emitf("addi r%u, r%u, %d", rsa, rsa, step);
+            b->emitf("addi r%u, r%u, %d", rsb, rsb, step);
+        });
+    };
+    b->evalInto(fst, eConst(stb5_init));
+    sweep(true);
+    sweep(false);
+
+    Kernel k;
+    finishKernel(k, 19, false, b);
+    k.flops = 3.0 * 2 * n;
+    k.tolerance = 0.0;
+    k.init = [b, sa, sb](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "b5", {});
+        b->layout().fill(mem, "sa", sa);
+        b->layout().fill(mem, "sb", sb);
+    };
+    k.checksum = sumChecksum(b, "b5");
+    k.reference = [n, stb5_init, sa, sb] {
+        std::vector<double> b5(n, 0.0);
+        double stb5 = stb5_init;
+        for (int i = 0; i < n; ++i) {
+            b5[i] = sa[i] + stb5 * sb[i];
+            stb5 = b5[i] - stb5;
+        }
+        for (int i = n - 1; i >= 0; --i) {
+            b5[i] = sa[i] + stb5 * sb[i];
+            stb5 = b5[i] - stb5;
+        }
+        return sumVec(b5);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 20 — discrete ordinates transport (serial loop with two
+// divisions and min/max clamps per element).
+// ---------------------------------------------------------------------
+
+Kernel
+lfk20()
+{
+    const int n = span(20); // 1000
+    const double dk = 0.1, tt = 0.45, ss = 0.01;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("xx", n + 1);
+    b->array("y", n);
+    b->array("z", n);
+    b->array("g", n);
+    b->array("u", n);
+    b->array("v", n);
+    b->array("w", n);
+    b->array("vx", n);
+    const auto y = testData(n, 0.5, 1.5, 2001);
+    const auto z = testData(n, 0.1, 0.5, 2002);
+    const auto g = testData(n, 0.05, 0.3, 2003);
+    const auto u = testData(n, 0.1, 0.9, 2004);
+    const auto v = testData(n, 0.1, 0.9, 2005);
+    const auto w = testData(n, 0.1, 0.9, 2006);
+    const auto vxv = testData(n, 0.5, 1.5, 2007);
+
+    const unsigned rx = b->ireg("rx"), rxx = b->ireg("rxx"),
+                   ry = b->ireg("ry"), rz = b->ireg("rz"),
+                   rg = b->ireg("rg"), ru = b->ireg("ru"),
+                   rv = b->ireg("rv"), rw = b->ireg("rw"),
+                   rvx = b->ireg("rvx"), rt = b->ireg("rt"),
+                   rk = b->ireg("rk");
+    const unsigned fdn = b->freg("dn"), fdi = b->freg("di");
+    const unsigned ctt = b->fconst(tt), css = b->fconst(ss),
+                   cdn0 = b->fconst(0.2), cone = b->fconst(1.0);
+    b->fscratch(8);
+
+    b->loadBase(rx, "x");
+    b->loadBase(rxx, "xx");
+    b->loadBase(ry, "y");
+    b->loadBase(rz, "z");
+    b->loadBase(rg, "g");
+    b->loadBase(ru, "u");
+    b->loadBase(rv, "v");
+    b->loadBase(rw, "w");
+    b->loadBase(rvx, "vx");
+
+    b->loop(rk, n, [&] {
+        // di = y[k] - g[k]/(xx[k] + dk).
+        b->evalInto(fdi,
+                    eSub(eLoad(ry, 0),
+                         eDiv(eLoad(rg, 0),
+                              eAdd(eLoad(rxx, 0), eConst(dk)))));
+        b->emitf("fmul f%u, f%u, f%u", fdn, cdn0, cone); // dn = 0.2
+        const std::string skip = b->newLabel("dizero");
+        // if (di != 0): test magnitude bits.
+        b->emitf("mvfc r%u, f%u", rt, fdi);
+        b->emit("nop");
+        b->emitf("slli r%u, r%u, 1", rt, rt);
+        b->emitf("beq r%u, r0, %s", rt, skip.c_str());
+        b->emit("nop");
+        {
+            // dn = z[k]/di, clamped to [ss, tt].
+            const unsigned q = b->eval(eDiv(eLoad(rz, 0), eReg(fdi)));
+            b->emitf("fmul f%u, f%u, f%u", fdn, q, cone);
+            b->release(q);
+            const std::string no_hi = b->newLabel("nohi");
+            branchFpLt(*b, ctt, fdn, no_hi, rt);
+            b->emitf("j %s_done", no_hi.c_str());
+            b->emit("nop");
+            b->bind(no_hi);
+            b->emitf("fmul f%u, f%u, f%u", fdn, ctt, cone);
+            b->bind(no_hi + "_done");
+            const std::string no_lo = b->newLabel("nolo");
+            branchFpLt(*b, fdn, css, no_lo, rt);
+            b->emitf("j %s_done", no_lo.c_str());
+            b->emit("nop");
+            b->bind(no_lo);
+            b->emitf("fmul f%u, f%u, f%u", fdn, css, cone);
+            b->bind(no_lo + "_done");
+        }
+        b->bind(skip);
+        // x[k] = ((w + v*dn)*xx + u)/(vx + v*dn).
+        const unsigned vdn =
+            b->eval(eMul(eLoad(rv, 0), eReg(fdn)));
+        const unsigned xk = b->eval(
+            eDiv(eAdd(eMul(eAdd(eLoad(rw, 0), eReg(vdn)),
+                           eLoad(rxx, 0)),
+                      eLoad(ru, 0)),
+                 eAdd(eLoad(rvx, 0), eReg(vdn))));
+        b->release(vdn);
+        b->emitf("stf f%u, 0(r%u)", xk, rx);
+        // xx[k+1] = (x[k] - xx[k])*dn + xx[k].
+        const unsigned nxt = b->eval(
+            eAdd(eMul(eSub(eReg(xk), eLoad(rxx, 0)), eReg(fdn)),
+                 eLoad(rxx, 0)));
+        b->release(xk);
+        b->emitf("stf f%u, 8(r%u)", nxt, rxx);
+        b->release(nxt);
+        for (unsigned r : {rx, rxx, ry, rz, rg, ru, rv, rw, rvx})
+            b->emitf("addi r%u, r%u, 8", r, r);
+    });
+
+    auto mirror = [=](double *flops) {
+        std::vector<double> x(n, 0.0), xx(n + 1, 0.0);
+        double fl = 0;
+        for (int i = 0; i < n; ++i) {
+            const double di = y[i] - g[i] / (xx[i] + dk);
+            double dn = 0.2;
+            fl += 2 + 4; // add, sub, weighted divide
+            if (di != 0.0) {
+                dn = z[i] / di;
+                if (tt < dn)
+                    dn = tt;
+                if (dn < ss)
+                    dn = ss;
+                fl += 4; // weighted divide
+            }
+            const double vdn = v[i] * dn;
+            x[i] = ((w[i] + vdn) * xx[i] + u[i]) / (vxv[i] + vdn);
+            xx[i + 1] = (x[i] - xx[i]) * dn + xx[i];
+            fl += 4 + 4 + 3; // 4 +-*, weighted divide, xx chain
+        }
+        if (flops)
+            *flops = fl;
+        return sumVec(x) + sumVec(xx);
+    };
+
+    Kernel k;
+    finishKernel(k, 20, false, b);
+    mirror(&k.flops);
+    k.tolerance = 1e-9; // macro division
+    k.init = [b, y, z, g, u, v, w, vxv](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", {});
+        b->layout().fill(mem, "xx", {});
+        b->layout().fill(mem, "y", y);
+        b->layout().fill(mem, "z", z);
+        b->layout().fill(mem, "g", g);
+        b->layout().fill(mem, "u", u);
+        b->layout().fill(mem, "v", v);
+        b->layout().fill(mem, "w", w);
+        b->layout().fill(mem, "vx", vxv);
+    };
+    k.checksum = [b](const memory::MainMemory &mem) {
+        return sumVec(b->layout().read(mem, "x")) +
+               sumVec(b->layout().read(mem, "xx"));
+    };
+    k.reference = [mirror] { return mirror(nullptr); };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 21 — matrix * matrix product:
+//   px[i][j] += vy[i][k] * cx[k][j]
+// ---------------------------------------------------------------------
+
+Kernel
+lfk21(bool vector)
+{
+    const int n = span(21); // 101 columns
+    const int m = 25;
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("px", m * n);
+    b->array("cx", m * n);
+    b->array("vy", m * m);
+    const auto px0 = testData(m * n, 0.0, 0.1, 2101);
+    const auto cx0 = testData(m * n, 0.0, 0.1, 2102);
+    const auto vy0 = testData(m * m, 0.0, 0.1, 2103);
+
+    const unsigned rpx = b->ireg("rpx"), rcx = b->ireg("rcx"),
+                   rvy = b->ireg("rvy"), rk = b->ireg("rk"),
+                   ri = b->ireg("ri"), rj = b->ireg("rj"),
+                   rpxb = b->ireg("rpxb"), rcxb = b->ireg("rcxb"),
+                   rvyb = b->ireg("rvyb"), rt = b->ireg("rt");
+    const unsigned fvy = b->freg("vyik");
+
+    b->loadBase(rpxb, "px");
+    b->loadBase(rcxb, "cx");
+    b->loadBase(rvyb, "vy");
+
+    if (vector) {
+        // Register-blocked form: keep a px[i][j..j+7] strip in the
+        // ACC group across the whole k loop — "operands can be kept
+        // in the registers and used multiple times" is exactly why
+        // the paper's loop 21 beats 4 cycles per result (§3.2). The
+        // k loop stays innermost-ascending, so every px[i][j]
+        // accumulates its contributions in the same order as the
+        // scalar code and results stay bit-identical.
+        const unsigned ACC = b->fgroup("ACC", 8);
+        const unsigned B = b->fgroup("B", 8);
+        const unsigned C = b->fgroup("C", 8);
+        const unsigned rjoff = b->ireg("rjoff");
+        b->fscratch(6);
+        const int strips = n / 8, rem = n % 8;
+        b->loop(rj, strips, [&] {
+            // Strip base byte offset j*8 = (strips - rj)*64.
+            b->emitf("li r%u, %d", rjoff, strips);
+            b->emitf("sub r%u, r%u, r%u", rjoff, rjoff, rj);
+            b->emitf("muli r%u, r%u, 64", rjoff, rjoff);
+            b->emitf("add r%u, r%u, r%u", rpx, rpxb, rjoff);
+            b->li(ri, m);
+            const std::string iloop = b->newLabel("i21");
+            b->bind(iloop);
+            {
+                b->vload(ACC, rpx, 0, 8, 8); // px[i][j..j+7]
+                b->emitf("add r%u, r%u, r%u", rcx, rcxb, rjoff);
+                // rvy = &vy[i][0]; i = m - ri.
+                b->emitf("li r%u, %d", rt, m);
+                b->emitf("sub r%u, r%u, r%u", rt, rt, ri);
+                b->emitf("muli r%u, r%u, %d", rt, rt, 8 * m);
+                b->emitf("add r%u, r%u, r%u", rvy, rvyb, rt);
+                for (int k2 = 0; k2 < m; ++k2) {
+                    const unsigned G = (k2 & 1) ? C : B;
+                    b->emitf("ldf f%u, %d(r%u)", fvy, 8 * k2, rvy);
+                    b->vload(G, rcx, 0, 8, 8);
+                    b->vop("fmul", G, G, fvy, 8, true, false);
+                    b->vop("fadd", ACC, ACC, G, 8, true, true);
+                    b->emitf("addi r%u, r%u, %d", rcx, rcx, 8 * n);
+                }
+                b->vstore(ACC, rpx, 0, 8, 8);
+                b->emitf("addi r%u, r%u, %d", rpx, rpx, 8 * n);
+            }
+            b->emitf("subi r%u, r%u, 1", ri, ri);
+            b->emitf("bne r%u, r0, %s", ri, iloop.c_str());
+            b->emit("nop");
+        });
+        // Remainder columns j = 8*strips .. n-1, scalar, same
+        // k-ascending accumulation order.
+        for (int rcol = 0; rcol < rem; ++rcol) {
+            const int j = 8 * strips + rcol;
+            b->li(ri, m);
+            const std::string iloop = b->newLabel("i21r");
+            b->bind(iloop);
+            b->emitf("li r%u, %d", rt, m);
+            b->emitf("sub r%u, r%u, r%u", rt, rt, ri);
+            b->emitf("muli r%u, r%u, %d", rpx, rt, 8 * n);
+            b->emitf("add r%u, r%u, r%u", rpx, rpxb, rpx);
+            b->emitf("addi r%u, r%u, %d", rpx, rpx, 8 * j);
+            b->emitf("muli r%u, r%u, %d", rvy, rt, 8 * m);
+            b->emitf("add r%u, r%u, r%u", rvy, rvyb, rvy);
+            const unsigned facc = b->eval(eLoad(rpx, 0));
+            for (int k2 = 0; k2 < m; ++k2) {
+                b->emitf("ldf f%u, %d(r%u)", fvy, 8 * k2, rvy);
+                const unsigned prod = b->eval(
+                    eMul(eReg(fvy),
+                         eLoad(rcxb, 8 * (k2 * n + j))));
+                b->emitf("fadd f%u, f%u, f%u", facc, facc, prod);
+                b->release(prod);
+            }
+            b->emitf("stf f%u, 0(r%u)", facc, rpx);
+            b->release(facc);
+            b->emitf("subi r%u, r%u, 1", ri, ri);
+            b->emitf("bne r%u, r0, %s", ri, iloop.c_str());
+            b->emit("nop");
+        }
+    } else {
+    b->fscratch(6);
+
+    b->loop(rk, m, [&] {
+        b->loop(ri, m, [&] {
+            // Row pointers for this (k, i): k = m - rk, i = m - ri
+            // (counters count down); recompute from the counters.
+            b->emitf("li r%u, %d", rt, m);
+            b->emitf("sub r%u, r%u, r%u", rt, rt, rk); // k index
+            b->emitf("muli r%u, r%u, %d", rt, rt, 8 * n);
+            b->emitf("add r%u, r%u, r%u", rcx, rcxb, rt);
+            b->emitf("li r%u, %d", rt, m);
+            b->emitf("sub r%u, r%u, r%u", rt, rt, ri); // i index
+            b->emitf("muli r%u, r%u, %d", rpx, rt, 8 * n);
+            b->emitf("add r%u, r%u, r%u", rpx, rpxb, rpx);
+            // &vy[i][k] = vyb + (i*m + k)*8.
+            b->emitf("muli r%u, r%u, %d", rt, rt, 8 * m);
+            b->emitf("add r%u, r%u, r%u", rvy, rvyb, rt);
+            b->emitf("li r%u, %d", rt, m);
+            b->emitf("sub r%u, r%u, r%u", rt, rt, rk);
+            b->emitf("slli r%u, r%u, 3", rt, rt);
+            b->emitf("add r%u, r%u, r%u", rvy, rvy, rt);
+            b->emitf("ldf f%u, 0(r%u)", fvy, rvy);
+
+            b->loop(rj, n, [&] {
+                b->evalStore(eAdd(eLoad(rpx, 0),
+                                  eMul(eReg(fvy), eLoad(rcx, 0))),
+                             rpx, 0);
+                b->emitf("addi r%u, r%u, 8", rpx, rpx);
+                b->emitf("addi r%u, r%u, 8", rcx, rcx);
+            });
+        });
+        });
+    }
+
+    Kernel k;
+    finishKernel(k, 21, vector, b);
+    k.flops = 2.0 * m * m * n;
+    k.tolerance = 0.0;
+    k.init = [b, px0, cx0, vy0](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "px", px0);
+        b->layout().fill(mem, "cx", cx0);
+        b->layout().fill(mem, "vy", vy0);
+    };
+    k.checksum = sumChecksum(b, "px");
+    k.reference = [n, m, px0, cx0, vy0] {
+        std::vector<double> px = px0;
+        for (int k2 = 0; k2 < m; ++k2)
+            for (int i = 0; i < m; ++i)
+                for (int j = 0; j < n; ++j)
+                    px[i * n + j] += vy0[i * m + k2] * cx0[k2 * n + j];
+        return sumVec(px);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 22 — Planckian distribution:
+//   y[k] = u[k]/v[k];  w[k] = x[k]/(exp(y[k]) - 1.0)
+// exp() is a scalar subroutine call (§3.2: the paper notes loop 22 is
+// the worst MultiTitan loop relative to the Crays for this reason).
+// ---------------------------------------------------------------------
+
+Kernel
+lfk22(bool vector)
+{
+    const int n = span(22); // 101
+
+    auto b = std::make_shared<KernelBuilder>();
+    MathLib lib(*b);
+    b->array("u", n);
+    b->array("v", n);
+    b->array("x", n);
+    b->array("y", n);
+    b->array("w", n);
+    const auto u = testData(n, 0.1, 5.0, 2201);
+    const auto v = testData(n, 0.5, 1.5, 2202);
+    const auto x = testData(n, 0.1, 1.0, 2203);
+
+    const unsigned ru = b->ireg("ru"), rv = b->ireg("rv"),
+                   rx = b->ireg("rx"), ry = b->ireg("ry"),
+                   rw = b->ireg("rw"), rk = b->ireg("rk");
+    const unsigned cone = b->fconst(1.0);
+
+    unsigned A = 0, B = 0, C = 0, D = 0;
+    if (vector) {
+        A = b->fgroup("A", 8);
+        B = b->fgroup("B", 8);
+        C = b->fgroup("C", 8);
+        D = b->fgroup("D", 8);
+    }
+    b->fscratch(6);
+
+    b->loadBase(ru, "u");
+    b->loadBase(rv, "v");
+    b->loadBase(ry, "y");
+
+    // Pass 1: y = u / v.
+    if (!vector) {
+        b->loop(rk, n, [&] {
+            b->evalStore(eDiv(eLoad(ru, 0), eLoad(rv, 0)), ry, 0);
+            b->emitf("addi r%u, r%u, 8", ru, ru);
+            b->emitf("addi r%u, r%u, 8", rv, rv);
+            b->emitf("addi r%u, r%u, 8", ry, ry);
+        });
+    } else {
+        b->loop(rk, n / 8, [&] {
+            b->vload(A, rv, 0, 8, 8);
+            b->vload(B, ru, 0, 8, 8);
+            // Vectorized 6-op division macro, elementwise.
+            b->vop("frecip", C, A, A, 8, true, false);
+            b->vop("fmul", D, A, C, 8, true, true);
+            b->vop("fiter", C, C, D, 8, true, true);
+            b->vop("fmul", D, A, C, 8, true, true);
+            b->vop("fiter", C, C, D, 8, true, true);
+            b->vop("fmul", C, B, C, 8, true, true);
+            b->vstore(C, ry, 0, 8, 8);
+            b->emitf("addi r%u, r%u, 64", ru, ru);
+            b->emitf("addi r%u, r%u, 64", rv, rv);
+            b->emitf("addi r%u, r%u, 64", ry, ry);
+        });
+        for (int rem = 0; rem < n % 8; ++rem) {
+            b->evalStore(eDiv(eLoad(ru, 8 * rem), eLoad(rv, 8 * rem)),
+                         ry, 8 * rem);
+        }
+    }
+
+    // Pass 2: w = x/(exp(y) - 1), scalar subroutine call per element.
+    b->loadBase(rx, "x");
+    b->loadBase(ry, "y");
+    b->loadBase(rw, "w");
+    b->loop(rk, n, [&] {
+        b->emitf("ldf f%u, 0(r%u)", kMathArg, ry);
+        lib.call(lib.expLabel());
+        b->emitf("fsub f%u, f%u, f%u", kMathRet, kMathRet, cone);
+        b->evalStore(eDiv(eLoad(rx, 0), eReg(kMathRet)), rw, 0);
+        b->emitf("addi r%u, r%u, 8", rx, rx);
+        b->emitf("addi r%u, r%u, 8", ry, ry);
+        b->emitf("addi r%u, r%u, 8", rw, rw);
+    });
+    b->emit("halt");
+    lib.emitSubroutines();
+
+    Kernel k;
+    finishKernel(k, 22, vector, b);
+    // LFK weights: two divides (4 each), one exp (8), one subtract.
+    k.flops = 17.0 * n;
+    k.tolerance = 1e-9;
+    k.init = [b, u, v, x, pool = lib](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        pool.initData(mem);
+        b->layout().fill(mem, "u", u);
+        b->layout().fill(mem, "v", v);
+        b->layout().fill(mem, "x", x);
+        b->layout().fill(mem, "y", {});
+        b->layout().fill(mem, "w", {});
+    };
+    k.checksum = [b](const memory::MainMemory &mem) {
+        return sumVec(b->layout().read(mem, "y")) +
+               sumVec(b->layout().read(mem, "w"));
+    };
+    k.reference = [n, u, v, x] {
+        double s = 0;
+        for (int i = 0; i < n; ++i) {
+            const double yi = u[i] / v[i];
+            s += yi;
+            s += x[i] / (refExp(yi) - 1.0);
+        }
+        return s;
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 23 — 2-D implicit hydrodynamics fragment.
+// ---------------------------------------------------------------------
+
+Kernel
+lfk23()
+{
+    const int n = span(23); // 100 columns
+    const int rows = 7;
+
+    auto b = std::make_shared<KernelBuilder>();
+    const char *names[6] = {"za", "zb", "zr", "zu", "zv", "zz"};
+    for (const char *a : names)
+        b->array(a, rows * n);
+    const auto za0 = testData(rows * n, 0.1, 1.0, 2301);
+    const auto zb0 = testData(rows * n, 0.0, 0.2, 2302);
+    const auto zr0 = testData(rows * n, 0.0, 0.2, 2303);
+    const auto zu0 = testData(rows * n, 0.0, 0.2, 2304);
+    const auto zv0 = testData(rows * n, 0.0, 0.2, 2305);
+    const auto zz0 = testData(rows * n, 0.0, 0.3, 2306);
+
+    const unsigned rza = b->ireg("rza"), rzb = b->ireg("rzb"),
+                   rzr = b->ireg("rzr"), rzu = b->ireg("rzu"),
+                   rzv = b->ireg("rzv"), rzz = b->ireg("rzz"),
+                   rk = b->ireg("rk"), rj = b->ireg("rj");
+    const unsigned cf = b->fconst(0.175);
+    b->fscratch(10);
+
+    const int up = 8 * n, dn = -8 * n;
+    b->loadBase(rza, "za", n + 1);
+    b->loadBase(rzb, "zb", n + 1);
+    b->loadBase(rzr, "zr", n + 1);
+    b->loadBase(rzu, "zu", n + 1);
+    b->loadBase(rzv, "zv", n + 1);
+    b->loadBase(rzz, "zz", n + 1);
+    b->loop(rk, 5, [&] {
+        b->loop(rj, n - 2, [&] {
+            // qa = za[j+1][k]*zr + za[j-1][k]*zb + za[j][k+1]*zu
+            //    + za[j][k-1]*zv + zz.
+            const unsigned qa = b->eval(
+                eAdd(eAdd(eAdd(eAdd(eMul(eLoad(rza, up),
+                                         eLoad(rzr, 0)),
+                                    eMul(eLoad(rza, dn),
+                                         eLoad(rzb, 0))),
+                               eMul(eLoad(rza, 8), eLoad(rzu, 0))),
+                          eMul(eLoad(rza, -8), eLoad(rzv, 0))),
+                     eLoad(rzz, 0)));
+            // za += 0.175*(qa - za).
+            b->evalStore(eAdd(eLoad(rza, 0),
+                              eMul(eReg(cf),
+                                   eSub(eReg(qa), eLoad(rza, 0)))),
+                         rza, 0);
+            b->release(qa);
+            for (unsigned r : {rza, rzb, rzr, rzu, rzv, rzz})
+                b->emitf("addi r%u, r%u, 8", r, r);
+        });
+        for (unsigned r : {rza, rzb, rzr, rzu, rzv, rzz})
+            b->emitf("addi r%u, r%u, 16", r, r);
+    });
+
+    Kernel k;
+    finishKernel(k, 23, false, b);
+    k.flops = 11.0 * 5 * (n - 2);
+    k.tolerance = 0.0;
+    k.init = [b, za0, zb0, zr0, zu0, zv0, zz0](
+                 memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "za", za0);
+        b->layout().fill(mem, "zb", zb0);
+        b->layout().fill(mem, "zr", zr0);
+        b->layout().fill(mem, "zu", zu0);
+        b->layout().fill(mem, "zv", zv0);
+        b->layout().fill(mem, "zz", zz0);
+    };
+    k.checksum = sumChecksum(b, "za");
+    k.reference = [n, rows, za0, zb0, zr0, zu0, zv0, zz0] {
+        std::vector<double> za = za0;
+        auto ix = [&](int k2, int j) { return k2 * n + j; };
+        for (int k2 = 1; k2 < 6; ++k2) {
+            for (int j = 1; j < n - 1; ++j) {
+                const double qa =
+                    (((za[ix(k2 + 1, j)] * zr0[ix(k2, j)] +
+                       za[ix(k2 - 1, j)] * zb0[ix(k2, j)]) +
+                      za[ix(k2, j + 1)] * zu0[ix(k2, j)]) +
+                     za[ix(k2, j - 1)] * zv0[ix(k2, j)]) +
+                    zz0[ix(k2, j)];
+                za[ix(k2, j)] =
+                    za[ix(k2, j)] +
+                    0.175 * (qa - za[ix(k2, j)]);
+            }
+        }
+        (void)rows;
+        return sumVec(za);
+    };
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// LFK 24 — first minimum: find the location of the smallest element.
+// ---------------------------------------------------------------------
+
+Kernel
+lfk24()
+{
+    const int n = span(24); // 1001
+
+    auto b = std::make_shared<KernelBuilder>();
+    b->array("x", n);
+    b->array("out", 1);
+    auto x = testData(n, 0.0, 1.0, 2401);
+    x[n / 2] = -1.5; // a definite minimum in the middle
+
+    const unsigned rx = b->ireg("rx"), rm = b->ireg("rm"),
+                   rk = b->ireg("rk"), rt = b->ireg("rt"),
+                   rout = b->ireg("rout"), ridx = b->ireg("ridx");
+    const unsigned fmin = b->freg("min");
+    b->fscratch(4);
+
+    b->loadBase(rx, "x", 1);
+    b->loadBase(rout, "out");
+    b->li(rm, 0);
+    b->li(ridx, 0);
+    {
+        const unsigned f0 = b->eval(eLoad(rx, -8));
+        b->emitf("fmul f%u, f%u, f%u", fmin, f0, b->fconst(1.0));
+        b->release(f0);
+    }
+    b->loop(rk, n - 1, [&] {
+        b->emitf("addi r%u, r%u, 1", ridx, ridx);
+        const unsigned f = b->eval(eLoad(rx, 0));
+        const std::string no_update = b->newLabel("noupd");
+        // if (x[k] < min) { min = x[k]; m = k; }
+        const unsigned d = b->eval(eSub(eReg(f), eReg(fmin)));
+        b->emitf("mvfc r%u, f%u", rt, d);
+        b->release(d);
+        b->emit("nop");
+        b->emitf("bge r%u, r0, %s", rt, no_update.c_str());
+        b->emit("nop");
+        b->emitf("fmul f%u, f%u, f%u", fmin, f, b->fconst(1.0));
+        b->emitf("add r%u, r%u, r0", rm, ridx);
+        b->bind(no_update);
+        b->release(f);
+        b->emitf("addi r%u, r%u, 8", rx, rx);
+    });
+    b->emitf("st r%u, 0(r%u)", rm, rout);
+
+    Kernel k;
+    finishKernel(k, 24, false, b);
+    k.flops = static_cast<double>(n - 1); // comparisons
+    k.tolerance = 0.0;
+    k.init = [b, x](memory::MainMemory &mem) {
+        b->initConstants(mem);
+        b->layout().fill(mem, "x", x);
+        b->layout().fill(mem, "out", {});
+    };
+    k.checksum = [b](const memory::MainMemory &mem) {
+        const uint64_t raw =
+            mem.read64(b->layout().base("out"));
+        return static_cast<double>(static_cast<int64_t>(raw));
+    };
+    k.reference = [n, x] {
+        int m = 0;
+        for (int i = 1; i < n; ++i) {
+            if (x[i] < x[m])
+                m = i;
+        }
+        return static_cast<double>(m);
+    };
+    return k;
+}
+
+} // namespace mtfpu::kernels::livermore

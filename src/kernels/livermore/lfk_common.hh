@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Internal helpers shared by the Livermore kernel factories.
+ */
+
+#ifndef MTFPU_KERNELS_LIVERMORE_LFK_COMMON_HH
+#define MTFPU_KERNELS_LIVERMORE_LFK_COMMON_HH
+
+#include <memory>
+
+#include "kernels/builder.hh"
+#include "kernels/livermore/livermore.hh"
+#include "kernels/mathlib.hh"
+
+namespace mtfpu::kernels::livermore
+{
+
+/** Sum of a host vector (checksum side of the references). */
+inline double
+sumVec(const std::vector<double> &v)
+{
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s;
+}
+
+/** Checksum: sum of a named simulated array. */
+inline std::function<double(const memory::MainMemory &)>
+sumChecksum(std::shared_ptr<KernelBuilder> b, const std::string &name)
+{
+    return [b, name](const memory::MainMemory &mem) {
+        return sumVec(b->layout().read(mem, name));
+    };
+}
+
+/**
+ * Emit a branch to @p label taken when f[fa] < f[fb]. Floating-point
+ * comparison is a subtract plus a sign test of the raw bits over the
+ * shared bus (a - b < 0 iff a < b for non-NaN operands; a == b gives
+ * +0 which reads as non-negative).
+ */
+inline void
+branchFpLt(KernelBuilder &b, unsigned fa, unsigned fb,
+           const std::string &label, unsigned rtmp)
+{
+    const unsigned t = b.eval(eSub(eReg(fa), eReg(fb)));
+    b.emitf("mvfc r%u, f%u", rtmp, t);
+    b.release(t);
+    b.emit("nop");
+    b.emitf("blt r%u, r0, %s", rtmp, label.c_str());
+    b.emit("nop");
+}
+
+/** Fill common boilerplate into a kernel descriptor. */
+inline void
+finishKernel(Kernel &k, int id, bool vector,
+             std::shared_ptr<KernelBuilder> b)
+{
+    k.name = id < 10 ? "lfk0" + std::to_string(id)
+                     : "lfk" + std::to_string(id);
+    k.title = title(id);
+    k.variant = vector ? "vector" : "scalar";
+    k.program = b->build();
+    k.layout = b->layout();
+}
+
+} // namespace mtfpu::kernels::livermore
+
+#endif // MTFPU_KERNELS_LIVERMORE_LFK_COMMON_HH

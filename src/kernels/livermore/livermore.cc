@@ -1,0 +1,133 @@
+#include "kernels/livermore/livermore.hh"
+
+#include "common/log.hh"
+
+namespace mtfpu::kernels::livermore
+{
+
+namespace
+{
+
+const char *kTitles[kNumLoops] = {
+    "hydro fragment",
+    "ICCG excerpt",
+    "inner product",
+    "banded linear equations",
+    "tri-diagonal elimination",
+    "general linear recurrence",
+    "equation of state fragment",
+    "ADI integration",
+    "integrate predictors",
+    "difference predictors",
+    "first sum",
+    "first difference",
+    "2-D particle in cell",
+    "1-D particle in cell",
+    "casual FORTRAN",
+    "Monte Carlo search",
+    "implicit conditional",
+    "2-D explicit hydrodynamics",
+    "general linear recurrence eqns",
+    "discrete ordinates transport",
+    "matrix * matrix product",
+    "Planckian distribution",
+    "2-D implicit hydrodynamics",
+    "first minimum",
+};
+
+const int kSpans[kNumLoops] = {
+    1001, 101, 1001, 1001, 1001, 64, 995, 100, 101, 101, 1001, 1000,
+    128, 1001, 101, 75, 101, 100, 101, 1000, 101, 101, 100, 1001,
+};
+
+const bool kHasVector[kNumLoops] = {
+    true,  true,  true,  false, false, false, true,  true,
+    true,  false, true,  true,  false, false, false, false,
+    false, true,  false, false, true,  true,  false, false,
+};
+
+} // anonymous namespace
+
+const char *
+title(int id)
+{
+    if (id < 1 || id > kNumLoops)
+        fatal("livermore::title: bad kernel id");
+    return kTitles[id - 1];
+}
+
+int
+span(int id)
+{
+    if (id < 1 || id > kNumLoops)
+        fatal("livermore::span: bad kernel id");
+    return kSpans[id - 1];
+}
+
+bool
+hasVectorVariant(int id)
+{
+    if (id < 1 || id > kNumLoops)
+        fatal("livermore::hasVectorVariant: bad kernel id");
+    return kHasVector[id - 1];
+}
+
+std::vector<double>
+testData(size_t n, double lo, double hi, unsigned seed)
+{
+    std::vector<double> out(n);
+    uint64_t state = 0x9E3779B97F4A7C15ull * (seed + 1);
+    for (size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const double t =
+            static_cast<double>(state >> 11) / 9007199254740992.0;
+        out[i] = lo + (hi - lo) * t;
+    }
+    return out;
+}
+
+Kernel
+make(int id, bool vector)
+{
+    if (vector && !hasVectorVariant(id))
+        fatal("livermore::make: no vector variant for this kernel");
+    switch (id) {
+      case 1: return lfk01(vector);
+      case 2: return lfk02(vector);
+      case 3: return lfk03(vector);
+      case 4: return lfk04();
+      case 5: return lfk05();
+      case 6: return lfk06();
+      case 7: return lfk07(vector);
+      case 8: return vector ? lfk08Vector() : lfk08();
+      case 9: return lfk09(vector);
+      case 10: return lfk10();
+      case 11: return lfk11(vector);
+      case 12: return lfk12(vector);
+      case 13: return lfk13();
+      case 14: return lfk14();
+      case 15: return lfk15();
+      case 16: return lfk16();
+      case 17: return lfk17();
+      case 18: return lfk18(vector);
+      case 19: return lfk19();
+      case 20: return lfk20();
+      case 21: return lfk21(vector);
+      case 22: return lfk22(vector);
+      case 23: return lfk23();
+      case 24: return lfk24();
+    }
+    fatal("livermore::make: bad kernel id");
+}
+
+std::vector<Kernel>
+all(bool prefer_vector)
+{
+    std::vector<Kernel> out;
+    out.reserve(kNumLoops);
+    for (int id = 1; id <= kNumLoops; ++id)
+        out.push_back(make(id, prefer_vector && hasVectorVariant(id)));
+    return out;
+}
+
+} // namespace mtfpu::kernels::livermore

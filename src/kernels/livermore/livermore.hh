@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 24 Livermore Fortran Kernels (McMahon, UCRL-53745) recoded for
+ * the MultiTitan, reproducing the paper's §3.2 methodology: the
+ * classically vectorizable kernels use the unified vector/scalar
+ * primitives (fixed-length vector ops, the halving vector-sum, loads
+ * with folded strides); the complex kernels are straightforward
+ * scalar code (the paper coded those in Modula-2).
+ *
+ * Every kernel carries a host-FP reference computing the *same*
+ * operation tree, so results validate bit-exactly except where
+ * division/exp approximations apply (documented per kernel).
+ *
+ * Loop spans are the standard first parameter set of the LFK report.
+ */
+
+#ifndef MTFPU_KERNELS_LIVERMORE_LIVERMORE_HH
+#define MTFPU_KERNELS_LIVERMORE_LIVERMORE_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace mtfpu::kernels::livermore
+{
+
+/** Number of kernels. */
+constexpr int kNumLoops = 24;
+
+/** Kernel title, e.g. "hydro fragment". */
+const char *title(int id);
+
+/** Standard loop span for kernel @p id (1-based). */
+int span(int id);
+
+/** True if a vectorized MultiTitan variant exists for @p id. */
+bool hasVectorVariant(int id);
+
+/**
+ * Build kernel @p id (1..24). @p vector selects the vectorized
+ * variant where one exists (fatal otherwise).
+ */
+Kernel make(int id, bool vector);
+
+/**
+ * All 24 kernels; when @p prefer_vector is set, kernels with a
+ * vector variant use it (the paper's MultiTitan configuration).
+ */
+std::vector<Kernel> all(bool prefer_vector = true);
+
+/**
+ * Deterministic test data in [lo, hi] — the same generator feeds the
+ * simulator's memory and the host reference.
+ */
+std::vector<double> testData(size_t n, double lo, double hi,
+                             unsigned seed);
+
+// Per-kernel factories (implemented across the lfk*.cc files).
+Kernel lfk01(bool vector);
+Kernel lfk02(bool vector);
+Kernel lfk03(bool vector);
+Kernel lfk04();
+Kernel lfk05();
+Kernel lfk06();
+Kernel lfk07(bool vector);
+Kernel lfk08();
+Kernel lfk08Vector();
+Kernel lfk09(bool vector);
+Kernel lfk10();
+Kernel lfk11(bool vector);
+Kernel lfk12(bool vector);
+Kernel lfk13();
+Kernel lfk14();
+Kernel lfk15();
+Kernel lfk16();
+Kernel lfk17();
+Kernel lfk18(bool vector);
+Kernel lfk19();
+Kernel lfk20();
+Kernel lfk21(bool vector);
+Kernel lfk22(bool vector);
+Kernel lfk23();
+Kernel lfk24();
+
+} // namespace mtfpu::kernels::livermore
+
+#endif // MTFPU_KERNELS_LIVERMORE_LIVERMORE_HH

@@ -1,0 +1,190 @@
+#include "kernels/mathlib.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace mtfpu::kernels
+{
+
+namespace
+{
+
+/** Degree of the exp() Taylor polynomial (1/i! coefficients). */
+constexpr int kExpDegree = 13;
+
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kInvLn2 = 1.44269504088896338700e+00;
+
+/** sqrt seed: bits/2 + (511.5 << 52) halves the exponent. */
+constexpr uint64_t kSqrtMagicHi = 0x1FF8;
+
+double
+factorialInv(int i)
+{
+    double f = 1.0;
+    for (int k = 2; k <= i; ++k)
+        f *= k;
+    return 1.0 / f;
+}
+
+} // anonymous namespace
+
+MathLib::MathLib(KernelBuilder &builder)
+    : b_(builder)
+{
+    b_.array("_mathpool", 24);
+    b_.array("_mathtmp", 2);
+
+    // Pool layout: [0] 1/ln2, [1] ln2_hi, [2] ln2_lo,
+    // [3..3+deg] Taylor 1/i! from i = kExpDegree down to 0,
+    // [20] 0.5 (sqrt's halving constant).
+    pool_.assign(24, 0.0);
+    pool_[0] = kInvLn2;
+    pool_[1] = kLn2Hi;
+    pool_[2] = kLn2Lo;
+    for (int i = 0; i <= kExpDegree; ++i)
+        pool_[3 + i] = factorialInv(kExpDegree - i);
+    pool_[20] = 0.5;
+}
+
+std::string
+MathLib::expLabel()
+{
+    needExp_ = true;
+    return "mathlib_exp";
+}
+
+std::string
+MathLib::sqrtLabel()
+{
+    needSqrt_ = true;
+    return "mathlib_sqrt";
+}
+
+void
+MathLib::call(const std::string &label)
+{
+    b_.emitf("jal r31, %s", label.c_str());
+    b_.emit("nop");
+}
+
+void
+MathLib::emitSubroutines()
+{
+    if (needExp_)
+        emitExp();
+    if (needSqrt_)
+        emitSqrt();
+}
+
+void
+MathLib::emitExp()
+{
+    b_.bind("mathlib_exp");
+    b_.li(27, static_cast<int64_t>(b_.layout().base("_mathpool")));
+    b_.li(28, static_cast<int64_t>(b_.layout().base("_mathtmp")));
+
+    // t = x / ln2; k = trunc(t); r = x - k*ln2 (two-part ln2).
+    b_.emit("ldf f42, 0(r27)");     // 1/ln2
+    b_.emit("fmul f43, f40, f42");  // t
+    b_.emit("ftrunc f44, f43");     // k as int64 bits
+    b_.emit("ffloat f45, f44");     // (double)k
+    b_.emit("ldf f42, 8(r27)");     // ln2_hi
+    b_.emit("fmul f46, f45, f42");
+    b_.emit("fsub f46, f40, f46");  // r = x - k*ln2_hi
+    b_.emit("ldf f42, 16(r27)");    // ln2_lo
+    b_.emit("fmul f47, f45, f42");
+    b_.emit("fsub f46, f46, f47");  // r -= k*ln2_lo
+
+    // Horner over the Taylor coefficients: highest degree first.
+    b_.emit("ldf f41, 24(r27)");    // 1/13!
+    for (int i = 1; i <= kExpDegree; ++i) {
+        b_.emitf("ldf f42, %d(r27)", 24 + 8 * i);
+        b_.emit("fmul f41, f41, f46");
+        b_.emit("fadd f41, f41, f42");
+    }
+
+    // Scale by 2^k: bits = (k + 1023) << 52 through the int side.
+    b_.emit("mvfc r29, f44");
+    b_.emit("nop");
+    b_.emit("addi r29, r29, 1023");
+    b_.emit("slli r29, r29, 52");
+    b_.emit("st r29, 0(r28)");
+    b_.emit("ldf f42, 0(r28)");
+    b_.emit("fmul f41, f41, f42");
+    b_.emit("jr r31");
+    b_.emit("nop");
+}
+
+void
+MathLib::emitSqrt()
+{
+    b_.bind("mathlib_sqrt");
+    b_.li(27, static_cast<int64_t>(b_.layout().base("_mathpool")));
+    b_.li(28, static_cast<int64_t>(b_.layout().base("_mathtmp")));
+
+    // Seed: bits(x)/2 + (511.5 << 52) approximately halves the
+    // exponent; relative error is a few percent.
+    b_.emit("mvfc r29, f40");
+    b_.emitf("li r27, %d", static_cast<int>(kSqrtMagicHi));
+    b_.emit("srli r29, r29, 1");
+    b_.emit("slli r27, r27, 48");
+    b_.emit("add r29, r29, r27");
+    b_.emit("st r29, 0(r28)");
+    b_.emit("ldf f41, 0(r28)");
+
+    // Reload the pool base (r27 was reused for the magic constant).
+    b_.li(27, static_cast<int64_t>(b_.layout().base("_mathpool")));
+    b_.emit("ldf f47, 160(r27)"); // 0.5
+
+    // Four Heron iterations: y = 0.5*(y + x/y). The quotient uses the
+    // six-operation division macro with fixed temporaries.
+    for (int it = 0; it < 4; ++it) {
+        b_.emit("frecip f43, f41");
+        b_.emit("fmul f44, f41, f43");
+        b_.emit("fiter f43, f43, f44");
+        b_.emit("fmul f44, f41, f43");
+        b_.emit("fiter f43, f43, f44");
+        b_.emit("fmul f42, f40, f43"); // x / y
+        b_.emit("fadd f41, f41, f42");
+        b_.emit("fmul f41, f41, f47"); // * 0.5
+    }
+    b_.emit("jr r31");
+    b_.emit("nop");
+}
+
+void
+MathLib::initData(memory::MainMemory &mem) const
+{
+    b_.layout().fill(mem, "_mathpool", pool_);
+    b_.layout().fill(mem, "_mathtmp", {0.0, 0.0});
+}
+
+double
+refExp(double x)
+{
+    const double t = x * kInvLn2;
+    const int64_t k = static_cast<int64_t>(t);
+    double r = x - static_cast<double>(k) * kLn2Hi;
+    r -= static_cast<double>(k) * kLn2Lo;
+    double p = factorialInv(kExpDegree);
+    for (int i = 1; i <= kExpDegree; ++i)
+        p = p * r + factorialInv(kExpDegree - i);
+    return std::ldexp(p, static_cast<int>(k));
+}
+
+double
+refSqrt(double x)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    bits = (bits >> 1) + (kSqrtMagicHi << 48);
+    double y;
+    std::memcpy(&y, &bits, sizeof(y));
+    for (int it = 0; it < 4; ++it)
+        y = 0.5 * (y + x / y);
+    return y;
+}
+
+} // namespace mtfpu::kernels

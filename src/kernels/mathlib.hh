@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scalar math subroutines emitted as ISA code: exp() and sqrt().
+ *
+ * The MultiTitan FPU has no transcendental hardware; the paper notes
+ * that Livermore Loop 22's exp() "is implemented with a scalar
+ * subroutine call" (§3.2) and pays for it. These routines reproduce
+ * that: exp() does range reduction (e^x = 2^k * e^r) with a
+ * 13-term polynomial; sqrt() seeds with an exponent-halving bit trick
+ * and refines with Heron iterations, each containing a full
+ * six-operation division.
+ *
+ * Calling convention: argument in f40, result in f41; f42..f47 and
+ * r27..r29 are clobbered; r31 is the link register. Kernels using the
+ * math library must keep their own allocation below f40.
+ */
+
+#ifndef MTFPU_KERNELS_MATHLIB_HH
+#define MTFPU_KERNELS_MATHLIB_HH
+
+#include <string>
+
+#include "kernels/builder.hh"
+
+namespace mtfpu::kernels
+{
+
+/** Argument register of the math subroutines. */
+constexpr unsigned kMathArg = 40;
+/** Result register of the math subroutines. */
+constexpr unsigned kMathRet = 41;
+
+/** Emits and manages the math subroutines for one kernel. */
+class MathLib
+{
+  public:
+    /** Attach to a builder; defines the pool/scratch arrays. */
+    explicit MathLib(KernelBuilder &builder);
+
+    /** Label of the exp subroutine (marks it needed). */
+    std::string expLabel();
+
+    /** Label of the sqrt subroutine (marks it needed). */
+    std::string sqrtLabel();
+
+    /** Emit a call: jal + delay slot. */
+    void call(const std::string &label);
+
+    /**
+     * Emit the needed subroutine bodies. Call after the kernel's main
+     * code has ended with an explicit halt.
+     */
+    void emitSubroutines();
+
+    /** Write the math constant pool; call from the kernel's init. */
+    void initData(memory::MainMemory &mem) const;
+
+  private:
+    void emitExp();
+    void emitSqrt();
+
+    KernelBuilder &b_;
+    std::vector<double> pool_;
+    bool needExp_ = false;
+    bool needSqrt_ = false;
+};
+
+/** Host mirror of the emitted exp algorithm (accuracy tests). */
+double refExp(double x);
+
+/** Host mirror of the emitted sqrt algorithm (accuracy tests). */
+double refSqrt(double x);
+
+} // namespace mtfpu::kernels
+
+#endif // MTFPU_KERNELS_MATHLIB_HH

@@ -1,0 +1,55 @@
+#include "kernels/runner.hh"
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace mtfpu::kernels
+{
+
+KernelResult
+runKernel(const Kernel &kernel, const machine::MachineConfig &config)
+{
+    machine::Machine m(config);
+    m.loadProgram(kernel.program);
+
+    KernelResult result;
+    result.name = kernel.name;
+    result.variant = kernel.variant;
+
+    // Cold run: caches start invalid (loadProgram flushed them).
+    kernel.init(m.mem());
+    result.cold = m.run();
+
+    const double cold_check = kernel.checksum(m.mem());
+
+    // Warm run: re-initialize the data, keep the caches.
+    m.resetForRun(false);
+    kernel.init(m.mem());
+    result.warm = m.run();
+
+    const double warm_check = kernel.checksum(m.mem());
+    const double want = kernel.reference();
+
+    result.relError = std::max(relativeError(cold_check, want),
+                               relativeError(warm_check, want));
+    result.valid = result.relError <= kernel.tolerance ||
+                   (kernel.tolerance == 0.0 && cold_check == want &&
+                    warm_check == want);
+
+    const double ns = config.cycleNs;
+    result.mflopsCold = result.cold.mflops(kernel.flops, ns);
+    result.mflopsWarm = result.warm.mflops(kernel.flops, ns);
+    return result;
+}
+
+double
+kernelError(const Kernel &kernel, const machine::MachineConfig &config)
+{
+    machine::Machine m(config);
+    m.loadProgram(kernel.program);
+    kernel.init(m.mem());
+    m.run();
+    return relativeError(kernel.checksum(m.mem()), kernel.reference());
+}
+
+} // namespace mtfpu::kernels

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Kernel execution harness: runs a kernel cold (empty caches) and
+ * warm (the paper's run-the-loops-twice methodology), validates the
+ * simulated results against the host-FP reference, and computes
+ * MFLOPS at the 40 ns cycle time.
+ */
+
+#ifndef MTFPU_KERNELS_RUNNER_HH
+#define MTFPU_KERNELS_RUNNER_HH
+
+#include "kernels/kernel.hh"
+#include "machine/machine.hh"
+
+namespace mtfpu::kernels
+{
+
+/** Results of one cold+warm kernel run. */
+struct KernelResult
+{
+    std::string name;
+    std::string variant;
+    machine::RunStats cold;
+    machine::RunStats warm;
+    double mflopsCold = 0;
+    double mflopsWarm = 0;
+    /** Relative checksum error vs the host reference (warm run). */
+    double relError = 0;
+    bool valid = false;
+};
+
+/**
+ * Run @p kernel on a machine configured by @p config.
+ *
+ * The cold run starts with every cache invalid; memory is then
+ * re-initialized (kernels may update arrays in place) and the same
+ * program re-run with the caches left warm.
+ */
+KernelResult runKernel(const Kernel &kernel,
+                       const machine::MachineConfig &config =
+                           machine::MachineConfig{});
+
+/** Validate a kernel's simulated checksum only (used by tests). */
+double kernelError(const Kernel &kernel,
+                   const machine::MachineConfig &config =
+                       machine::MachineConfig{});
+
+} // namespace mtfpu::kernels
+
+#endif // MTFPU_KERNELS_RUNNER_HH

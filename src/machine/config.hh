@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Whole-machine configuration. Defaults reproduce the paper's
+ * MultiTitan: 40 ns cycle, 3-cycle FPU latency, 2-cycle stores,
+ * load/store issue overlapped with vector element issue, and the
+ * Figure-1 memory hierarchy. The non-default values exist for the
+ * ablation benches called out in DESIGN.md.
+ */
+
+#ifndef MTFPU_MACHINE_CONFIG_HH
+#define MTFPU_MACHINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "memory/memory_system.hh"
+
+namespace mtfpu::machine
+{
+
+/**
+ * What to do when a load/store/mvfc races with a not-yet-issued
+ * element of the occupying vector instruction (paper §2.3.2 — the
+ * MultiTitan leaves this to the compiler).
+ */
+enum class HazardPolicy
+{
+    Fatal,  // flag it as a code-generation bug (default; catches errors)
+    Stall,  // interlock conservatively (Ardent-Titan-style ablation)
+    Ignore, // true MultiTitan hardware behavior (races corrupt data)
+};
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    /** FPU functional-unit latency in cycles (3 in the paper). */
+    unsigned fpuLatency = 3;
+
+    /** Cycle time in nanoseconds (40 ns = 25 MHz). */
+    double cycleNs = 40.0;
+
+    /** Cycles a store occupies the memory port (2 in the paper). */
+    unsigned storeCycles = 2;
+
+    /**
+     * Allow FPU loads/stores (and CPU instructions generally) to
+     * issue while the ALU IR is re-issuing vector elements. Turning
+     * this off is the "no dual issue" ablation.
+     */
+    bool overlapWithVector = true;
+
+    /** Race handling for unissued vector elements. */
+    HazardPolicy hazardPolicy = HazardPolicy::Fatal;
+
+    /** Memory hierarchy configuration. */
+    memory::MemoryConfig memory{};
+
+    /** Runaway-simulation guard. */
+    uint64_t maxCycles = 2'000'000'000;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_CONFIG_HH

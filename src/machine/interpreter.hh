@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A purely functional (untimed) interpreter of the ISA. It executes
+ * instructions strictly in program order — vector ALU instructions
+ * expand element by element — with the same architectural semantics
+ * as the cycle model (branch/jump delay slots included). It serves as
+ * the oracle for the semantics-vs-timing property tests: for any
+ * hazard-free program the cycle model must produce identical
+ * architectural state.
+ */
+
+#ifndef MTFPU_MACHINE_INTERPRETER_HH
+#define MTFPU_MACHINE_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "assembler/assembler.hh"
+#include "memory/main_memory.hh"
+
+namespace mtfpu::machine
+{
+
+/** The untimed reference interpreter. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(size_t mem_bytes = 4u << 20);
+
+    /** Load a program and reset registers (memory is preserved). */
+    void loadProgram(assembler::Program program);
+
+    /**
+     * Run until halt; fatal() after @p max_steps instructions (guards
+     * against runaway programs in randomized tests).
+     */
+    void run(uint64_t max_steps = 100'000'000);
+
+    memory::MainMemory &mem() { return mem_; }
+    uint64_t intReg(unsigned r) const { return r == 0 ? 0 : iregs_[r]; }
+    uint64_t fpReg(unsigned r) const { return fregs_[r]; }
+    double fpRegDouble(unsigned r) const;
+
+    /** Count of FPU ALU elements executed (for cross-checking). */
+    uint64_t fpElements() const { return fpElements_; }
+
+  private:
+    void step();
+
+    assembler::Program program_;
+    memory::MainMemory mem_;
+    std::array<uint64_t, isa::kNumIntRegs> iregs_{};
+    std::array<uint64_t, isa::kNumFpuRegs> fregs_{};
+    uint32_t pc_ = 0;
+    bool halted_ = false;
+    bool redirectPending_ = false;
+    uint32_t redirectTarget_ = 0;
+    uint64_t fpElements_ = 0;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_INTERPRETER_HH

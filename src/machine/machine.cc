@@ -1,0 +1,424 @@
+#include "machine/machine.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "isa/disasm.hh"
+
+namespace mtfpu::machine
+{
+
+using isa::Instr;
+using isa::Major;
+
+namespace
+{
+
+/** Paper-style element text, e.g. "f9 := f8 + f0". */
+std::string
+elementText(const fpu::ElementIssue &e)
+{
+    const char *sym = "?";
+    switch (e.op) {
+      case isa::FpOp::Add: sym = "+"; break;
+      case isa::FpOp::Sub: sym = "-"; break;
+      case isa::FpOp::Mul: sym = "*"; break;
+      case isa::FpOp::IntMul: sym = "*i"; break;
+      case isa::FpOp::IterStep: sym = "iter"; break;
+      case isa::FpOp::Float: sym = "float"; break;
+      case isa::FpOp::Truncate: sym = "trunc"; break;
+      case isa::FpOp::Recip: sym = "recip"; break;
+    }
+    char buf[64];
+    if (e.op == isa::FpOp::Float || e.op == isa::FpOp::Truncate ||
+        e.op == isa::FpOp::Recip) {
+        std::snprintf(buf, sizeof(buf), "f%u := %s f%u", e.rr, sym, e.ra);
+    } else {
+        std::snprintf(buf, sizeof(buf), "f%u := f%u %s f%u", e.rr, e.ra,
+                      sym, e.rb);
+    }
+    return buf;
+}
+
+} // anonymous namespace
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), memsys_(config.memory), fpu_(config.fpuLatency)
+{
+}
+
+void
+Machine::loadProgram(assembler::Program program)
+{
+    program_ = std::move(program);
+    resetForRun(true);
+}
+
+void
+Machine::resetForRun(bool flush_caches)
+{
+    cpu_.reset();
+    fpu_.reset();
+    memPortFreeAt_ = 0;
+    fetchedPc_ = -1;
+    globalStall_ = 0;
+    interruptAt_ = UINT64_MAX;
+    interruptLen_ = 0;
+    stats_ = RunStats{};
+    memsys_.resetStats();
+    if (flush_caches)
+        memsys_.flushAll();
+}
+
+uint64_t
+Machine::execAlu(isa::AluFunc func, uint64_t a, uint64_t b)
+{
+    using isa::AluFunc;
+    switch (func) {
+      case AluFunc::Add: return a + b;
+      case AluFunc::Sub: return a - b;
+      case AluFunc::And: return a & b;
+      case AluFunc::Or: return a | b;
+      case AluFunc::Xor: return a ^ b;
+      case AluFunc::Sll: return a << (b & 63);
+      case AluFunc::Srl: return a >> (b & 63);
+      case AluFunc::Sra:
+        return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+      case AluFunc::Slt:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b) ? 1 : 0;
+      case AluFunc::Sltu: return a < b ? 1 : 0;
+      case AluFunc::Mul:
+        return static_cast<uint64_t>(static_cast<int64_t>(a) *
+                                     static_cast<int64_t>(b));
+    }
+    panic("execAlu: bad function");
+}
+
+bool
+Machine::evalBranch(isa::BranchCond cond, uint64_t a, uint64_t b)
+{
+    using isa::BranchCond;
+    switch (cond) {
+      case BranchCond::Eq: return a == b;
+      case BranchCond::Ne: return a != b;
+      case BranchCond::Lt:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      case BranchCond::Ge:
+        return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
+      case BranchCond::Ltu: return a < b;
+      case BranchCond::Geu: return a >= b;
+    }
+    panic("evalBranch: bad condition");
+}
+
+RunStats
+Machine::run()
+{
+    if (program_.code.empty())
+        fatal("Machine::run: no program loaded");
+
+    uint64_t cycle = 0;
+    for (;;) {
+        if (cycle >= config_.maxCycles)
+            fatal("Machine::run: exceeded maxCycles");
+
+        // Lock-step global stall: every pipeline is frozen.
+        if (globalStall_ > 0) {
+            --globalStall_;
+            ++stats_.memoryStallCycles;
+            ++cycle;
+            continue;
+        }
+
+        // Done when the CPU has halted and all pipelines drained.
+        if (cpu_.halted && !fpu_.busy() && !cpu_.pendingWrites())
+            break;
+
+        fpu_.beginCycle();
+        cpu_.advance();
+
+        // The occupied ALU IR issues one element per cycle...
+        const fpu::ElementEvent ev = fpu_.tryIssueElement();
+        if (ev.issued && tracer_) {
+            tracer_->record(cycle, TraceKind::FpElement,
+                            elementText(ev.element), fpu_.latency());
+        }
+
+        // ...while the CPU issues in parallel (unless a modeled
+        // interrupt has diverted it to a handler, §2.3.1 — the FPU's
+        // element re-issue above is unaffected).
+        const bool interrupted =
+            cycle >= interruptAt_ && cycle < interruptAt_ + interruptLen_;
+        bool cpu_issued = false;
+        if (!cpu_.halted && !interrupted)
+            cpu_issued = tryCpuIssue(cycle);
+
+        if (ev.issued && cpu_issued)
+            ++stats_.dualIssueCycles;
+
+        ++cycle;
+    }
+
+    stats_.cycles = cycle > 0 ? cycle - 1 : 0;
+    stats_.fpu = fpu_.stats();
+    stats_.dataCache = memsys_.dataStats();
+    stats_.instrBuffer = memsys_.instrBufferStats();
+    stats_.instrCache = memsys_.instrCacheStats();
+    return stats_;
+}
+
+void
+Machine::finishIssue(bool redirect_pending)
+{
+    ++stats_.instructionsIssued;
+    // The issued instruction leaves the fetch stage; the next PC must
+    // access the instruction buffer afresh (even if it is the same
+    // address, as in a one-instruction loop).
+    fetchedPc_ = -1;
+    if (redirect_pending) {
+        // This instruction was the delay slot of a taken branch.
+        cpu_.pc = *cpu_.redirect;
+        cpu_.redirect.reset();
+    } else {
+        ++cpu_.pc;
+    }
+}
+
+bool
+Machine::stallCpu()
+{
+    ++stats_.cpuStallCycles;
+    return false;
+}
+
+bool
+Machine::handleHazard(unsigned reg, bool include_sources)
+{
+    if (!fpu_.hazardWithUnissued(reg, include_sources))
+        return true;
+    switch (config_.hazardPolicy) {
+      case HazardPolicy::Fatal:
+        fatal("load/store of f" + std::to_string(reg) +
+              " races with an unissued vector element (pc=" +
+              std::to_string(cpu_.pc) + "); the compiler must break "
+              "the vector (paper §2.3.2)");
+      case HazardPolicy::Stall:
+        stallCpu();
+        return false;
+      case HazardPolicy::Ignore:
+        return true;
+    }
+    return true;
+}
+
+bool
+Machine::tryCpuIssue(uint64_t cycle)
+{
+    if (cpu_.pc >= program_.code.size())
+        fatal("Machine: PC ran past the end of the program (missing "
+              "halt?)");
+
+    // Single-issue ablation: nothing issues while the IR is busy.
+    if (!config_.overlapWithVector && fpu_.aluIrBusy())
+        return stallCpu();
+
+    // Instruction fetch through the instruction buffer (charged once
+    // per PC value).
+    if (fetchedPc_ != static_cast<int64_t>(cpu_.pc)) {
+        fetchedPc_ = static_cast<int64_t>(cpu_.pc);
+        const unsigned penalty =
+            memsys_.instrFetch(static_cast<uint64_t>(cpu_.pc) * 4);
+        if (penalty > 0) {
+            globalStall_ = penalty;
+            if (tracer_) {
+                tracer_->record(cycle, TraceKind::GlobalStall,
+                                "ifetch miss", penalty);
+            }
+            return stallCpu();
+        }
+    }
+
+    const Instr &in = program_.code[cpu_.pc];
+
+    // If a taken branch is outstanding, this instruction is its delay
+    // slot; the redirect fires when it completes issue.
+    const bool redirect_pending = cpu_.redirect.has_value();
+
+    switch (in.major) {
+      case Major::Alu: {
+        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2))
+            return stallCpu();
+        cpu_.writeReg(in.rd, execAlu(in.func, cpu_.readReg(in.rs1),
+                                     cpu_.readReg(in.rs2)));
+        break;
+      }
+      case Major::AluImm: {
+        if (!cpu_.regReady(in.rs1))
+            return stallCpu();
+        cpu_.writeReg(in.rd,
+                      execAlu(in.func, cpu_.readReg(in.rs1),
+                              static_cast<uint64_t>(
+                                  static_cast<int64_t>(in.imm))));
+        break;
+      }
+      case Major::Lui:
+        cpu_.writeReg(in.rd, static_cast<uint64_t>(in.imm)
+                                 << isa::kLuiShift);
+        break;
+      case Major::Ld: {
+        if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
+            return stallCpu();
+        const uint64_t addr = cpu_.readReg(in.rs1) +
+                              static_cast<int64_t>(in.imm);
+        const unsigned penalty = memsys_.dataAccess(addr, false);
+        cpu_.scheduleWrite(in.rd, memsys_.mem().read64(addr), 2);
+        memPortFreeAt_ = cycle + 1;
+        if (penalty > 0)
+            globalStall_ = penalty;
+        ++stats_.loads;
+        break;
+      }
+      case Major::St: {
+        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rd) ||
+            memPortFreeAt_ > cycle) {
+            return stallCpu();
+        }
+        const uint64_t addr = cpu_.readReg(in.rs1) +
+                              static_cast<int64_t>(in.imm);
+        memsys_.mem().write64(addr, cpu_.readReg(in.rd));
+        const unsigned penalty = memsys_.dataAccess(addr, true);
+        memPortFreeAt_ = cycle + config_.storeCycles;
+        if (penalty > 0)
+            globalStall_ = penalty;
+        ++stats_.stores;
+        break;
+      }
+      case Major::Ldf: {
+        if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
+            return stallCpu();
+        if (fpu_.transferStall(in.fr))
+            return stallCpu();
+        if (fpu_.currentElementInterlock(in.fr, true))
+            return stallCpu();
+        if (!handleHazard(in.fr, true))
+            return false;
+        const uint64_t addr = cpu_.readReg(in.rs1) +
+                              static_cast<int64_t>(in.imm);
+        const unsigned penalty = memsys_.dataAccess(addr, false);
+        fpu_.issueLoad(in.fr, memsys_.mem().read64(addr));
+        memPortFreeAt_ = cycle + 1;
+        if (penalty > 0)
+            globalStall_ = penalty;
+        ++stats_.fpLoads;
+        break;
+      }
+      case Major::Stf: {
+        if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
+            return stallCpu();
+        if (fpu_.transferStall(in.fr))
+            return stallCpu();
+        if (fpu_.currentElementInterlock(in.fr, false))
+            return stallCpu();
+        if (!handleHazard(in.fr, false))
+            return false;
+        const uint64_t addr = cpu_.readReg(in.rs1) +
+                              static_cast<int64_t>(in.imm);
+        memsys_.mem().write64(addr, fpu_.readForTransfer(in.fr));
+        const unsigned penalty = memsys_.dataAccess(addr, true);
+        memPortFreeAt_ = cycle + config_.storeCycles;
+        if (penalty > 0)
+            globalStall_ = penalty;
+        ++stats_.fpStores;
+        break;
+      }
+      case Major::FpAlu: {
+        if (!fpu_.canTransferAlu())
+            return stallCpu();
+        fpu_.transferAlu(in.fp);
+        if (tracer_) {
+            tracer_->record(cycle, TraceKind::FpTransfer,
+                            in.fp.toString());
+        }
+        const fpu::ElementEvent ev = fpu_.tryIssueElement();
+        if (ev.issued && tracer_) {
+            tracer_->record(cycle, TraceKind::FpElement,
+                            elementText(ev.element), fpu_.latency());
+        }
+        ++stats_.fpAluTransfers;
+        break;
+      }
+      case Major::Branch: {
+        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2))
+            return stallCpu();
+        if (cpu_.redirect)
+            fatal("branch in a branch delay slot (pc=" +
+                  std::to_string(cpu_.pc) + ")");
+        ++stats_.branches;
+        if (evalBranch(in.cond, cpu_.readReg(in.rs1),
+                       cpu_.readReg(in.rs2))) {
+            ++stats_.takenBranches;
+            cpu_.redirect = cpu_.pc + in.imm;
+        }
+        break;
+      }
+      case Major::Jump: {
+        if (cpu_.redirect)
+            fatal("jump in a branch delay slot (pc=" +
+                  std::to_string(cpu_.pc) + ")");
+        switch (in.jkind) {
+          case isa::JumpKind::J:
+            cpu_.redirect = cpu_.pc + in.imm;
+            break;
+          case isa::JumpKind::Jal:
+            cpu_.writeReg(in.rd, cpu_.pc + 2);
+            cpu_.redirect = cpu_.pc + in.imm;
+            break;
+          case isa::JumpKind::Jr:
+            if (!cpu_.regReady(in.rs1))
+                return stallCpu();
+            cpu_.redirect =
+                static_cast<uint32_t>(cpu_.readReg(in.rs1));
+            break;
+          case isa::JumpKind::Jalr: {
+            if (!cpu_.regReady(in.rs1))
+                return stallCpu();
+            const uint32_t target =
+                static_cast<uint32_t>(cpu_.readReg(in.rs1));
+            cpu_.writeReg(in.rd, cpu_.pc + 2);
+            cpu_.redirect = target;
+            break;
+          }
+        }
+        ++stats_.branches;
+        ++stats_.takenBranches;
+        break;
+      }
+      case Major::Mvfc: {
+        if (fpu_.transferStall(in.fr))
+            return stallCpu();
+        if (fpu_.currentElementInterlock(in.fr, false))
+            return stallCpu();
+        if (!handleHazard(in.fr, false))
+            return false;
+        cpu_.scheduleWrite(in.rd, fpu_.readForTransfer(in.fr), 2);
+        break;
+      }
+      case Major::Halt:
+        cpu_.halted = true;
+        ++stats_.instructionsIssued;
+        if (tracer_)
+            tracer_->record(cycle, TraceKind::CpuIssue, "halt");
+        return true;
+      default:
+        fatal("Machine: unknown opcode at pc=" + std::to_string(cpu_.pc));
+    }
+
+    if (tracer_ && in.major != Major::FpAlu) {
+        tracer_->record(cycle, TraceKind::CpuIssue,
+                        isa::disassemble(in));
+    }
+    finishIssue(redirect_pending);
+    return true;
+}
+
+} // namespace mtfpu::machine

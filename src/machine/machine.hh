@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The whole-machine cycle model: one MultiTitan processor as in
+ * Figure 1 — the CPU, the FPU coprocessor, and the shared memory
+ * system — driven in lock step.
+ *
+ * Issue rules implemented here (paper §2, validated cycle-exactly
+ * against Figures 5-8 and 13 in the tests):
+ *   - the CPU issues at most one instruction per cycle, in order;
+ *   - an FPU ALU instruction transfers into the ALU IR only when the
+ *     IR is empty and no element issued this cycle; its first element
+ *     issues the same cycle;
+ *   - the ALU IR re-issues one element per cycle, interlocked by the
+ *     scoreboard, while the CPU continues issuing loads/stores and
+ *     loop overhead (peak two operations per cycle);
+ *   - FPU load data is visible to elements issuing the next cycle;
+ *     CPU load data is visible two cycles after issue (one delay
+ *     slot);
+ *   - stores occupy the memory port for two cycles;
+ *   - branches and jumps have one (always-executed) delay slot;
+ *   - cache misses freeze the whole machine (lock-step stall).
+ */
+
+#ifndef MTFPU_MACHINE_MACHINE_HH
+#define MTFPU_MACHINE_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "cpu/cpu.hh"
+#include "fpu/fpu.hh"
+#include "machine/config.hh"
+#include "machine/stats.hh"
+#include "machine/tracer.hh"
+#include "memory/memory_system.hh"
+
+namespace mtfpu::machine
+{
+
+/** One MultiTitan processor. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig{});
+
+    /** Load a program image; resets architectural state. */
+    void loadProgram(assembler::Program program);
+
+    /** Run from the current PC until halt (plus pipeline drain). */
+    RunStats run();
+
+    /**
+     * Reset architectural and statistics state for another run of the
+     * same program. Keeping the caches warm models the paper's
+     * "run the loops twice" warm-cache methodology.
+     */
+    void resetForRun(bool flush_caches);
+
+    /** Attach (or detach with nullptr) a trace sink. */
+    void attachTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Model an interrupt (paper §2.3.1): from @p cycle, the CPU stops
+     * issuing for @p duration cycles (as if vectored to a handler)
+     * while the FPU keeps re-issuing vector elements — "vector ALU
+     * instructions may continue long after an interrupt". Cleared by
+     * resetForRun.
+     */
+    void
+    scheduleInterrupt(uint64_t cycle, uint64_t duration)
+    {
+        interruptAt_ = cycle;
+        interruptLen_ = duration;
+    }
+
+    memory::MainMemory &mem() { return memsys_.mem(); }
+    memory::MemorySystem &memorySystem() { return memsys_; }
+    fpu::Fpu &fpu() { return fpu_; }
+    cpu::Cpu &cpu() { return cpu_; }
+    const MachineConfig &config() const { return config_; }
+    const assembler::Program &program() const { return program_; }
+
+  private:
+    /** Attempt one CPU instruction issue; true if something issued. */
+    bool tryCpuIssue(uint64_t cycle);
+
+    /**
+     * Advance PC after an issue. @p redirect_pending is whether a
+     * taken branch was already outstanding when this instruction
+     * (its delay slot) issued — only then does the redirect fire.
+     */
+    void finishIssue(bool redirect_pending);
+
+    /** Record a CPU stall cycle and return false (issue helper). */
+    bool stallCpu();
+
+    /** Handle an unissued-element race per the configured policy. */
+    bool handleHazard(unsigned reg, bool include_sources);
+
+    /** Evaluate an integer ALU function. */
+    static uint64_t execAlu(isa::AluFunc func, uint64_t a, uint64_t b);
+
+    /** Evaluate a branch condition. */
+    static bool evalBranch(isa::BranchCond cond, uint64_t a, uint64_t b);
+
+    MachineConfig config_;
+    memory::MemorySystem memsys_;
+    fpu::Fpu fpu_;
+    cpu::Cpu cpu_;
+    assembler::Program program_;
+    Tracer *tracer_ = nullptr;
+
+    // Per-run microarchitectural state.
+    uint64_t memPortFreeAt_ = 0;
+    int64_t fetchedPc_ = -1;
+    uint64_t globalStall_ = 0;
+    uint64_t interruptAt_ = UINT64_MAX;
+    uint64_t interruptLen_ = 0;
+    RunStats stats_;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_MACHINE_HH

@@ -1,0 +1,47 @@
+#include "machine/stats.hh"
+
+#include <cstdio>
+
+namespace mtfpu::machine
+{
+
+std::string
+RunStats::summary() const
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "cycles:            %llu\n"
+        "instructions:      %llu\n"
+        "  loads/stores:    %llu / %llu (fp: %llu / %llu)\n"
+        "  fp alu transfers:%llu (vector %llu, scalar %llu)\n"
+        "  branches:        %llu (taken %llu)\n"
+        "fp elements:       %llu (squashed %llu)\n"
+        "stalls:            memory %llu, cpu %llu\n"
+        "dual-issue cycles: %llu\n"
+        "dcache:            %llu hits / %llu misses\n"
+        "ibuffer:           %llu hits / %llu misses\n",
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(instructionsIssued),
+        static_cast<unsigned long long>(loads),
+        static_cast<unsigned long long>(stores),
+        static_cast<unsigned long long>(fpLoads),
+        static_cast<unsigned long long>(fpStores),
+        static_cast<unsigned long long>(fpAluTransfers),
+        static_cast<unsigned long long>(fpu.vectorInstructions),
+        static_cast<unsigned long long>(fpu.scalarInstructions),
+        static_cast<unsigned long long>(branches),
+        static_cast<unsigned long long>(takenBranches),
+        static_cast<unsigned long long>(fpu.elementsIssued),
+        static_cast<unsigned long long>(fpu.squashedElements),
+        static_cast<unsigned long long>(memoryStallCycles),
+        static_cast<unsigned long long>(cpuStallCycles),
+        static_cast<unsigned long long>(dualIssueCycles),
+        static_cast<unsigned long long>(dataCache.hits),
+        static_cast<unsigned long long>(dataCache.misses),
+        static_cast<unsigned long long>(instrBuffer.hits),
+        static_cast<unsigned long long>(instrBuffer.misses));
+    return buf;
+}
+
+} // namespace mtfpu::machine

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Run statistics collected by the Machine, plus the MFLOPS accounting
+ * used to regenerate the paper's tables (Livermore convention: the
+ * kernel declares its useful FLOP count; the machine supplies time).
+ */
+
+#ifndef MTFPU_MACHINE_STATS_HH
+#define MTFPU_MACHINE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fpu/fpu.hh"
+#include "memory/direct_mapped_cache.hh"
+
+namespace mtfpu::machine
+{
+
+/** Everything a run produces besides architectural state. */
+struct RunStats
+{
+    /** Index of the last active cycle (paper-figure convention). */
+    uint64_t cycles = 0;
+
+    uint64_t instructionsIssued = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t fpLoads = 0;
+    uint64_t fpStores = 0;
+    uint64_t fpAluTransfers = 0;
+    uint64_t branches = 0;
+    uint64_t takenBranches = 0;
+
+    /** Cycles lost to lock-step global stalls (cache misses). */
+    uint64_t memoryStallCycles = 0;
+    /** Cycles the CPU could not issue (structural/data stalls). */
+    uint64_t cpuStallCycles = 0;
+    /** Cycles in which both a CPU op and an FPU element issued. */
+    uint64_t dualIssueCycles = 0;
+
+    fpu::FpuStats fpu{};
+    memory::CacheStats dataCache{};
+    memory::CacheStats instrBuffer{};
+    memory::CacheStats instrCache{};
+
+    /** Elapsed simulated time for @p cycle_ns per cycle. */
+    double
+    seconds(double cycle_ns) const
+    {
+        return static_cast<double>(cycles) * cycle_ns * 1e-9;
+    }
+
+    /** MFLOPS given a kernel-declared useful FLOP count. */
+    double
+    mflops(double flops, double cycle_ns) const
+    {
+        const double s = seconds(cycle_ns);
+        return s > 0.0 ? flops / s * 1e-6 : 0.0;
+    }
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_STATS_HH

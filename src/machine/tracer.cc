@@ -1,0 +1,91 @@
+#include "machine/tracer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mtfpu::machine
+{
+
+std::string
+Tracer::renderLog() const
+{
+    std::string out;
+    char buf[160];
+    for (const TraceEvent &e : events_) {
+        const char *kind = "?";
+        switch (e.kind) {
+          case TraceKind::CpuIssue: kind = "cpu  "; break;
+          case TraceKind::FpTransfer: kind = "xfer "; break;
+          case TraceKind::FpElement: kind = "elem "; break;
+          case TraceKind::FpWriteback: kind = "wb   "; break;
+          case TraceKind::FpLoadData: kind = "lddat"; break;
+          case TraceKind::GlobalStall: kind = "stall"; break;
+        }
+        std::snprintf(buf, sizeof(buf), "%6llu  %s %s\n",
+                      static_cast<unsigned long long>(e.cycle), kind,
+                      e.text.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+Tracer::renderTimeline() const
+{
+    // Rows: FPU elements, in issue order. Each element issued at cycle
+    // c completes at the cycle recorded in its matching writeback (or
+    // c + latency as a fallback while still in flight).
+    struct Row
+    {
+        std::string label;
+        uint64_t issue;
+        uint64_t complete;
+    };
+    std::vector<Row> rows;
+    uint64_t max_cycle = 0;
+
+    for (const TraceEvent &e : events_) {
+        max_cycle = std::max(max_cycle, e.cycle);
+        if (e.kind == TraceKind::FpElement)
+            rows.push_back(Row{e.text, e.cycle, e.cycle + e.extra});
+        else if (e.kind == TraceKind::FpWriteback && e.extra != 0) {
+            // extra carries the issue cycle; match the open row.
+            for (Row &r : rows) {
+                if (r.issue == e.extra && r.complete < e.cycle)
+                    r.complete = e.cycle;
+            }
+        }
+    }
+    for (const Row &r : rows)
+        max_cycle = std::max(max_cycle, r.complete);
+
+    size_t label_w = 8;
+    for (const Row &r : rows)
+        label_w = std::max(label_w, r.label.size());
+
+    std::string out;
+    // Cycle header (mod-10 digits to keep it compact).
+    out.append(label_w + 2, ' ');
+    for (uint64_t c = 0; c <= max_cycle; ++c)
+        out += static_cast<char>('0' + (c % 10));
+    out += '\n';
+
+    for (const Row &r : rows) {
+        out += r.label;
+        out.append(label_w - r.label.size() + 2, ' ');
+        for (uint64_t c = 0; c <= max_cycle; ++c) {
+            if (c == r.issue)
+                out += 'I';
+            else if (c == r.complete)
+                out += 'W';
+            else if (c > r.issue && c < r.complete)
+                out += '=';
+            else
+                out += '.';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace mtfpu::machine

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cycle-by-cycle trace collection and the timing-diagram renderer
+ * used to regenerate the paper's Figure 5-8 pipeline diagrams.
+ */
+
+#ifndef MTFPU_MACHINE_TRACER_HH
+#define MTFPU_MACHINE_TRACER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtfpu::machine
+{
+
+/** Kinds of trace events. */
+enum class TraceKind
+{
+    CpuIssue,    // a CPU instruction issued
+    FpTransfer,  // an FPU ALU instruction entered the ALU IR
+    FpElement,   // a vector element issued (text shows the element)
+    FpWriteback, // an element's result was written back
+    FpLoadData,  // FPU load data reached the register file
+    GlobalStall, // lock-step stall began (cache miss)
+};
+
+/** One event. */
+struct TraceEvent
+{
+    uint64_t cycle;
+    TraceKind kind;
+    std::string text;
+    uint64_t extra = 0; // e.g. stall length, completion cycle
+};
+
+/** Event sink; attach to a Machine to record a run. */
+class Tracer
+{
+  public:
+    void
+    record(uint64_t cycle, TraceKind kind, std::string text,
+           uint64_t extra = 0)
+    {
+        events_.push_back(TraceEvent{cycle, kind, std::move(text), extra});
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /**
+     * Render a Figure 5-8 style timing diagram: one row per issued
+     * FPU element, columns are cycles; 'T' marks the CPU transfer
+     * cycle of the owning instruction, '=' spans issue to writeback.
+     */
+    std::string renderTimeline() const;
+
+    /** Render a flat cycle-ordered event listing. */
+    std::string renderLog() const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_TRACER_HH

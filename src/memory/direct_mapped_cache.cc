@@ -1,0 +1,74 @@
+#include "memory/direct_mapped_cache.hh"
+
+#include "common/log.hh"
+
+namespace mtfpu::memory
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+DirectMappedCache::DirectMappedCache(const CacheConfig &config)
+    : config_(config)
+{
+    if (!isPowerOfTwo(config.sizeBytes) || !isPowerOfTwo(config.lineBytes))
+        fatal("DirectMappedCache: size and line must be powers of two");
+    if (config.lineBytes > config.sizeBytes)
+        fatal("DirectMappedCache: line larger than cache");
+    lines_.resize(config.sizeBytes / config.lineBytes);
+}
+
+uint64_t
+DirectMappedCache::lineIndex(uint64_t addr) const
+{
+    return (addr / config_.lineBytes) % lines_.size();
+}
+
+uint64_t
+DirectMappedCache::tagOf(uint64_t addr) const
+{
+    return addr / config_.lineBytes / lines_.size();
+}
+
+unsigned
+DirectMappedCache::access(uint64_t addr, bool is_write)
+{
+    Line &line = lines_[lineIndex(addr)];
+    const uint64_t tag = tagOf(addr);
+
+    if (line.valid && line.tag == tag) {
+        ++stats_.hits;
+        return 0;
+    }
+
+    ++stats_.misses;
+    if (!is_write || config_.writeAllocate) {
+        line.valid = true;
+        line.tag = tag;
+    }
+    return config_.missPenalty;
+}
+
+bool
+DirectMappedCache::probe(uint64_t addr) const
+{
+    const Line &line = lines_[lineIndex(addr)];
+    return line.valid && line.tag == tagOf(addr);
+}
+
+void
+DirectMappedCache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+} // namespace mtfpu::memory

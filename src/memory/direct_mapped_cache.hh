@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Direct-mapped cache timing model. The MultiTitan has a 64 KB
+ * direct-mapped data cache with 16-byte lines and a 14-cycle miss
+ * penalty, shared by the CPU and FPU (paper §2, Figure 1), and a 2 KB
+ * on-chip instruction buffer backed by a 64 KB external instruction
+ * cache. This is a timing/tag model only — data always comes from
+ * MainMemory (the caches are never incoherent in a uniprocessor).
+ */
+
+#ifndef MTFPU_MEMORY_DIRECT_MAPPED_CACHE_HH
+#define MTFPU_MEMORY_DIRECT_MAPPED_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mtfpu::memory
+{
+
+/** Per-cache access statistics. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+
+    /** Miss ratio in [0, 1]; 0 when there were no accesses. */
+    double
+    missRatio() const
+    {
+        return accesses() == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses());
+    }
+};
+
+/** Configuration for one cache. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 64 * 1024;
+    uint64_t lineBytes = 16;
+    unsigned missPenalty = 14;
+    /** Allocate lines on write misses (write-back style). */
+    bool writeAllocate = true;
+};
+
+/**
+ * A direct-mapped tag array. access() returns the stall penalty in
+ * cycles (0 on a hit).
+ */
+class DirectMappedCache
+{
+  public:
+    explicit DirectMappedCache(const CacheConfig &config);
+
+    /**
+     * Perform one access.
+     *
+     * @param addr Byte address.
+     * @param is_write True for stores.
+     * @return Stall penalty in cycles (0 on a hit).
+     */
+    unsigned access(uint64_t addr, bool is_write);
+
+    /** True if @p addr would hit right now (no state change). */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate all lines (cold-start). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+    };
+
+    uint64_t lineIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig config_;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+};
+
+} // namespace mtfpu::memory
+
+#endif // MTFPU_MEMORY_DIRECT_MAPPED_CACHE_HH

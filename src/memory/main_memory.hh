@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Flat byte-addressed main memory with 64-bit accessors. The
+ * MultiTitan's data paths are 64 bits wide; all FPU loads and stores
+ * move aligned 64-bit words.
+ */
+
+#ifndef MTFPU_MEMORY_MAIN_MEMORY_HH
+#define MTFPU_MEMORY_MAIN_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtfpu::memory
+{
+
+/** Simple flat memory; addresses are byte addresses. */
+class MainMemory
+{
+  public:
+    /** Create a memory of @p size bytes (default 4 MB). */
+    explicit MainMemory(size_t size = 4u << 20);
+
+    /** Memory size in bytes. */
+    size_t size() const { return data_.size(); }
+
+    /** Read an aligned 64-bit word; fatal() on misalignment/range. */
+    uint64_t read64(uint64_t addr) const;
+
+    /** Write an aligned 64-bit word; fatal() on misalignment/range. */
+    void write64(uint64_t addr, uint64_t value);
+
+    /** Convenience: read a double at @p addr. */
+    double readDouble(uint64_t addr) const;
+
+    /** Convenience: write a double at @p addr. */
+    void writeDouble(uint64_t addr, double value);
+
+    /** Zero all of memory. */
+    void clear();
+
+  private:
+    void check(uint64_t addr) const;
+
+    std::vector<uint64_t> data_; // word-granular backing store
+};
+
+} // namespace mtfpu::memory
+
+#endif // MTFPU_MEMORY_MAIN_MEMORY_HH

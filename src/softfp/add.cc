@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The add unit: IEEE-754 binary64 addition and subtraction with
+ * round-to-nearest-even. The hardware uses separate specialized paths
+ * for aligned operands and normalized results (paper §2.2.3); this
+ * model reproduces the arithmetic contract, not the circuit structure.
+ */
+
+#include <utility>
+
+#include "common/bitfield.hh"
+#include "softfp/fp64.hh"
+#include "softfp/unpack.hh"
+
+namespace mtfpu::softfp
+{
+
+namespace
+{
+
+/**
+ * Add magnitudes of two operands with equal signs.
+ * Significands are in "bit-55" working form (leading 1 at bit 55,
+ * GRS in bits 2..0).
+ */
+uint64_t
+addMagnitudes(bool sign, int32_t ea, uint64_t sa, int32_t eb, uint64_t sb,
+              Flags &flags)
+{
+    if (ea < eb) {
+        std::swap(ea, eb);
+        std::swap(sa, sb);
+    }
+    sb = shiftRightSticky(sb, static_cast<unsigned>(ea - eb));
+    uint64_t sum = sa + sb;
+    if (sum >> 56) {
+        sum = shiftRightSticky(sum, 1);
+        ++ea;
+    }
+    return roundPack(sign, ea, sum, flags);
+}
+
+/**
+ * Subtract the smaller magnitude from the larger; the result carries
+ * the larger operand's sign. Exact cancellation yields +0 (the
+ * round-to-nearest-even convention).
+ */
+uint64_t
+subMagnitudes(bool sign_a, int32_t ea, uint64_t sa,
+              bool sign_b, int32_t eb, uint64_t sb, Flags &flags)
+{
+    // Order so that (ea, sa) is the strictly larger magnitude.
+    bool sign = sign_a;
+    if (ea < eb || (ea == eb && sa < sb)) {
+        std::swap(ea, eb);
+        std::swap(sa, sb);
+        sign = sign_b;
+    } else if (ea == eb && sa == sb) {
+        return 0; // +0
+    }
+
+    sb = shiftRightSticky(sb, static_cast<unsigned>(ea - eb));
+    uint64_t diff = sa - sb;
+
+    // Renormalize: bring the leading 1 back to bit 55. When the
+    // shifted-out sticky bit is set the difference is already within
+    // one position of normalized, so no information is lost.
+    const unsigned lead = 63 - clz64(diff);
+    if (lead < 55) {
+        const unsigned shift = 55 - lead;
+        diff <<= shift;
+        ea -= static_cast<int32_t>(shift);
+    }
+    return roundPack(sign, ea, diff, flags);
+}
+
+} // anonymous namespace
+
+uint64_t
+fpAdd(uint64_t a, uint64_t b, Flags &flags)
+{
+    if (isNaN(a) || isNaN(b))
+        return propagateNaN(a, b, flags);
+
+    if (isInf(a) || isInf(b)) {
+        if (isInf(a) && isInf(b) && signOf(a) != signOf(b)) {
+            flags.invalid = true;
+            return kQuietNaN;
+        }
+        return isInf(a) ? a : b;
+    }
+
+    const Operand oa = unpackOperand(a);
+    const Operand ob = unpackOperand(b);
+
+    if (oa.cls == FpClass::Zero && ob.cls == FpClass::Zero) {
+        // +0 + +0 = +0, -0 + -0 = -0, mixed = +0 (RNE).
+        return (oa.sign && ob.sign) ? kSignBit : 0;
+    }
+    if (oa.cls == FpClass::Zero)
+        return b;
+    if (ob.cls == FpClass::Zero)
+        return a;
+
+    // Working form: 3 guard/round/sticky bits below the significand.
+    const uint64_t sa = oa.sig << 3;
+    const uint64_t sb = ob.sig << 3;
+
+    if (oa.sign == ob.sign)
+        return addMagnitudes(oa.sign, oa.exp, sa, ob.exp, sb, flags);
+    return subMagnitudes(oa.sign, oa.exp, sa, ob.sign, ob.exp, sb, flags);
+}
+
+uint64_t
+fpSub(uint64_t a, uint64_t b, Flags &flags)
+{
+    if (isNaN(b))
+        return propagateNaN(a, b, flags);
+    return fpAdd(a, b ^ kSignBit, flags);
+}
+
+} // namespace mtfpu::softfp

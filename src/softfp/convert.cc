@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The conversion operations of the add unit (Figure 4): "float"
+ * (two's-complement int64 -> double, RNE) and "truncate"
+ * (double -> int64, round toward zero).
+ */
+
+#include "common/bitfield.hh"
+#include "softfp/fp64.hh"
+#include "softfp/unpack.hh"
+
+namespace mtfpu::softfp
+{
+
+uint64_t
+fpFloat(uint64_t a, Flags &flags)
+{
+    const int64_t value = static_cast<int64_t>(a);
+    if (value == 0)
+        return 0;
+
+    const bool sign = value < 0;
+    // Magnitude; INT64_MIN is handled correctly by unsigned negation.
+    const uint64_t mag = sign ? 0 - static_cast<uint64_t>(value)
+                              : static_cast<uint64_t>(value);
+
+    const int msb = 63 - static_cast<int>(clz64(mag));
+    const int32_t e = kExpBias + msb;
+
+    // Bring the leading 1 to bit 55 of the working significand.
+    uint64_t sig;
+    if (msb <= 55)
+        sig = mag << (55 - msb);
+    else
+        sig = shiftRightSticky(mag, static_cast<unsigned>(msb - 55));
+
+    return roundPack(sign, e, sig, flags);
+}
+
+uint64_t
+fpTruncate(uint64_t a, Flags &flags)
+{
+    // Saturation value for out-of-range and invalid conversions.
+    constexpr uint64_t kIntMin = 1ULL << 63;
+    constexpr uint64_t kIntMax = ~kIntMin;
+
+    switch (classify(a)) {
+      case FpClass::NaN:
+        flags.invalid = true;
+        return kIntMin;
+      case FpClass::Inf:
+        flags.invalid = true;
+        return signOf(a) ? kIntMin : kIntMax;
+      case FpClass::Zero:
+        return 0;
+      case FpClass::Subnormal:
+        flags.inexact = true;
+        return 0;
+      case FpClass::Normal:
+        break;
+    }
+
+    const Operand op = unpackOperand(a);
+    const int32_t pow = op.exp - kExpBias; // value = sig/2^52 * 2^pow
+
+    if (pow < 0) {
+        flags.inexact = true;
+        return 0;
+    }
+    if (pow > 62) {
+        // Magnitude >= 2^63: only INT64_MIN itself is representable.
+        if (op.sign && pow == 63 && op.sig == kHiddenBit)
+            return kIntMin;
+        flags.invalid = true;
+        return op.sign ? kIntMin : kIntMax;
+    }
+
+    uint64_t mag;
+    if (pow >= kFracBits) {
+        mag = op.sig << (pow - kFracBits);
+    } else {
+        mag = op.sig >> (kFracBits - pow);
+        if (op.sig & lowMask(static_cast<unsigned>(kFracBits - pow)))
+            flags.inexact = true;
+    }
+
+    return op.sign ? 0 - mag : mag;
+}
+
+} // namespace mtfpu::softfp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Division support. fpDivide() models the architectural six-operation
+ * macro sequence (recip, mul, iter, mul, iter, mul — §2.2.3: "Division
+ * is implemented as a series of six 3-cycle operations"); refDivide()
+ * is the bit-exact IEEE long-division oracle used by the tests.
+ */
+
+#include "common/bitfield.hh"
+#include "softfp/fp64.hh"
+#include "softfp/unpack.hh"
+
+namespace mtfpu::softfp
+{
+
+namespace
+{
+
+/**
+ * Resolve special-operand cases common to both division paths.
+ * @return true if @p result holds the final answer.
+ */
+bool
+divideSpecial(uint64_t a, uint64_t b, Flags &flags, uint64_t &result)
+{
+    if (isNaN(a) || isNaN(b)) {
+        result = propagateNaN(a, b, flags);
+        return true;
+    }
+
+    const bool sign = signOf(a) != signOf(b);
+    const uint64_t sbit = sign ? kSignBit : 0;
+
+    if (isInf(a)) {
+        if (isInf(b)) {
+            flags.invalid = true;
+            result = kQuietNaN;
+        } else {
+            result = sbit | kPlusInf;
+        }
+        return true;
+    }
+    if (isInf(b)) {
+        result = sbit;
+        return true;
+    }
+    if (isZero(b)) {
+        if (isZero(a)) {
+            flags.invalid = true;
+            result = kQuietNaN;
+        } else {
+            flags.divByZero = true;
+            result = sbit | kPlusInf;
+        }
+        return true;
+    }
+    if (isZero(a)) {
+        result = sbit;
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+uint64_t
+refDivide(uint64_t a, uint64_t b, Flags &flags)
+{
+    uint64_t special;
+    if (divideSpecial(a, b, flags, special))
+        return special;
+
+    Operand oa = unpackOperand(a);
+    Operand ob = unpackOperand(b);
+    normalizeOperand(oa);
+    normalizeOperand(ob);
+
+    const bool sign = oa.sign != ob.sign;
+    int32_t e = oa.exp - ob.exp + kExpBias;
+
+    // Long division of significands. The quotient m_a / m_b lies in
+    // (0.5, 2); pre-shift the numerator so the integer quotient has its
+    // leading 1 at bit 55 of the working form.
+    unsigned shift = 55;
+    if (oa.sig < ob.sig) {
+        shift = 56;
+        --e;
+    }
+    const unsigned __int128 num =
+        static_cast<unsigned __int128>(oa.sig) << shift;
+    uint64_t q = static_cast<uint64_t>(num / ob.sig);
+    if (num % ob.sig)
+        q |= 1; // sticky
+
+    return roundPack(sign, e, q, flags);
+}
+
+uint64_t
+fpDivide(uint64_t a, uint64_t b, Flags &flags)
+{
+    uint64_t special;
+    if (divideSpecial(a, b, flags, special))
+        return special;
+
+    Operand ob = unpackOperand(b);
+    normalizeOperand(ob);
+
+    // Run the Newton-Raphson refinement on the normalized mantissa of b
+    // (exponent stripped) so the intermediate products stay comfortably
+    // in range; the quotient exponent is applied by roundPack at the
+    // final multiply.
+    const uint64_t mant_b =
+        (static_cast<uint64_t>(kExpBias) << kFracBits) |
+        (ob.sig & kFracMask);
+
+    Flags scratch; // intermediate-step inexactness is not architectural
+    uint64_t r = fpRecipApprox(mant_b, scratch);      // op 1: ~2^-16
+    uint64_t t = fpMul(mant_b, r, scratch);           // op 2
+    r = fpIterStep(r, t, scratch);                    // op 3: ~2^-32
+    t = fpMul(mant_b, r, scratch);                    // op 4
+    r = fpIterStep(r, t, scratch);                    // op 5: ~2^-60
+
+    // Final multiply: q = a * (1/m_b) * 2^-(E_b). Fold the exponent in
+    // by unpacking the refined reciprocal and repacking through
+    // roundPack, which handles overflow/underflow of the quotient.
+    Operand oa = unpackOperand(a);
+    normalizeOperand(oa);
+    Operand orr = unpackOperand(r);
+    normalizeOperand(orr);
+
+    const bool sign = oa.sign != ob.sign;
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(oa.sig) * orr.sig;
+
+    int32_t e = oa.exp + (orr.exp - kExpBias) - (ob.exp - kExpBias);
+    unsigned shift = 49;
+    if (prod >> 105) {
+        shift = 50;
+        ++e;
+    }
+    uint64_t sig = static_cast<uint64_t>(prod >> shift);
+    if (static_cast<uint64_t>(prod) & lowMask(shift))
+        sig |= 1;
+
+    return roundPack(sign, e, sig, flags);
+}
+
+} // namespace mtfpu::softfp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The reciprocal-approximation unit (Figure 4, unit 3): a 16-bit-
+ * accurate seed for 1/x via linear interpolation (paper §2.2.3), plus
+ * the iteration-step operation of the multiply unit used to refine it.
+ */
+
+#include "softfp/recip.hh"
+
+#include <cmath>
+
+#include "common/bitfield.hh"
+#include "softfp/fp64.hh"
+#include "softfp/unpack.hh"
+
+namespace mtfpu::softfp
+{
+
+const std::array<RecipEntry, kRecipTableSize> &
+recipTable()
+{
+    static const auto table = [] {
+        std::array<RecipEntry, kRecipTableSize> t;
+        for (unsigned i = 0; i < kRecipTableSize; ++i) {
+            // Chord (secant) fit of 1/x across [x0, x1): exact at both
+            // interval endpoints, maximum relative error f''*d^2/8
+            // which is below 2^-16 for 256 intervals.
+            const double x0 = 1.0 + static_cast<double>(i) /
+                                        kRecipTableSize;
+            const double x1 = 1.0 + static_cast<double>(i + 1) /
+                                        kRecipTableSize;
+            const double r0 = 1.0 / x0;
+            const double r1 = 1.0 / x1;
+            t[i] = {r0, (r1 - r0) * kRecipTableSize};
+        }
+        return t;
+    }();
+    return table;
+}
+
+double
+recipMantissa(uint64_t frac52)
+{
+    // Index by the top 8 fraction bits; interpolate on the rest.
+    const unsigned index =
+        static_cast<unsigned>(frac52 >> (kFracBits - 8));
+    const uint64_t rem = frac52 & lowMask(kFracBits - 8);
+    const double t =
+        static_cast<double>(rem) /
+        static_cast<double>(1ULL << (kFracBits - 8));
+    const RecipEntry &entry = recipTable()[index];
+    return entry.base + entry.slope * (t / kRecipTableSize);
+}
+
+uint64_t
+fpRecipApprox(uint64_t a, Flags &flags)
+{
+    switch (classify(a)) {
+      case FpClass::NaN:
+        return propagateNaN(a, a, flags);
+      case FpClass::Inf:
+        return signOf(a) ? kSignBit : 0;
+      case FpClass::Zero:
+        flags.divByZero = true;
+        return (a & kSignBit) | kPlusInf;
+      default:
+        break;
+    }
+
+    Operand op = unpackOperand(a);
+    normalizeOperand(op);
+
+    // 1/(m * 2^E) = (1/m) * 2^-E with 1/m in (0.5, 1].
+    const double rm = recipMantissa(op.sig & kFracMask);
+    const int unbiased = op.exp - kExpBias;
+    double seed = std::ldexp(rm, -unbiased);
+    if (op.sign)
+        seed = -seed;
+
+    if (std::isinf(seed)) {
+        flags.overflow = true;
+        flags.inexact = true;
+    } else if (seed == 0.0 || std::fpclassify(seed) == FP_SUBNORMAL) {
+        flags.underflow = true;
+        flags.inexact = true;
+    } else if ((op.sig & kFracMask) != 0) {
+        // The interpolated seed is an approximation; powers of two
+        // (zero fraction) hit the table's exact left endpoint.
+        flags.inexact = true;
+    }
+    return fromDouble(seed);
+}
+
+uint64_t
+fpIterStep(uint64_t x, uint64_t t, Flags &flags)
+{
+    // One Newton-Raphson refinement: x * (2 - t), where t = b * x.
+    // Modeled as a subtract feeding the multiplier array (two
+    // roundings); the refined seed doubles its accurate bits per step.
+    static const uint64_t two = fromDouble(2.0);
+    const uint64_t correction = fpSub(two, t, flags);
+    return fpMul(x, correction, flags);
+}
+
+} // namespace mtfpu::softfp

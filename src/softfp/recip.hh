@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internals of the reciprocal-approximation unit, exposed so the test
+ * suite can check the table construction and the seed accuracy bound.
+ */
+
+#ifndef MTFPU_SOFTFP_RECIP_HH
+#define MTFPU_SOFTFP_RECIP_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mtfpu::softfp
+{
+
+/** Number of interpolation intervals across the mantissa range [1, 2). */
+constexpr unsigned kRecipTableSize = 256;
+
+/**
+ * One chord-interpolation entry: the value of 1/x at the left edge of
+ * the interval and the (negative) slope to the right edge, both as
+ * host doubles (the table is a design-time constant in the hardware).
+ */
+struct RecipEntry
+{
+    double base;
+    double slope;
+};
+
+/** The interpolation table (built once, deterministic). */
+const std::array<RecipEntry, kRecipTableSize> &recipTable();
+
+/**
+ * Approximate 1/m for a mantissa m in [1, 2), given its 52-bit
+ * fraction field. The result is in (0.5, 1] and accurate to at least
+ * 2^-16 relative error (verified exhaustively over all table intervals
+ * in the tests).
+ */
+double recipMantissa(uint64_t frac52);
+
+} // namespace mtfpu::softfp
+
+#endif // MTFPU_SOFTFP_RECIP_HH

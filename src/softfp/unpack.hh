@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Internal operand-unpacking helpers shared by the softfp units.
+ */
+
+#ifndef MTFPU_SOFTFP_UNPACK_HH
+#define MTFPU_SOFTFP_UNPACK_HH
+
+#include "common/bitfield.hh"
+#include "softfp/fp64.hh"
+
+namespace mtfpu::softfp
+{
+
+/** An unpacked finite operand. */
+struct Operand
+{
+    bool sign;
+    /**
+     * Biased exponent. For subnormals this is 1 (so that
+     * value = sig * 2^(exp - bias - 52) holds uniformly).
+     */
+    int32_t exp;
+    /** Significand with hidden bit at position 52 for normals. */
+    uint64_t sig;
+    FpClass cls;
+};
+
+/** Unpack a raw binary64 pattern. */
+inline Operand
+unpackOperand(uint64_t v)
+{
+    Operand op;
+    op.sign = signOf(v);
+    op.cls = classify(v);
+    const int32_t exp_field =
+        static_cast<int32_t>(bits(v, kFracBits, kExpBits));
+    const uint64_t frac = v & kFracMask;
+    switch (op.cls) {
+      case FpClass::Zero:
+        op.exp = 0;
+        op.sig = 0;
+        break;
+      case FpClass::Subnormal:
+        op.exp = 1;
+        op.sig = frac;
+        break;
+      case FpClass::Normal:
+        op.exp = exp_field;
+        op.sig = frac | kHiddenBit;
+        break;
+      default: // Inf, NaN
+        op.exp = exp_field;
+        op.sig = frac;
+        break;
+    }
+    return op;
+}
+
+/**
+ * Normalize a (possibly subnormal) finite nonzero operand so that the
+ * hidden bit (bit 52) is set, adjusting the exponent. Used by multiply
+ * and divide, which need normalized significands.
+ */
+inline void
+normalizeOperand(Operand &op)
+{
+    if (op.sig == 0)
+        return;
+    const unsigned lead = 63 - clz64(op.sig);
+    if (lead < kFracBits) {
+        const unsigned shift = kFracBits - lead;
+        op.sig <<= shift;
+        op.exp -= static_cast<int32_t>(shift);
+    }
+}
+
+/** True for signaling NaN patterns (quiet bit clear). */
+inline bool
+isSignalingNaN(uint64_t v)
+{
+    return isNaN(v) && (v & (1ULL << 51)) == 0;
+}
+
+/**
+ * Propagate NaN: return a quiet version of the first NaN operand,
+ * raising invalid only for signaling NaNs.
+ */
+inline uint64_t
+propagateNaN(uint64_t a, uint64_t b, Flags &flags)
+{
+    if (isSignalingNaN(a) || isSignalingNaN(b))
+        flags.invalid = true;
+    if (isNaN(a))
+        return a | (1ULL << 51); // quiet it
+    return b | (1ULL << 51);
+}
+
+} // namespace mtfpu::softfp
+
+#endif // MTFPU_SOFTFP_UNPACK_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit fields, statistics
+ * helpers, and the table formatter.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace mtfpu
+{
+namespace
+{
+
+TEST(Bitfield, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(4), 0xFu);
+    EXPECT_EQ(lowMask(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(Bitfield, Bits)
+{
+    EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(bits(0xFFFFFFFFFFFFFFFFull, 60, 4), 0xFu);
+    EXPECT_EQ(bits(0x12345678, 0, 32), 0x12345678u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 4, 8, 0xBC), 0xBC0u);
+    EXPECT_EQ(insertBits(0xFFFF, 4, 8, 0), 0xF00Fu);
+    // Field wider than width is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1F), 0xFu);
+}
+
+TEST(Bitfield, InsertThenExtractRoundTrip)
+{
+    for (unsigned lo = 0; lo < 60; lo += 7) {
+        for (unsigned w = 1; w <= 4; ++w) {
+            const uint64_t field = 0x5A5A5A5A & lowMask(w);
+            const uint64_t word = insertBits(0, lo, w, field);
+            EXPECT_EQ(bits(word, lo, w), field);
+        }
+    }
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0x7F, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x1FFF, 14), 8191);
+    EXPECT_EQ(sext(0x3FFF, 14), -1);
+    EXPECT_EQ(sext(0x2000, 14), -8192);
+}
+
+TEST(Bitfield, CountLeadingZeros)
+{
+    EXPECT_EQ(clz64(0), 64u);
+    EXPECT_EQ(clz64(1), 63u);
+    EXPECT_EQ(clz64(1ull << 63), 0u);
+    EXPECT_EQ(clz64(0x00FF000000000000ull), 8u);
+}
+
+TEST(Stats, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({4.0, 4.0, 4.0}), 4.0);
+    // Harmonic mean of {1, 2} is 4/3.
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Stats, HarmonicMeanDominatedBySlowest)
+{
+    // One very slow kernel should drag the mean near its own rate.
+    const double hm = harmonicMean({100.0, 100.0, 1.0});
+    EXPECT_LT(hm, 3.1);
+    EXPECT_GT(hm, 1.0);
+}
+
+TEST(Stats, HarmonicMeanRejectsNonPositive)
+{
+    EXPECT_THROW(harmonicMean({1.0, 0.0}), FatalError);
+}
+
+TEST(Stats, Means)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean({1.0, 4.0}), 2.0);
+}
+
+TEST(Stats, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeError(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(relativeError(1.0, 1.0), 0.0);
+    EXPECT_NEAR(relativeError(1.0, 1.1), 0.1 / 1.1, 1e-12);
+    EXPECT_DOUBLE_EQ(maxRelativeError({1.0, 2.0}, {1.0, 4.0}), 0.5);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"loop", "cold", "warm"});
+    t.addRow({"1", "4.3", "19.0"});
+    t.addRow({"22", "2.4", "2.7"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("loop"), std::string::npos);
+    EXPECT_NE(out.find("19.0"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsArityMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(4.25, 1), "4.2");
+    EXPECT_EQ(TextTable::num(4.25, 2), "4.25");
+}
+
+} // anonymous namespace
+} // namespace mtfpu

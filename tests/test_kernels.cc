@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Kernel-layer tests: the builder DSL, the math library, every
+ * Livermore kernel (scalar and vector variants) validated against its
+ * host reference, Linpack, and the graphics transform.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "kernels/builder.hh"
+#include "kernels/graphics/transform.hh"
+#include "kernels/linpack/linpack.hh"
+#include "kernels/livermore/livermore.hh"
+#include "kernels/mathlib.hh"
+#include "kernels/runner.hh"
+
+namespace mtfpu::kernels
+{
+namespace
+{
+
+machine::MachineConfig
+idealMemory()
+{
+    machine::MachineConfig cfg;
+    cfg.memory.modelCaches = false;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Builder DSL
+// ---------------------------------------------------------------------
+
+TEST(Builder, LayoutAddressesAreSequential)
+{
+    Layout lay;
+    const uint64_t a = lay.define("a", 10);
+    const uint64_t b = lay.define("b", 5);
+    EXPECT_EQ(a, kDataBase);
+    EXPECT_EQ(b, kDataBase + 80);
+    EXPECT_EQ(lay.addr("b", 2), b + 16);
+    EXPECT_THROW(lay.define("a", 1), FatalError);
+    EXPECT_THROW(lay.addr("a", 10), FatalError);
+    EXPECT_THROW(lay.base("zzz"), FatalError);
+}
+
+TEST(Builder, ExpressionCompilerEvaluates)
+{
+    KernelBuilder b;
+    b.array("in", 4);
+    b.array("out", 1);
+    const unsigned rin = b.ireg("rin"), rout = b.ireg("rout");
+    b.fscratch(8);
+    b.loadBase(rin, "in");
+    b.loadBase(rout, "out");
+    // out = (in0 + in1)*in2 - 5.0/in3
+    b.evalStore(eSub(eMul(eAdd(eLoad(rin, 0), eLoad(rin, 8)),
+                          eLoad(rin, 16)),
+                     eDiv(eConst(5.0), eLoad(rin, 24))),
+                rout, 0);
+
+    machine::Machine m(idealMemory());
+    m.loadProgram(b.build());
+    b.initConstants(m.mem());
+    b.layout().fill(m.mem(), "in", {1.5, 2.5, 3.0, 2.0});
+    m.run();
+    EXPECT_NEAR(m.mem().readDouble(b.layout().base("out")),
+                (1.5 + 2.5) * 3.0 - 5.0 / 2.0, 1e-12);
+}
+
+TEST(Builder, VsumMatchesPaperTree)
+{
+    KernelBuilder b;
+    b.array("out", 1);
+    const unsigned rout = b.ireg("rout");
+    const unsigned G = b.fgroup("G", 16);
+    b.fscratch(2);
+    b.loadBase(rout, "out");
+    const unsigned total = b.vsum(G, 8);
+    b.emitf("stf f%u, 0(r%u)", total, rout);
+
+    machine::Machine m(idealMemory());
+    m.loadProgram(b.build());
+    for (unsigned i = 0; i < 8; ++i)
+        m.fpu().regs().writeDouble(G + i, 1.0 + i);
+    m.run();
+    EXPECT_DOUBLE_EQ(m.mem().readDouble(b.layout().base("out")), 36.0);
+}
+
+TEST(Builder, DivisionMacroInExpression)
+{
+    KernelBuilder b;
+    b.array("out", 1);
+    const unsigned rout = b.ireg("rout");
+    b.fscratch(8);
+    b.loadBase(rout, "out");
+    b.evalStore(eDiv(eConst(1.0), eConst(3.0)), rout, 0);
+    machine::Machine m(idealMemory());
+    m.loadProgram(b.build());
+    b.initConstants(m.mem());
+    m.run();
+    EXPECT_NEAR(m.mem().readDouble(b.layout().base("out")), 1.0 / 3.0,
+                1e-15);
+}
+
+TEST(Builder, ScratchExhaustionIsFatal)
+{
+    KernelBuilder b;
+    b.fscratch(2);
+    const unsigned r1 = b.ireg("r1");
+    // A 3-deep load chain needs 3 live scratch registers.
+    EXPECT_THROW(
+        b.eval(eAdd(eLoad(r1, 0),
+                    eAdd(eLoad(r1, 8),
+                         eAdd(eLoad(r1, 16), eLoad(r1, 24))))),
+        FatalError);
+}
+
+TEST(Builder, RegisterPoolsExhaust)
+{
+    KernelBuilder b;
+    for (int i = 0; i < 25; ++i)
+        b.ireg("r" + std::to_string(i));
+    EXPECT_THROW(b.ireg("one_too_many"), FatalError);
+
+    KernelBuilder b2;
+    b2.fgroup("big", 52);
+    EXPECT_THROW(b2.freg("extra"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Math library
+// ---------------------------------------------------------------------
+
+TEST(MathLibHost, RefExpTracksStdExp)
+{
+    for (double x = -20.0; x <= 20.0; x += 0.37) {
+        EXPECT_NEAR(refExp(x), std::exp(x),
+                    std::fabs(std::exp(x)) * 1e-12)
+            << x;
+    }
+}
+
+TEST(MathLibHost, RefSqrtTracksStdSqrt)
+{
+    for (double x = 0.001; x <= 1e6; x *= 3.7) {
+        EXPECT_NEAR(refSqrt(x), std::sqrt(x), std::sqrt(x) * 1e-13)
+            << x;
+    }
+}
+
+TEST(MathLibSim, ExpSubroutineMatchesHostMirrorBitwise)
+{
+    KernelBuilder b;
+    MathLib lib(b);
+    b.array("arg", 1);
+    b.array("res", 1);
+    const unsigned ra = b.ireg("ra");
+    b.fscratch(4);
+    b.loadBase(ra, "arg");
+    b.emitf("ldf f%u, 0(r%u)", kMathArg, ra);
+    lib.call(lib.expLabel());
+    b.loadBase(ra, "res");
+    b.emitf("stf f%u, 0(r%u)", kMathRet, ra);
+    b.emit("halt");
+    lib.emitSubroutines();
+
+    machine::Machine m(idealMemory());
+    m.loadProgram(b.build());
+    for (double x : {-7.5, -1.0, -0.1, 0.0, 0.3, 1.0, 2.718, 9.9}) {
+        m.resetForRun(true);
+        b.initConstants(m.mem());
+        lib.initData(m.mem());
+        m.mem().writeDouble(b.layout().base("arg"), x);
+        m.run();
+        EXPECT_EQ(m.mem().read64(b.layout().base("res")),
+                  softfp::fromDouble(refExp(x)))
+            << "exp(" << x << ")";
+    }
+}
+
+TEST(MathLibSim, SqrtSubroutineAccurate)
+{
+    KernelBuilder b;
+    MathLib lib(b);
+    b.array("arg", 1);
+    b.array("res", 1);
+    const unsigned ra = b.ireg("ra");
+    b.fscratch(4);
+    b.loadBase(ra, "arg");
+    b.emitf("ldf f%u, 0(r%u)", kMathArg, ra);
+    lib.call(lib.sqrtLabel());
+    b.loadBase(ra, "res");
+    b.emitf("stf f%u, 0(r%u)", kMathRet, ra);
+    b.emit("halt");
+    lib.emitSubroutines();
+
+    machine::Machine m(idealMemory());
+    m.loadProgram(b.build());
+    for (double x : {0.01, 0.5, 1.0, 2.0, 3.99, 123.4, 8.1e6}) {
+        m.resetForRun(true);
+        b.initConstants(m.mem());
+        lib.initData(m.mem());
+        m.mem().writeDouble(b.layout().base("arg"), x);
+        m.run();
+        const double got =
+            m.mem().readDouble(b.layout().base("res"));
+        EXPECT_NEAR(got, std::sqrt(x), std::sqrt(x) * 1e-12)
+            << "sqrt(" << x << ")";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Livermore kernels: every variant validates against its reference.
+// ---------------------------------------------------------------------
+
+struct LoopCase
+{
+    int id;
+    bool vector;
+};
+
+class LivermoreValidation : public ::testing::TestWithParam<LoopCase>
+{
+};
+
+TEST_P(LivermoreValidation, ChecksumMatchesReference)
+{
+    const auto [id, vector] = GetParam();
+    const Kernel k = livermore::make(id, vector);
+    const KernelResult r = runKernel(k);
+    EXPECT_TRUE(r.valid)
+        << k.name << " (" << k.variant
+        << ") relative error = " << r.relError;
+    EXPECT_GT(r.mflopsWarm, 0.0);
+    EXPECT_GE(r.mflopsWarm, r.mflopsCold);
+}
+
+std::vector<LoopCase>
+allLoopCases()
+{
+    std::vector<LoopCase> cases;
+    for (int id = 1; id <= livermore::kNumLoops; ++id) {
+        cases.push_back({id, false});
+        if (livermore::hasVectorVariant(id))
+            cases.push_back({id, true});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLoops, LivermoreValidation, ::testing::ValuesIn(allLoopCases()),
+    [](const ::testing::TestParamInfo<LoopCase> &info) {
+        return "lfk" + std::to_string(info.param.id) +
+               (info.param.vector ? "_vector" : "_scalar");
+    });
+
+TEST(Livermore, VectorVariantsBeatScalarWarm)
+{
+    for (int id : {1, 3, 7, 12, 21}) {
+        const KernelResult scalar =
+            runKernel(livermore::make(id, false));
+        const KernelResult vec = runKernel(livermore::make(id, true));
+        EXPECT_GT(vec.mflopsWarm, scalar.mflopsWarm)
+            << "loop " << id;
+    }
+}
+
+TEST(Livermore, RecurrenceVectorizationHelpsLoop11)
+{
+    // The prefix sum is a recurrence: classical vector machines cannot
+    // vectorize it, the unified file can (one element per 3 cycles vs
+    // scalar loop overhead).
+    const KernelResult scalar = runKernel(livermore::make(11, false));
+    const KernelResult vec = runKernel(livermore::make(11, true));
+    EXPECT_GT(vec.mflopsWarm, scalar.mflopsWarm);
+}
+
+TEST(Livermore, WarmCacheBeatsColdSubstantially)
+{
+    // §3.2: cold-cache performance is lower "by factors of about
+    // three to six" for the memory-bound early loops.
+    const KernelResult r = runKernel(livermore::make(1, true));
+    EXPECT_GT(static_cast<double>(r.cold.cycles) /
+                  static_cast<double>(r.warm.cycles),
+              2.0);
+}
+
+TEST(Livermore, RegistryIsConsistent)
+{
+    EXPECT_EQ(livermore::span(1), 1001);
+    EXPECT_EQ(livermore::span(24), 1001);
+    EXPECT_STREQ(livermore::title(3), "inner product");
+    EXPECT_TRUE(livermore::hasVectorVariant(1));
+    EXPECT_FALSE(livermore::hasVectorVariant(5));
+    EXPECT_THROW(livermore::make(5, true), FatalError);
+    EXPECT_THROW(livermore::span(0), FatalError);
+    EXPECT_THROW(livermore::span(25), FatalError);
+    EXPECT_EQ(livermore::all(true).size(), 24u);
+}
+
+TEST(Livermore, TestDataIsDeterministicAndInRange)
+{
+    const auto a = livermore::testData(100, 0.25, 0.75, 7);
+    const auto b2 = livermore::testData(100, 0.25, 0.75, 7);
+    EXPECT_EQ(a, b2);
+    for (double v : a) {
+        EXPECT_GE(v, 0.25);
+        EXPECT_LE(v, 0.75);
+    }
+    const auto c = livermore::testData(100, 0.25, 0.75, 8);
+    EXPECT_NE(a, c);
+}
+
+// ---------------------------------------------------------------------
+// Linpack
+// ---------------------------------------------------------------------
+
+TEST(Linpack, ScalarSolvesBitExactly)
+{
+    const Kernel k = linpack::make(false, 40);
+    const KernelResult r = runKernel(k);
+    EXPECT_TRUE(r.valid) << "relative error " << r.relError;
+}
+
+TEST(Linpack, VectorSolvesBitExactly)
+{
+    const Kernel k = linpack::make(true, 40);
+    const KernelResult r = runKernel(k);
+    EXPECT_TRUE(r.valid) << "relative error " << r.relError;
+}
+
+TEST(Linpack, SolutionSatisfiesResidual)
+{
+    // Independent of the mirror: check ||Ax - b|| on the original
+    // system directly.
+    const int n = 40;
+    const Kernel k = linpack::make(true, n);
+    machine::Machine m;
+    m.loadProgram(k.program);
+    k.init(m.mem());
+    const auto a = k.layout.read(m.mem(), "a");
+    const auto b0 = k.layout.read(m.mem(), "bv");
+    m.run();
+    const auto x = k.layout.read(m.mem(), "bv");
+
+    double worst = 0;
+    for (int i = 0; i < n; ++i) {
+        double r = -b0[i];
+        for (int j = 0; j < n; ++j)
+            r += a[j * n + i] * x[j]; // column-major
+        worst = std::max(worst, std::fabs(r));
+    }
+    EXPECT_LT(worst, 1e-9);
+}
+
+TEST(Linpack, VectorFasterThanScalar)
+{
+    const KernelResult s = runKernel(linpack::make(false, 40));
+    const KernelResult v = runKernel(linpack::make(true, 40));
+    EXPECT_GT(v.mflopsWarm, s.mflopsWarm);
+}
+
+TEST(Linpack, FlopsConvention)
+{
+    EXPECT_NEAR(linpack::linpackFlops(100),
+                2.0 * 100 * 100 * 100 / 3.0 + 2.0 * 100 * 100, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Graphics transform
+// ---------------------------------------------------------------------
+
+TEST(Graphics, PreloadedMatrixMatchesFigure13)
+{
+    std::array<double, 16> mat{};
+    for (int i = 0; i < 16; ++i)
+        mat[i] = 0.125 * (i + 1);
+    const std::array<double, 4> p{1.0, 2.0, 3.0, 4.0};
+    const auto r = graphics::runTransform(idealMemory(), false, mat, p);
+    EXPECT_EQ(r.cycles, 35u);
+    EXPECT_NEAR(r.mflops, 20.0, 0.1);
+    const auto want = graphics::referenceTransform(mat, p);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(r.out[i], want[i]);
+}
+
+TEST(Graphics, MatrixLoadCostsSixteenCycles)
+{
+    std::array<double, 16> mat{};
+    for (int i = 0; i < 16; ++i)
+        mat[i] = 0.125 * (i + 1);
+    const std::array<double, 4> p{1.0, 2.0, 3.0, 4.0};
+    const auto pre = graphics::runTransform(idealMemory(), false, mat, p);
+    const auto full = graphics::runTransform(idealMemory(), true, mat, p);
+    // "If the transformation matrix is not loaded, this will require
+    // an extra 16 cycles" (§3.1).
+    EXPECT_EQ(full.cycles, pre.cycles + 16);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(full.out[i], pre.out[i]);
+}
+
+} // anonymous namespace
+} // namespace mtfpu::kernels

@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Machine-level tests: CPU issue rules (delay slots, store costs,
+ * branches), cache-driven stalls, hazard policies, the functional
+ * interpreter, and randomized semantics-vs-timing property tests.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "machine/interpreter.hh"
+#include "machine/machine.hh"
+
+namespace mtfpu::machine
+{
+namespace
+{
+
+MachineConfig
+idealMemory()
+{
+    MachineConfig cfg;
+    cfg.memory.modelCaches = false;
+    return cfg;
+}
+
+RunStats
+runAsm(Machine &m, const std::string &src)
+{
+    m.loadProgram(assembler::assemble(src));
+    return m.run();
+}
+
+TEST(MachineCpu, IntegerAluAndLoop)
+{
+    Machine m(idealMemory());
+    const RunStats stats = runAsm(m, R"(
+                li   r1, 10
+                li   r2, 0
+        loop:   addi r2, r2, 3
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                nop
+                halt
+    )");
+    EXPECT_EQ(m.cpu().readReg(2), 30u);
+    EXPECT_EQ(stats.branches, 10u);
+    EXPECT_EQ(stats.takenBranches, 9u);
+}
+
+TEST(MachineCpu, BranchDelaySlotAlwaysExecutes)
+{
+    Machine m(idealMemory());
+    runAsm(m, R"(
+                li   r1, 1
+                beq  r0, r0, target
+                addi r2, r0, 99    ; delay slot: must execute
+                addi r2, r0, 1     ; skipped
+        target: halt
+    )");
+    EXPECT_EQ(m.cpu().readReg(2), 99u);
+}
+
+TEST(MachineCpu, NotTakenBranchFallsThrough)
+{
+    Machine m(idealMemory());
+    runAsm(m, R"(
+                bne  r0, r0, away
+                addi r2, r0, 1
+                addi r3, r0, 2
+                halt
+        away:   halt
+    )");
+    EXPECT_EQ(m.cpu().readReg(2), 1u);
+    EXPECT_EQ(m.cpu().readReg(3), 2u);
+}
+
+TEST(MachineCpu, JalAndJrSubroutine)
+{
+    Machine m(idealMemory());
+    runAsm(m, R"(
+                jal  r31, sub
+                nop
+                addi r2, r2, 100   ; after return
+                halt
+        sub:    addi r2, r0, 5
+                jr   r31
+                nop
+    )");
+    EXPECT_EQ(m.cpu().readReg(2), 105u);
+}
+
+TEST(MachineCpu, LoadDelayInterlock)
+{
+    // Using a load result in the very next instruction costs a stall
+    // (the model interlocks where the real hardware exposed the slot).
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+        ld   r1, 0(r0)
+        addi r2, r1, 1
+        halt
+    )"));
+    m.mem().write64(0, 41);
+    const RunStats stats = m.run();
+    EXPECT_EQ(m.cpu().readReg(2), 42u);
+    EXPECT_GE(stats.cpuStallCycles, 1u);
+}
+
+TEST(MachineCpu, ScheduledLoadHasNoStall)
+{
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+        ld   r1, 0(r0)
+        addi r3, r0, 7     ; fills the delay slot
+        addi r2, r1, 1
+        halt
+    )"));
+    m.mem().write64(0, 41);
+    const RunStats stats = m.run();
+    EXPECT_EQ(m.cpu().readReg(2), 42u);
+    EXPECT_EQ(stats.cpuStallCycles, 0u);
+}
+
+TEST(MachineCpu, BackToBackStoresTakeTwoCycles)
+{
+    Machine m(idealMemory());
+    const RunStats s = runAsm(m, R"(
+        st r0, 0(r0)
+        st r0, 8(r0)
+        st r0, 16(r0)
+        halt
+    )");
+    // Stores at cycles 0, 2, 4; halt at 5.
+    EXPECT_EQ(s.cycles, 5u);
+}
+
+TEST(MachineCpu, NonStoreOverlapsStoreSecondCycle)
+{
+    Machine m(idealMemory());
+    const RunStats s = runAsm(m, R"(
+        st   r0, 0(r0)
+        addi r1, r0, 1
+        st   r0, 8(r0)
+        halt
+    )");
+    // st@0, addi@1, st@2, halt@3: the ALU op hides half the store cost.
+    EXPECT_EQ(s.cycles, 3u);
+}
+
+TEST(MachineCpu, MvfcMovesFpuBitsWithDelay)
+{
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+        mvfc r1, f3
+        nop
+        addi r2, r1, 0
+        halt
+    )"));
+    m.fpu().regs().writeDouble(3, -1.0);
+    m.run();
+    EXPECT_EQ(m.cpu().readReg(2), 0xBFF0000000000000ull);
+}
+
+TEST(MachineCpu, FpCompareViaSubtractSignBit)
+{
+    // a < b computed as sign(a - b): fsub, mvfc, blt against r0.
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+                fsub f10, f0, f1
+                mvfc r1, f10
+                nop
+                nop
+                blt  r1, r0, less
+                nop
+                addi r2, r0, 0
+                halt
+        less:   addi r2, r0, 1
+                halt
+    )"));
+    m.fpu().regs().writeDouble(0, 1.25);
+    m.fpu().regs().writeDouble(1, 2.5);
+    m.run();
+    EXPECT_EQ(m.cpu().readReg(2), 1u);
+
+    // And the not-less case, including equality (-0 must not read as
+    // negative).
+    m.resetForRun(true);
+    m.fpu().regs().writeDouble(0, 2.5);
+    m.fpu().regs().writeDouble(1, 2.5);
+    m.run();
+    EXPECT_EQ(m.cpu().readReg(2), 0u);
+}
+
+TEST(MachineCpu, MvfcWaitsForInFlightResult)
+{
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+        fadd f8, f0, f1
+        mvfc r1, f8
+        nop
+        nop
+        halt
+    )"));
+    m.fpu().regs().writeDouble(0, 2.0);
+    m.fpu().regs().writeDouble(1, 3.0);
+    const RunStats s = m.run();
+    EXPECT_DOUBLE_EQ(
+        softfp::asDouble(m.cpu().readReg(1)), 5.0);
+    EXPECT_GE(s.cpuStallCycles, 1u); // waited for the reservation
+}
+
+// ---------------------------------------------------------------------
+// Memory-driven timing
+// ---------------------------------------------------------------------
+
+TEST(MachineMemory, ColdMissCostsFourteenCycles)
+{
+    MachineConfig cfg; // real caches
+    Machine m(cfg);
+    m.loadProgram(assembler::assemble(R"(
+        ldf f0, 0(r1)
+        halt
+    )"));
+    m.cpu().writeReg(1, 0x1000);
+    const RunStats cold = m.run();
+    EXPECT_EQ(cold.dataCache.misses, 1u);
+    EXPECT_GE(cold.memoryStallCycles, 14u);
+
+    // Warm re-run: same program, caches kept.
+    m.resetForRun(false);
+    m.cpu().writeReg(1, 0x1000);
+    const RunStats warm = m.run();
+    EXPECT_EQ(warm.dataCache.misses, 0u);
+    EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST(MachineMemory, WarmCacheMethodologyMatchesPaper)
+{
+    // "The performance figures for the warm cache were obtained by
+    // running the loops twice" (§3.2): second run must be faster.
+    MachineConfig cfg;
+    Machine m(cfg);
+    const char *src = R"(
+                li   r1, 0x1000
+                li   r2, 16
+        loop:   ldf  f0, 0(r1)
+                ldf  f1, 8(r1)
+                fadd f2, f0, f1
+                addi r1, r1, 16
+                subi r2, r2, 1
+                bne  r2, r0, loop
+                nop
+                halt
+    )";
+    m.loadProgram(assembler::assemble(src));
+    const RunStats cold = m.run();
+    m.resetForRun(false);
+    const RunStats warm = m.run();
+    EXPECT_GT(cold.cycles, warm.cycles);
+    EXPECT_EQ(warm.dataCache.misses, 0u);
+    EXPECT_GT(cold.dataCache.misses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Hazard policies (§2.3.2)
+// ---------------------------------------------------------------------
+
+TEST(MachineHazard, FatalPolicyDetectsStoreRace)
+{
+    // A recurrence vector issues slowly; storing its 4th result right
+    // behind it would read a stale value.
+    MachineConfig cfg = idealMemory();
+    cfg.hazardPolicy = HazardPolicy::Fatal;
+    Machine m(cfg);
+    m.loadProgram(assembler::assemble(R"(
+        fadd f2, f1, f0, vl=8, sra, srb
+        stf  f5, 0(r1)
+        halt
+    )"));
+    m.cpu().writeReg(1, 0x1000);
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(MachineHazard, StallPolicyGivesCorrectData)
+{
+    MachineConfig cfg = idealMemory();
+    cfg.hazardPolicy = HazardPolicy::Stall;
+    Machine m(cfg);
+    m.loadProgram(assembler::assemble(R"(
+        fadd f2, f1, f0, vl=8, sra, srb
+        stf  f5, 0(r1)
+        halt
+    )"));
+    m.fpu().regs().writeDouble(0, 1.0);
+    m.fpu().regs().writeDouble(1, 1.0);
+    m.cpu().writeReg(1, 0x1000);
+    m.run();
+    EXPECT_DOUBLE_EQ(m.mem().readDouble(0x1000), 8.0); // Fib: f5
+}
+
+TEST(MachineHazard, IgnorePolicyReproducesTheRace)
+{
+    MachineConfig cfg = idealMemory();
+    cfg.hazardPolicy = HazardPolicy::Ignore;
+    Machine m(cfg);
+    m.loadProgram(assembler::assemble(R"(
+        fadd f2, f1, f0, vl=8, sra, srb
+        stf  f5, 0(r1)
+        halt
+    )"));
+    m.fpu().regs().writeDouble(0, 1.0);
+    m.fpu().regs().writeDouble(1, 1.0);
+    m.cpu().writeReg(1, 0x1000);
+    m.run();
+    // The store issued before element 3 wrote f5: stale (zero) data.
+    EXPECT_DOUBLE_EQ(m.mem().readDouble(0x1000), 0.0);
+}
+
+TEST(MachineHazard, InOrderStoresBehindSimpleVectorAreSafe)
+{
+    // Stores of results in element order never race (§2.3.2): the
+    // reservation is always visible by the time the store reaches it.
+    MachineConfig cfg = idealMemory();
+    cfg.hazardPolicy = HazardPolicy::Fatal;
+    Machine m(cfg);
+    m.loadProgram(assembler::assemble(R"(
+        fadd f16, f0, f8, vl=4, sra, srb
+        stf  f16, 0(r1)
+        stf  f17, 8(r1)
+        stf  f18, 16(r1)
+        stf  f19, 24(r1)
+        halt
+    )"));
+    for (int i = 0; i < 4; ++i) {
+        m.fpu().regs().writeDouble(i, 1.0 + i);
+        m.fpu().regs().writeDouble(8 + i, 10.0);
+    }
+    m.cpu().writeReg(1, 0x1000);
+    EXPECT_NO_THROW(m.run());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(m.mem().readDouble(0x1000 + 8 * i), 11.0 + i);
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+TEST(MachineAblation, NoOverlapSlowsVectorCode)
+{
+    const char *src = R"(
+        fadd f16, f0, f8, vl=8, sra, srb
+        ldf  f24, 0(r1)
+        ldf  f25, 8(r1)
+        ldf  f26, 16(r1)
+        ldf  f27, 24(r1)
+        halt
+    )";
+    Machine dual(idealMemory());
+    dual.loadProgram(assembler::assemble(src));
+    dual.cpu().writeReg(1, 0x1000);
+    const uint64_t dual_cycles = dual.run().cycles;
+
+    MachineConfig cfg = idealMemory();
+    cfg.overlapWithVector = false;
+    Machine single(cfg);
+    single.loadProgram(assembler::assemble(src));
+    single.cpu().writeReg(1, 0x1000);
+    const uint64_t single_cycles = single.run().cycles;
+
+    EXPECT_GT(single_cycles, dual_cycles);
+}
+
+TEST(MachineAblation, LongerFpuLatencyStretchesDependencies)
+{
+    const char *src = R"(
+        fadd f9, f8, f0, vl=8, sra, srb
+        halt
+    )";
+    MachineConfig cfg6 = idealMemory();
+    cfg6.fpuLatency = 6;
+    Machine m6(cfg6);
+    m6.loadProgram(assembler::assemble(src));
+    const uint64_t c6 = m6.run().cycles;
+    EXPECT_EQ(c6, 48u); // 8 dependent elements x 6 cycles
+}
+
+// ---------------------------------------------------------------------
+// Interpreter and property tests
+// ---------------------------------------------------------------------
+
+TEST(Interpreter, MatchesMachineOnFigurePrograms)
+{
+    const char *src = R"(
+                li   r1, 8
+                li   r2, 0x1000
+        loop:   ldf  f0, 0(r2)
+                ldf  f1, 8(r2)
+                fmul f2, f0, f1
+                stf  f2, 16(r2)
+                addi r2, r2, 32
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                nop
+                halt
+    )";
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(src));
+    Interpreter interp;
+    interp.loadProgram(assembler::assemble(src));
+    for (int i = 0; i < 8; ++i) {
+        const uint64_t base = 0x1000 + 32 * i;
+        m.mem().writeDouble(base, 1.5 + i);
+        m.mem().writeDouble(base + 8, 2.0);
+        interp.mem().writeDouble(base, 1.5 + i);
+        interp.mem().writeDouble(base + 8, 2.0);
+    }
+    m.run();
+    interp.run();
+    for (int i = 0; i < 8; ++i) {
+        const uint64_t a = 0x1000 + 32 * i + 16;
+        EXPECT_EQ(m.mem().read64(a), interp.mem().read64(a));
+        EXPECT_DOUBLE_EQ(m.mem().readDouble(a), (1.5 + i) * 2.0);
+    }
+}
+
+/**
+ * Random hazard-free program generator: straight-line code mixing
+ * integer ALU ops, FPU loads/stores, scalar and vector FPU ALU
+ * operations, and mvfc. The generator never places a load/store/mvfc
+ * of a register belonging to an in-flight vector window (tracked
+ * conservatively), so all hazard policies agree with the oracle.
+ */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    generate()
+    {
+        std::string src;
+        // Stage registers: deterministic initial memory at 0x1000.
+        src += "li r1, 4096\n";
+        // Pull some data into FPU registers.
+        for (int i = 0; i < 8; ++i) {
+            src += "ldf f" + std::to_string(i) + ", " +
+                   std::to_string(8 * i) + "(r1)\n";
+        }
+        unsigned vec_guard = 0; // cycles-ish until last vector done
+        for (int n = 0; n < 60; ++n) {
+            switch (rng_() % 5) {
+              case 0: {
+                // Scalar FPU op on the low registers.
+                const unsigned rr = 8 + rng_() % 8;
+                const unsigned ra = rng_() % 8;
+                const unsigned rb = rng_() % 8;
+                src += std::string(op()) + " f" + std::to_string(rr) +
+                       ", f" + std::to_string(ra) + ", f" +
+                       std::to_string(rb) + "\n";
+                break;
+              }
+              case 1: {
+                // Vector op into the f16..f31 window.
+                const unsigned vl = 2 + rng_() % 4;
+                src += std::string(op()) + " f16, f0, f8, vl=" +
+                       std::to_string(vl) + ", sra, srb\n";
+                vec_guard = 20;
+                break;
+              }
+              case 2: {
+                // Integer churn.
+                src += "addi r2, r2, " +
+                       std::to_string(1 + rng_() % 100) + "\n";
+                break;
+              }
+              case 3: {
+                // Store a register outside any vector window.
+                if (vec_guard > 0) {
+                    // Let the vector drain first (cheap conservative
+                    // spacing with nops).
+                    for (int k = 0; k < 20; ++k)
+                        src += "nop\n";
+                    vec_guard = 0;
+                }
+                src += "stf f" + std::to_string(rng_() % 8) + ", " +
+                       std::to_string(64 + 8 * (rng_() % 8)) + "(r1)\n";
+                break;
+              }
+              case 4: {
+                if (vec_guard > 0) {
+                    for (int k = 0; k < 20; ++k)
+                        src += "nop\n";
+                    vec_guard = 0;
+                }
+                src += "mvfc r3, f" + std::to_string(rng_() % 8) + "\n";
+                src += "nop\n";
+                src += "xor r4, r4, r3\n";
+                break;
+              }
+            }
+        }
+        src += "halt\n";
+        return src;
+    }
+
+  private:
+    const char *
+    op()
+    {
+        switch (rng_() % 3) {
+          case 0: return "fadd";
+          case 1: return "fsub";
+          default: return "fmul";
+        }
+    }
+
+    std::mt19937_64 rng_;
+};
+
+TEST(PropertyTimingVsSemantics, RandomProgramsMatchOracle)
+{
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        ProgramGen gen(seed);
+        const std::string src = gen.generate();
+
+        Machine m(idealMemory());
+        m.loadProgram(assembler::assemble(src));
+        Interpreter interp;
+        interp.loadProgram(assembler::assemble(src));
+        for (int i = 0; i < 16; ++i) {
+            const double v = 0.5 + 0.25 * i;
+            m.mem().writeDouble(0x1000 + 8 * i, v);
+            interp.mem().writeDouble(0x1000 + 8 * i, v);
+        }
+        ASSERT_NO_THROW(m.run()) << "seed " << seed << "\n" << src;
+        interp.run();
+
+        for (unsigned r = 0; r < isa::kNumFpuRegs; ++r) {
+            ASSERT_EQ(m.fpu().regs().read(r), interp.fpReg(r))
+                << "seed " << seed << " f" << r;
+        }
+        for (unsigned r = 0; r < isa::kNumIntRegs; ++r) {
+            ASSERT_EQ(m.cpu().readReg(r), interp.intReg(r))
+                << "seed " << seed << " r" << r;
+        }
+        for (uint64_t a = 0x1000; a < 0x1100; a += 8) {
+            ASSERT_EQ(m.mem().read64(a), interp.mem().read64(a))
+                << "seed " << seed << " mem " << a;
+        }
+    }
+}
+
+TEST(PropertyTimingVsSemantics, CacheConfigDoesNotChangeResults)
+{
+    // Timing must never affect architectural results: run the same
+    // program with ideal memory and with tiny nasty caches.
+    ProgramGen gen(99);
+    const std::string src = gen.generate();
+
+    Machine ideal(idealMemory());
+    ideal.loadProgram(assembler::assemble(src));
+
+    MachineConfig nasty;
+    nasty.memory.dataCache = {256, 16, 23, true};
+    nasty.memory.instrBuffer = {64, 16, 3, true};
+    nasty.memory.instrCache = {256, 16, 11, true};
+    Machine small(nasty);
+    small.loadProgram(assembler::assemble(src));
+
+    for (int i = 0; i < 16; ++i) {
+        const double v = 1.0 + 0.125 * i;
+        ideal.mem().writeDouble(0x1000 + 8 * i, v);
+        small.mem().writeDouble(0x1000 + 8 * i, v);
+    }
+    const RunStats si = ideal.run();
+    const RunStats ss = small.run();
+    EXPECT_LT(si.cycles, ss.cycles);
+    for (unsigned r = 0; r < isa::kNumFpuRegs; ++r)
+        ASSERT_EQ(ideal.fpu().regs().read(r), small.fpu().regs().read(r));
+    for (uint64_t a = 0x1000; a < 0x1100; a += 8)
+        ASSERT_EQ(ideal.mem().read64(a), small.mem().read64(a));
+}
+
+TEST(Machine, FatalOnRunawayPc)
+{
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble("nop\nnop\n")); // no halt
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(Machine, MaxCyclesGuard)
+{
+    MachineConfig cfg = idealMemory();
+    cfg.maxCycles = 100;
+    Machine m(cfg);
+    m.loadProgram(assembler::assemble("spin: j spin\nnop\n"));
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+} // anonymous namespace
+} // namespace mtfpu::machine

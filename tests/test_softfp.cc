@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Tests of the bit-level floating-point units. The strongest checks
+ * are property tests against the host's IEEE-754 hardware: add, sub,
+ * mul, int->fp and fp->int conversions must be bit-exact; the
+ * reciprocal seed must meet the paper's 16-bit accuracy contract; and
+ * the six-operation division macro must land within 2 ulp of the
+ * correctly rounded quotient.
+ */
+
+#include <cfenv>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "softfp/fp64.hh"
+#include "softfp/recip.hh"
+
+namespace mtfpu::softfp
+{
+namespace
+{
+
+using mtfpu::FatalError;
+
+uint64_t
+bitsOf(double d)
+{
+    uint64_t v;
+    std::memcpy(&v, &d, sizeof(v));
+    return v;
+}
+
+double
+dblOf(uint64_t v)
+{
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+/** ulp distance between two finite doubles of the same sign. */
+uint64_t
+ulpDistance(uint64_t a, uint64_t b)
+{
+    auto key = [](uint64_t v) -> int64_t {
+        // Map to a monotonic integer line.
+        return (v & kSignBit) ? -static_cast<int64_t>(v & ~kSignBit)
+                              : static_cast<int64_t>(v);
+    };
+    const int64_t ka = key(a), kb = key(b);
+    return static_cast<uint64_t>(ka > kb ? ka - kb : kb - ka);
+}
+
+/** Random-double generator mixing full-range bit patterns. */
+class RandomDoubles
+{
+  public:
+    explicit RandomDoubles(uint64_t seed) : rng_(seed) {}
+
+    uint64_t
+    rawBits()
+    {
+        return rng_();
+    }
+
+    /** A finite double with moderate exponent (no overflow risk). */
+    double
+    moderate()
+    {
+        std::uniform_real_distribution<double> mant(-2.0, 2.0);
+        std::uniform_int_distribution<int> exp(-40, 40);
+        return std::ldexp(mant(rng_), exp(rng_));
+    }
+
+  private:
+    std::mt19937_64 rng_;
+};
+
+// ---------------------------------------------------------------------
+// Classification and packing basics
+// ---------------------------------------------------------------------
+
+TEST(Fp64Classify, Basics)
+{
+    EXPECT_EQ(classify(bitsOf(0.0)), FpClass::Zero);
+    EXPECT_EQ(classify(kSignBit), FpClass::Zero); // -0
+    EXPECT_EQ(classify(bitsOf(1.0)), FpClass::Normal);
+    EXPECT_EQ(classify(kPlusInf), FpClass::Inf);
+    EXPECT_EQ(classify(kMinusInf), FpClass::Inf);
+    EXPECT_EQ(classify(kQuietNaN), FpClass::NaN);
+    EXPECT_EQ(classify(1), FpClass::Subnormal); // smallest subnormal
+}
+
+TEST(Fp64Classify, Predicates)
+{
+    EXPECT_TRUE(isNaN(kQuietNaN));
+    EXPECT_FALSE(isNaN(kPlusInf));
+    EXPECT_TRUE(isInf(kMinusInf));
+    EXPECT_TRUE(isZero(kSignBit));
+    EXPECT_TRUE(signOf(bitsOf(-3.5)));
+    EXPECT_FALSE(signOf(bitsOf(3.5)));
+}
+
+TEST(Fp64, ShiftRightSticky)
+{
+    EXPECT_EQ(shiftRightSticky(0b1000, 3), 0b1u);
+    EXPECT_EQ(shiftRightSticky(0b1001, 3), 0b1u | 1u);
+    EXPECT_EQ(shiftRightSticky(0xFF, 100), 1u);
+    EXPECT_EQ(shiftRightSticky(0, 100), 0u);
+    EXPECT_EQ(shiftRightSticky(42, 0), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Addition / subtraction: directed cases
+// ---------------------------------------------------------------------
+
+struct BinCase
+{
+    double a, b;
+};
+
+class AddExact : public ::testing::TestWithParam<BinCase>
+{
+};
+
+TEST_P(AddExact, MatchesHost)
+{
+    const auto [a, b] = GetParam();
+    Flags flags;
+    EXPECT_EQ(fpAdd(bitsOf(a), bitsOf(b), flags), bitsOf(a + b))
+        << a << " + " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Directed, AddExact,
+    ::testing::Values(
+        BinCase{1.0, 2.0}, BinCase{0.1, 0.2}, BinCase{1.0, -1.0},
+        BinCase{1e300, 1e300}, BinCase{1e-300, -1e-300},
+        BinCase{1.0, 1e-20}, BinCase{-1.0, 1e-20},
+        BinCase{3.5, -3.25}, BinCase{1e308, 1e308},
+        BinCase{5e-324, 5e-324}, BinCase{5e-324, -5e-324},
+        BinCase{2.2250738585072014e-308, -5e-324},
+        BinCase{1.5, 2.5}, BinCase{0.0, -0.0}, BinCase{-0.0, -0.0},
+        BinCase{123456789.123, 0.000000001}));
+
+TEST(FpAdd, InfAndNaN)
+{
+    Flags flags;
+    EXPECT_EQ(fpAdd(kPlusInf, bitsOf(1.0), flags), kPlusInf);
+    EXPECT_EQ(fpAdd(bitsOf(1.0), kMinusInf, flags), kMinusInf);
+    EXPECT_TRUE(isNaN(fpAdd(kPlusInf, kMinusInf, flags)));
+    EXPECT_TRUE(flags.invalid);
+    EXPECT_TRUE(isNaN(fpAdd(kQuietNaN, bitsOf(1.0), flags)));
+}
+
+TEST(FpAdd, ExactCancellationIsPositiveZero)
+{
+    Flags flags;
+    EXPECT_EQ(fpAdd(bitsOf(1.5), bitsOf(-1.5), flags), bitsOf(0.0));
+}
+
+TEST(FpAdd, OverflowToInfinitySetsFlags)
+{
+    Flags flags;
+    const uint64_t max = bitsOf(std::numeric_limits<double>::max());
+    EXPECT_EQ(fpAdd(max, max, flags), kPlusInf);
+    EXPECT_TRUE(flags.overflow);
+    EXPECT_TRUE(flags.inexact);
+}
+
+TEST(FpAdd, SubnormalArithmetic)
+{
+    Flags flags;
+    const double tiny = 5e-324; // smallest subnormal
+    EXPECT_EQ(fpAdd(bitsOf(tiny), bitsOf(tiny), flags),
+              bitsOf(tiny + tiny));
+    // Subnormal + subnormal crossing into the normal range.
+    const double big_sub = 2.2250738585072009e-308;
+    EXPECT_EQ(fpAdd(bitsOf(big_sub), bitsOf(big_sub), flags),
+              bitsOf(big_sub + big_sub));
+}
+
+TEST(FpSub, MatchesHostDirected)
+{
+    Flags flags;
+    EXPECT_EQ(fpSub(bitsOf(1.0), bitsOf(0.9999999999999999), flags),
+              bitsOf(1.0 - 0.9999999999999999));
+    EXPECT_EQ(fpSub(bitsOf(-2.5), bitsOf(3.5), flags),
+              bitsOf(-2.5 - 3.5));
+}
+
+// ---------------------------------------------------------------------
+// Multiplication: directed cases
+// ---------------------------------------------------------------------
+
+class MulExact : public ::testing::TestWithParam<BinCase>
+{
+};
+
+TEST_P(MulExact, MatchesHost)
+{
+    const auto [a, b] = GetParam();
+    Flags flags;
+    EXPECT_EQ(fpMul(bitsOf(a), bitsOf(b), flags), bitsOf(a * b))
+        << a << " * " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Directed, MulExact,
+    ::testing::Values(
+        BinCase{2.0, 3.0}, BinCase{0.1, 0.1}, BinCase{-1.5, 1.5},
+        BinCase{1e200, 1e200},          // overflow
+        BinCase{1e-200, 1e-200},        // underflow to subnormal
+        BinCase{1e-308, 0.5},           // subnormal result
+        BinCase{5e-324, 2.0},           // subnormal input
+        BinCase{5e-324, 0.5},           // underflow to zero
+        BinCase{1.7976931348623157e308, 1.0000000001},
+        BinCase{0.0, -5.0}, BinCase{-0.0, 5.0},
+        BinCase{1.0000000000000002, 0.9999999999999999}));
+
+TEST(FpMul, InfAndNaN)
+{
+    Flags flags;
+    EXPECT_EQ(fpMul(kPlusInf, bitsOf(-2.0), flags), kMinusInf);
+    EXPECT_TRUE(isNaN(fpMul(kPlusInf, bitsOf(0.0), flags)));
+    EXPECT_TRUE(flags.invalid);
+}
+
+TEST(FpMul, OverflowSetsFlags)
+{
+    Flags flags;
+    EXPECT_EQ(fpMul(bitsOf(1e300), bitsOf(1e300), flags), kPlusInf);
+    EXPECT_TRUE(flags.overflow);
+}
+
+TEST(FpMul, UnderflowSetsFlags)
+{
+    Flags flags;
+    const uint64_t r = fpMul(bitsOf(1e-300), bitsOf(1e-300), flags);
+    EXPECT_EQ(r, bitsOf(1e-300 * 1e-300));
+    EXPECT_TRUE(flags.underflow);
+}
+
+// ---------------------------------------------------------------------
+// Property tests vs host hardware
+// ---------------------------------------------------------------------
+
+TEST(FpProperty, AddMatchesHostOnRawBitPatterns)
+{
+    RandomDoubles rnd(0x1234);
+    for (int i = 0; i < 200000; ++i) {
+        const uint64_t a = rnd.rawBits();
+        const uint64_t b = rnd.rawBits();
+        Flags flags;
+        const uint64_t got = fpAdd(a, b, flags);
+        if (isNaN(a) || isNaN(b) || isNaN(got)) {
+            // NaN payload propagation differs across hardware; only
+            // require NaN-ness to agree.
+            EXPECT_EQ(isNaN(got), std::isnan(dblOf(a) + dblOf(b)));
+            continue;
+        }
+        ASSERT_EQ(got, bitsOf(dblOf(a) + dblOf(b)))
+            << std::hexfloat << dblOf(a) << " + " << dblOf(b);
+    }
+}
+
+TEST(FpProperty, MulMatchesHostOnRawBitPatterns)
+{
+    RandomDoubles rnd(0x5678);
+    for (int i = 0; i < 200000; ++i) {
+        const uint64_t a = rnd.rawBits();
+        const uint64_t b = rnd.rawBits();
+        Flags flags;
+        const uint64_t got = fpMul(a, b, flags);
+        if (isNaN(a) || isNaN(b) || isNaN(got)) {
+            EXPECT_EQ(isNaN(got), std::isnan(dblOf(a) * dblOf(b)));
+            continue;
+        }
+        ASSERT_EQ(got, bitsOf(dblOf(a) * dblOf(b)))
+            << std::hexfloat << dblOf(a) << " * " << dblOf(b);
+    }
+}
+
+TEST(FpProperty, SubMatchesHostOnModerateValues)
+{
+    RandomDoubles rnd(0x9abc);
+    for (int i = 0; i < 100000; ++i) {
+        const double a = rnd.moderate();
+        const double b = rnd.moderate();
+        Flags flags;
+        ASSERT_EQ(fpSub(bitsOf(a), bitsOf(b), flags), bitsOf(a - b))
+            << std::hexfloat << a << " - " << b;
+    }
+}
+
+TEST(FpProperty, AddIsCommutative)
+{
+    RandomDoubles rnd(0x1111);
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t a = rnd.rawBits();
+        const uint64_t b = rnd.rawBits();
+        if (isNaN(a) || isNaN(b))
+            continue;
+        Flags f1, f2;
+        EXPECT_EQ(fpAdd(a, b, f1), fpAdd(b, a, f2));
+    }
+}
+
+TEST(FpProperty, MulIsCommutative)
+{
+    RandomDoubles rnd(0x2222);
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t a = rnd.rawBits();
+        const uint64_t b = rnd.rawBits();
+        if (isNaN(a) || isNaN(b))
+            continue;
+        Flags f1, f2;
+        EXPECT_EQ(fpMul(a, b, f1), fpMul(b, a, f2));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------
+
+TEST(FpFloat, DirectedCases)
+{
+    Flags flags;
+    EXPECT_EQ(fpFloat(0, flags), bitsOf(0.0));
+    EXPECT_EQ(fpFloat(1, flags), bitsOf(1.0));
+    EXPECT_EQ(fpFloat(static_cast<uint64_t>(-1), flags), bitsOf(-1.0));
+    EXPECT_EQ(fpFloat(1ULL << 62, flags),
+              bitsOf(static_cast<double>(1ULL << 62)));
+    EXPECT_EQ(fpFloat(static_cast<uint64_t>(INT64_MIN), flags),
+              bitsOf(static_cast<double>(INT64_MIN)));
+    EXPECT_EQ(fpFloat(static_cast<uint64_t>(INT64_MAX), flags),
+              bitsOf(static_cast<double>(INT64_MAX)));
+}
+
+TEST(FpFloat, MatchesHostProperty)
+{
+    std::mt19937_64 rng(0x3333);
+    for (int i = 0; i < 100000; ++i) {
+        const int64_t v = static_cast<int64_t>(rng());
+        Flags flags;
+        ASSERT_EQ(fpFloat(static_cast<uint64_t>(v), flags),
+                  bitsOf(static_cast<double>(v)))
+            << v;
+    }
+}
+
+TEST(FpTruncate, DirectedCases)
+{
+    Flags flags;
+    EXPECT_EQ(fpTruncate(bitsOf(0.0), flags), 0u);
+    EXPECT_EQ(fpTruncate(bitsOf(1.9), flags), 1u);
+    EXPECT_EQ(fpTruncate(bitsOf(-1.9), flags),
+              static_cast<uint64_t>(-1));
+    EXPECT_EQ(fpTruncate(bitsOf(123456789.75), flags), 123456789u);
+    EXPECT_EQ(fpTruncate(bitsOf(-0.5), flags), 0u);
+    EXPECT_EQ(fpTruncate(bitsOf(9.007199254740992e15), flags),
+              9007199254740992u);
+}
+
+TEST(FpTruncate, Saturation)
+{
+    Flags flags;
+    EXPECT_EQ(fpTruncate(bitsOf(1e30), flags),
+              static_cast<uint64_t>(INT64_MAX));
+    EXPECT_TRUE(flags.invalid);
+    flags = Flags{};
+    EXPECT_EQ(fpTruncate(bitsOf(-1e30), flags),
+              static_cast<uint64_t>(INT64_MIN));
+    flags = Flags{};
+    EXPECT_EQ(fpTruncate(kQuietNaN, flags),
+              static_cast<uint64_t>(INT64_MIN));
+    EXPECT_TRUE(flags.invalid);
+    flags = Flags{};
+    // INT64_MIN itself is exactly representable.
+    EXPECT_EQ(fpTruncate(bitsOf(-9.223372036854775808e18), flags),
+              static_cast<uint64_t>(INT64_MIN));
+    EXPECT_FALSE(flags.invalid);
+}
+
+TEST(FpTruncate, MatchesHostProperty)
+{
+    RandomDoubles rnd(0x4444);
+    for (int i = 0; i < 100000; ++i) {
+        const double d = rnd.moderate() * 1e6;
+        if (std::fabs(d) >= 9.2e18)
+            continue;
+        Flags flags;
+        ASSERT_EQ(fpTruncate(bitsOf(d), flags),
+                  static_cast<uint64_t>(static_cast<int64_t>(d)))
+            << std::hexfloat << d;
+    }
+}
+
+TEST(FpIntMul, LowProduct)
+{
+    EXPECT_EQ(fpIntMul(3, 4), 12u);
+    EXPECT_EQ(fpIntMul(static_cast<uint64_t>(-3), 4),
+              static_cast<uint64_t>(-12));
+    // Wraps modulo 2^64.
+    EXPECT_EQ(fpIntMul(1ULL << 33, 1ULL << 33), 0u);
+    EXPECT_EQ(fpIntMul((1ULL << 33) + 1, 1ULL << 33), 1ULL << 33);
+}
+
+// ---------------------------------------------------------------------
+// Reciprocal approximation and division
+// ---------------------------------------------------------------------
+
+TEST(Recip, TableCoversMantissaRange)
+{
+    const auto &table = recipTable();
+    EXPECT_DOUBLE_EQ(table[0].base, 1.0);
+    // Entries decrease monotonically (1/x is decreasing).
+    for (unsigned i = 1; i < kRecipTableSize; ++i)
+        EXPECT_LT(table[i].base, table[i - 1].base);
+}
+
+TEST(Recip, SeedAccuracyContract)
+{
+    // Sweep every table interval at several offsets: the relative
+    // error of the seed must be at or below 2^-16 (paper §2.2.3).
+    double worst = 0.0;
+    for (unsigned i = 0; i < kRecipTableSize; ++i) {
+        for (unsigned k = 0; k < 8; ++k) {
+            const uint64_t frac =
+                (static_cast<uint64_t>(i) << (kFracBits - 8)) |
+                (static_cast<uint64_t>(k) << (kFracBits - 11));
+            const double m =
+                1.0 + static_cast<double>(frac) /
+                          static_cast<double>(1ULL << kFracBits);
+            const double seed = recipMantissa(frac);
+            worst = std::max(worst, std::fabs(seed - 1.0 / m) * m);
+        }
+    }
+    EXPECT_LE(worst, std::ldexp(1.0, -16));
+}
+
+TEST(Recip, SpecialOperands)
+{
+    Flags flags;
+    EXPECT_EQ(fpRecipApprox(bitsOf(0.0), flags), kPlusInf);
+    EXPECT_TRUE(flags.divByZero);
+    flags = Flags{};
+    EXPECT_EQ(fpRecipApprox(kSignBit, flags), kMinusInf);
+    EXPECT_EQ(fpRecipApprox(kPlusInf, flags), bitsOf(0.0));
+    EXPECT_EQ(fpRecipApprox(kMinusInf, flags), kSignBit);
+    EXPECT_TRUE(isNaN(fpRecipApprox(kQuietNaN, flags)));
+}
+
+TEST(Recip, ExactPowersOfTwo)
+{
+    Flags flags;
+    EXPECT_EQ(fpRecipApprox(bitsOf(1.0), flags), bitsOf(1.0));
+    EXPECT_EQ(fpRecipApprox(bitsOf(2.0), flags), bitsOf(0.5));
+    EXPECT_EQ(fpRecipApprox(bitsOf(0.25), flags), bitsOf(4.0));
+    EXPECT_EQ(fpRecipApprox(bitsOf(-8.0), flags), bitsOf(-0.125));
+}
+
+TEST(Recip, SeedAccuracyOnRandomNormals)
+{
+    RandomDoubles rnd(0x5555);
+    for (int i = 0; i < 50000; ++i) {
+        const double x = rnd.moderate();
+        if (x == 0.0)
+            continue;
+        Flags flags;
+        const double seed = dblOf(fpRecipApprox(bitsOf(x), flags));
+        const double rel = std::fabs(seed - 1.0 / x) * std::fabs(x);
+        ASSERT_LE(rel, std::ldexp(1.0, -16)) << std::hexfloat << x;
+    }
+}
+
+TEST(IterStep, RefinesSeedQuadratically)
+{
+    // One Newton-Raphson step should square the relative error.
+    const double b = 1.37;
+    Flags flags;
+    uint64_t r = fpRecipApprox(bitsOf(b), flags);
+    uint64_t t = fpMul(bitsOf(b), r, flags);
+    r = fpIterStep(r, t, flags);
+    const double rel = std::fabs(dblOf(r) - 1.0 / b) * b;
+    EXPECT_LE(rel, std::ldexp(1.0, -30));
+}
+
+TEST(RefDivide, MatchesHostProperty)
+{
+    RandomDoubles rnd(0x6666);
+    for (int i = 0; i < 200000; ++i) {
+        const uint64_t a = rnd.rawBits();
+        const uint64_t b = rnd.rawBits();
+        Flags flags;
+        const uint64_t got = refDivide(a, b, flags);
+        if (isNaN(a) || isNaN(b) || isNaN(got)) {
+            EXPECT_EQ(isNaN(got), std::isnan(dblOf(a) / dblOf(b)));
+            continue;
+        }
+        ASSERT_EQ(got, bitsOf(dblOf(a) / dblOf(b)))
+            << std::hexfloat << dblOf(a) << " / " << dblOf(b);
+    }
+}
+
+TEST(FpDivide, SpecialOperands)
+{
+    Flags flags;
+    EXPECT_EQ(fpDivide(bitsOf(1.0), bitsOf(0.0), flags), kPlusInf);
+    EXPECT_TRUE(flags.divByZero);
+    flags = Flags{};
+    EXPECT_TRUE(isNaN(fpDivide(bitsOf(0.0), bitsOf(0.0), flags)));
+    EXPECT_TRUE(flags.invalid);
+    flags = Flags{};
+    EXPECT_TRUE(isNaN(fpDivide(kPlusInf, kPlusInf, flags)));
+    EXPECT_EQ(fpDivide(bitsOf(1.0), kPlusInf, flags), bitsOf(0.0));
+    EXPECT_EQ(fpDivide(kMinusInf, bitsOf(2.0), flags), kMinusInf);
+    EXPECT_EQ(fpDivide(bitsOf(0.0), bitsOf(-2.0), flags), kSignBit);
+}
+
+TEST(FpDivide, ExactCases)
+{
+    Flags flags;
+    EXPECT_EQ(fpDivide(bitsOf(6.0), bitsOf(2.0), flags), bitsOf(3.0));
+    EXPECT_EQ(fpDivide(bitsOf(1.0), bitsOf(4.0), flags), bitsOf(0.25));
+    EXPECT_EQ(fpDivide(bitsOf(-10.0), bitsOf(5.0), flags), bitsOf(-2.0));
+}
+
+TEST(FpDivide, WithinTwoUlpOfCorrectlyRounded)
+{
+    RandomDoubles rnd(0x7777);
+    uint64_t worst = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const double a = rnd.moderate();
+        const double b = rnd.moderate();
+        if (b == 0.0)
+            continue;
+        Flags f1, f2;
+        const uint64_t macro = fpDivide(bitsOf(a), bitsOf(b), f1);
+        const uint64_t exact = refDivide(bitsOf(a), bitsOf(b), f2);
+        if (isZero(exact) || classify(exact) == FpClass::Subnormal)
+            continue; // relative ulp ill-defined at the bottom
+        const uint64_t dist = ulpDistance(macro, exact);
+        worst = std::max(worst, dist);
+        // The unfused iteration step costs one extra rounding per
+        // refinement; measured worst case is 3 ulp.
+        ASSERT_LE(dist, 4u)
+            << std::hexfloat << a << " / " << b << " macro "
+            << dblOf(macro) << " exact " << dblOf(exact);
+    }
+    EXPECT_LE(worst, 4u);
+}
+
+TEST(FpuOperate, DispatchTable)
+{
+    Flags flags;
+    EXPECT_EQ(fpuOperate(1, 0, bitsOf(1.0), bitsOf(2.0), flags),
+              bitsOf(3.0));
+    EXPECT_EQ(fpuOperate(1, 1, bitsOf(1.0), bitsOf(2.0), flags),
+              bitsOf(-1.0));
+    EXPECT_EQ(fpuOperate(1, 2, 7, 0, flags), bitsOf(7.0));
+    EXPECT_EQ(fpuOperate(1, 3, bitsOf(7.9), 0, flags), 7u);
+    EXPECT_EQ(fpuOperate(2, 0, bitsOf(3.0), bitsOf(4.0), flags),
+              bitsOf(12.0));
+    EXPECT_EQ(fpuOperate(2, 1, 6, 7, flags), 42u);
+    EXPECT_EQ(fpuOperate(3, 0, bitsOf(2.0), 0, flags), bitsOf(0.5));
+}
+
+TEST(FpuOperate, ReservedEncodingsFatal)
+{
+    Flags flags;
+    EXPECT_THROW(fpuOperate(0, 0, 0, 0, flags), FatalError);
+    EXPECT_THROW(fpuOperate(2, 3, 0, 0, flags), FatalError);
+    EXPECT_THROW(fpuOperate(3, 1, 0, 0, flags), FatalError);
+}
+
+} // anonymous namespace
+} // namespace mtfpu::softfp
