@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_08_reductions.cc" "bench/CMakeFiles/fig05_08_reductions.dir/fig05_08_reductions.cc.o" "gcc" "bench/CMakeFiles/fig05_08_reductions.dir/fig05_08_reductions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_softfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_08_reductions.dir/fig05_08_reductions.cc.o"
+  "CMakeFiles/fig05_08_reductions.dir/fig05_08_reductions.cc.o.d"
+  "fig05_08_reductions"
+  "fig05_08_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_08_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

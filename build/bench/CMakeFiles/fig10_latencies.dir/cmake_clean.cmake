@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latencies.dir/fig10_latencies.cc.o"
+  "CMakeFiles/fig10_latencies.dir/fig10_latencies.cc.o.d"
+  "fig10_latencies"
+  "fig10_latencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vector_potential.dir/fig11_vector_potential.cc.o"
+  "CMakeFiles/fig11_vector_potential.dir/fig11_vector_potential.cc.o.d"
+  "fig11_vector_potential"
+  "fig11_vector_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vector_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

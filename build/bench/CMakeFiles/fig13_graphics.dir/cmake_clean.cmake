@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_graphics.dir/fig13_graphics.cc.o"
+  "CMakeFiles/fig13_graphics.dir/fig13_graphics.cc.o.d"
+  "fig13_graphics"
+  "fig13_graphics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_graphics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_livermore.dir/fig14_livermore.cc.o"
+  "CMakeFiles/fig14_livermore.dir/fig14_livermore.cc.o.d"
+  "fig14_livermore"
+  "fig14_livermore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_livermore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linpack.dir/linpack.cc.o"
+  "CMakeFiles/linpack.dir/linpack.cc.o.d"
+  "linpack"
+  "linpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

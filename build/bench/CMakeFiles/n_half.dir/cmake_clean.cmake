@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/n_half.dir/n_half.cc.o"
+  "CMakeFiles/n_half.dir/n_half.cc.o.d"
+  "n_half"
+  "n_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/n_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_speed.dir/sim_speed.cc.o"
+  "CMakeFiles/sim_speed.dir/sim_speed.cc.o.d"
+  "sim_speed"
+  "sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphics_transform.dir/graphics_transform.cpp.o"
+  "CMakeFiles/graphics_transform.dir/graphics_transform.cpp.o.d"
+  "graphics_transform"
+  "graphics_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphics_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

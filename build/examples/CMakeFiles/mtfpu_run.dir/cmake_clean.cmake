@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_run.dir/mtfpu_run.cpp.o"
+  "CMakeFiles/mtfpu_run.dir/mtfpu_run.cpp.o.d"
+  "mtfpu_run"
+  "mtfpu_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrence_solver.dir/recurrence_solver.cpp.o"
+  "CMakeFiles/recurrence_solver.dir/recurrence_solver.cpp.o.d"
+  "recurrence_solver"
+  "recurrence_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrence_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions.dir/reductions.cpp.o"
+  "CMakeFiles/reductions.dir/reductions.cpp.o.d"
+  "reductions"
+  "reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_assembler.dir/assembler/assembler.cc.o"
+  "CMakeFiles/mtfpu_assembler.dir/assembler/assembler.cc.o.d"
+  "CMakeFiles/mtfpu_assembler.dir/assembler/lexer.cc.o"
+  "CMakeFiles/mtfpu_assembler.dir/assembler/lexer.cc.o.d"
+  "CMakeFiles/mtfpu_assembler.dir/assembler/parser.cc.o"
+  "CMakeFiles/mtfpu_assembler.dir/assembler/parser.cc.o.d"
+  "libmtfpu_assembler.a"
+  "libmtfpu_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtfpu_assembler.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/amdahl.cc" "src/CMakeFiles/mtfpu_baseline.dir/baseline/amdahl.cc.o" "gcc" "src/CMakeFiles/mtfpu_baseline.dir/baseline/amdahl.cc.o.d"
+  "/root/repo/src/baseline/hockney.cc" "src/CMakeFiles/mtfpu_baseline.dir/baseline/hockney.cc.o" "gcc" "src/CMakeFiles/mtfpu_baseline.dir/baseline/hockney.cc.o.d"
+  "/root/repo/src/baseline/published.cc" "src/CMakeFiles/mtfpu_baseline.dir/baseline/published.cc.o" "gcc" "src/CMakeFiles/mtfpu_baseline.dir/baseline/published.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

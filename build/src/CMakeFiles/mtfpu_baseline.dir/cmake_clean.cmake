@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_baseline.dir/baseline/amdahl.cc.o"
+  "CMakeFiles/mtfpu_baseline.dir/baseline/amdahl.cc.o.d"
+  "CMakeFiles/mtfpu_baseline.dir/baseline/hockney.cc.o"
+  "CMakeFiles/mtfpu_baseline.dir/baseline/hockney.cc.o.d"
+  "CMakeFiles/mtfpu_baseline.dir/baseline/published.cc.o"
+  "CMakeFiles/mtfpu_baseline.dir/baseline/published.cc.o.d"
+  "libmtfpu_baseline.a"
+  "libmtfpu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_common.dir/common/stats.cc.o"
+  "CMakeFiles/mtfpu_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/mtfpu_common.dir/common/table.cc.o"
+  "CMakeFiles/mtfpu_common.dir/common/table.cc.o.d"
+  "libmtfpu_common.a"
+  "libmtfpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

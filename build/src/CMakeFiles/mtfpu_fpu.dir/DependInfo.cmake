@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpu/fpu.cc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/fpu.cc.o" "gcc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/fpu.cc.o.d"
+  "/root/repo/src/fpu/functional_unit.cc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/functional_unit.cc.o" "gcc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/functional_unit.cc.o.d"
+  "/root/repo/src/fpu/load_store_unit.cc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/load_store_unit.cc.o" "gcc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/load_store_unit.cc.o.d"
+  "/root/repo/src/fpu/register_file.cc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/register_file.cc.o" "gcc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/register_file.cc.o.d"
+  "/root/repo/src/fpu/scoreboard.cc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/scoreboard.cc.o" "gcc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/scoreboard.cc.o.d"
+  "/root/repo/src/fpu/vector_issue.cc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/vector_issue.cc.o" "gcc" "src/CMakeFiles/mtfpu_fpu.dir/fpu/vector_issue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_softfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

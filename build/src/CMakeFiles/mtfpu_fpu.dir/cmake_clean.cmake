@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_fpu.dir/fpu/fpu.cc.o"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/fpu.cc.o.d"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/functional_unit.cc.o"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/functional_unit.cc.o.d"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/load_store_unit.cc.o"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/load_store_unit.cc.o.d"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/register_file.cc.o"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/register_file.cc.o.d"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/scoreboard.cc.o"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/scoreboard.cc.o.d"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/vector_issue.cc.o"
+  "CMakeFiles/mtfpu_fpu.dir/fpu/vector_issue.cc.o.d"
+  "libmtfpu_fpu.a"
+  "libmtfpu_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/cpu_instr.cc" "src/CMakeFiles/mtfpu_isa.dir/isa/cpu_instr.cc.o" "gcc" "src/CMakeFiles/mtfpu_isa.dir/isa/cpu_instr.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/mtfpu_isa.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/mtfpu_isa.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/fpu_instr.cc" "src/CMakeFiles/mtfpu_isa.dir/isa/fpu_instr.cc.o" "gcc" "src/CMakeFiles/mtfpu_isa.dir/isa/fpu_instr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

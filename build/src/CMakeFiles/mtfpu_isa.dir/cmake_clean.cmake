@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_isa.dir/isa/cpu_instr.cc.o"
+  "CMakeFiles/mtfpu_isa.dir/isa/cpu_instr.cc.o.d"
+  "CMakeFiles/mtfpu_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/mtfpu_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/mtfpu_isa.dir/isa/fpu_instr.cc.o"
+  "CMakeFiles/mtfpu_isa.dir/isa/fpu_instr.cc.o.d"
+  "libmtfpu_isa.a"
+  "libmtfpu_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

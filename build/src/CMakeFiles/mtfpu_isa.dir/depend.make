@@ -1,0 +1,2 @@
+# Empty dependencies file for mtfpu_isa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/builder.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/builder.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/builder.cc.o.d"
+  "/root/repo/src/kernels/graphics/transform.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/graphics/transform.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/graphics/transform.cc.o.d"
+  "/root/repo/src/kernels/linpack/linpack.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/linpack/linpack.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/linpack/linpack.cc.o.d"
+  "/root/repo/src/kernels/livermore/lfk01_06.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk01_06.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk01_06.cc.o.d"
+  "/root/repo/src/kernels/livermore/lfk07_12.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk07_12.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk07_12.cc.o.d"
+  "/root/repo/src/kernels/livermore/lfk13_18.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk13_18.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk13_18.cc.o.d"
+  "/root/repo/src/kernels/livermore/lfk19_24.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk19_24.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk19_24.cc.o.d"
+  "/root/repo/src/kernels/livermore/livermore.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/livermore.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/livermore/livermore.cc.o.d"
+  "/root/repo/src/kernels/mathlib.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/mathlib.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/mathlib.cc.o.d"
+  "/root/repo/src/kernels/runner.cc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/runner.cc.o" "gcc" "src/CMakeFiles/mtfpu_kernels.dir/kernels/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_softfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

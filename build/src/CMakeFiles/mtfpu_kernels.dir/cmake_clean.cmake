@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_kernels.dir/kernels/builder.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/builder.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/graphics/transform.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/graphics/transform.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/linpack/linpack.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/linpack/linpack.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk01_06.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk01_06.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk07_12.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk07_12.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk13_18.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk13_18.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk19_24.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/lfk19_24.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/livermore.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/livermore/livermore.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/mathlib.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/mathlib.cc.o.d"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/runner.cc.o"
+  "CMakeFiles/mtfpu_kernels.dir/kernels/runner.cc.o.d"
+  "libmtfpu_kernels.a"
+  "libmtfpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

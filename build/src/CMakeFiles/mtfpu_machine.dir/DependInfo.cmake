@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/mtfpu_machine.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/mtfpu_machine.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/machine/interpreter.cc" "src/CMakeFiles/mtfpu_machine.dir/machine/interpreter.cc.o" "gcc" "src/CMakeFiles/mtfpu_machine.dir/machine/interpreter.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/mtfpu_machine.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/mtfpu_machine.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/stats.cc" "src/CMakeFiles/mtfpu_machine.dir/machine/stats.cc.o" "gcc" "src/CMakeFiles/mtfpu_machine.dir/machine/stats.cc.o.d"
+  "/root/repo/src/machine/tracer.cc" "src/CMakeFiles/mtfpu_machine.dir/machine/tracer.cc.o" "gcc" "src/CMakeFiles/mtfpu_machine.dir/machine/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_softfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

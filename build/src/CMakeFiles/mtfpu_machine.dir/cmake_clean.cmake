@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_machine.dir/cpu/cpu.cc.o"
+  "CMakeFiles/mtfpu_machine.dir/cpu/cpu.cc.o.d"
+  "CMakeFiles/mtfpu_machine.dir/machine/interpreter.cc.o"
+  "CMakeFiles/mtfpu_machine.dir/machine/interpreter.cc.o.d"
+  "CMakeFiles/mtfpu_machine.dir/machine/machine.cc.o"
+  "CMakeFiles/mtfpu_machine.dir/machine/machine.cc.o.d"
+  "CMakeFiles/mtfpu_machine.dir/machine/stats.cc.o"
+  "CMakeFiles/mtfpu_machine.dir/machine/stats.cc.o.d"
+  "CMakeFiles/mtfpu_machine.dir/machine/tracer.cc.o"
+  "CMakeFiles/mtfpu_machine.dir/machine/tracer.cc.o.d"
+  "libmtfpu_machine.a"
+  "libmtfpu_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

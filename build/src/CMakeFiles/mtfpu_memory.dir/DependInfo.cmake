@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/direct_mapped_cache.cc" "src/CMakeFiles/mtfpu_memory.dir/memory/direct_mapped_cache.cc.o" "gcc" "src/CMakeFiles/mtfpu_memory.dir/memory/direct_mapped_cache.cc.o.d"
+  "/root/repo/src/memory/main_memory.cc" "src/CMakeFiles/mtfpu_memory.dir/memory/main_memory.cc.o" "gcc" "src/CMakeFiles/mtfpu_memory.dir/memory/main_memory.cc.o.d"
+  "/root/repo/src/memory/memory_system.cc" "src/CMakeFiles/mtfpu_memory.dir/memory/memory_system.cc.o" "gcc" "src/CMakeFiles/mtfpu_memory.dir/memory/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_memory.dir/memory/direct_mapped_cache.cc.o"
+  "CMakeFiles/mtfpu_memory.dir/memory/direct_mapped_cache.cc.o.d"
+  "CMakeFiles/mtfpu_memory.dir/memory/main_memory.cc.o"
+  "CMakeFiles/mtfpu_memory.dir/memory/main_memory.cc.o.d"
+  "CMakeFiles/mtfpu_memory.dir/memory/memory_system.cc.o"
+  "CMakeFiles/mtfpu_memory.dir/memory/memory_system.cc.o.d"
+  "libmtfpu_memory.a"
+  "libmtfpu_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

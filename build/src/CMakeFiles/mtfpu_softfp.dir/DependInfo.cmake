@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softfp/add.cc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/add.cc.o" "gcc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/add.cc.o.d"
+  "/root/repo/src/softfp/convert.cc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/convert.cc.o" "gcc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/convert.cc.o.d"
+  "/root/repo/src/softfp/divide.cc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/divide.cc.o" "gcc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/divide.cc.o.d"
+  "/root/repo/src/softfp/fp64.cc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/fp64.cc.o" "gcc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/fp64.cc.o.d"
+  "/root/repo/src/softfp/mul.cc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/mul.cc.o" "gcc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/mul.cc.o.d"
+  "/root/repo/src/softfp/recip.cc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/recip.cc.o" "gcc" "src/CMakeFiles/mtfpu_softfp.dir/softfp/recip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtfpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

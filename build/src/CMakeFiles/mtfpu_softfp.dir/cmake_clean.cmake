@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtfpu_softfp.dir/softfp/add.cc.o"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/add.cc.o.d"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/convert.cc.o"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/convert.cc.o.d"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/divide.cc.o"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/divide.cc.o.d"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/fp64.cc.o"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/fp64.cc.o.d"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/mul.cc.o"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/mul.cc.o.d"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/recip.cc.o"
+  "CMakeFiles/mtfpu_softfp.dir/softfp/recip.cc.o.d"
+  "libmtfpu_softfp.a"
+  "libmtfpu_softfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtfpu_softfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mtfpu_softfp.
+# This may be replaced when dependencies are built.

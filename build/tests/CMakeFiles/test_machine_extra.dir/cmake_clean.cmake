@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_extra.dir/test_machine_extra.cc.o"
+  "CMakeFiles/test_machine_extra.dir/test_machine_extra.cc.o.d"
+  "test_machine_extra"
+  "test_machine_extra.pdb"
+  "test_machine_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

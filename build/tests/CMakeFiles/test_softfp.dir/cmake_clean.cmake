@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfp.dir/test_softfp.cc.o"
+  "CMakeFiles/test_softfp.dir/test_softfp.cc.o.d"
+  "test_softfp"
+  "test_softfp.pdb"
+  "test_softfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

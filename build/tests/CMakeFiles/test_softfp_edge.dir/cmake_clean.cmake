@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfp_edge.dir/test_softfp_edge.cc.o"
+  "CMakeFiles/test_softfp_edge.dir/test_softfp_edge.cc.o.d"
+  "test_softfp_edge"
+  "test_softfp_edge.pdb"
+  "test_softfp_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfp_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
