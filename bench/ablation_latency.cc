@@ -24,16 +24,26 @@ namespace
 
 const int kLoops[] = {1, 3, 5, 7, 11, 21};
 
-double
-harmonicWarm(const machine::MachineConfig &cfg)
+/** Queue the subset under @p cfg; one job per loop. */
+void
+queueSubset(std::vector<kernels::KernelJob> &jobs,
+            const machine::MachineConfig &cfg)
 {
-    std::vector<double> rates;
     for (int id : kLoops) {
         const bool vec = kernels::livermore::hasVectorVariant(id);
-        rates.push_back(
-            kernels::runKernel(kernels::livermore::make(id, vec), cfg)
-                .mflopsWarm);
+        jobs.push_back(kernels::KernelJob{
+            kernels::livermore::make(id, vec), cfg});
     }
+}
+
+/** Warm harmonic mean of one queued subset in the batched results. */
+double
+harmonicWarm(const std::vector<kernels::KernelResult> &results,
+             size_t group)
+{
+    std::vector<double> rates;
+    for (size_t i = 0; i < std::size(kLoops); ++i)
+        rates.push_back(results[group * std::size(kLoops) + i].mflopsWarm);
     return harmonicMean(rates);
 }
 
@@ -45,17 +55,29 @@ main()
     banner("Ablation: functional-unit latency and dual issue "
            "(Livermore 1,3,5,7,11,21 warm harmonic mean)");
 
-    TextTable t({"FPU latency", "dual issue", "HM MFLOPS",
-                 "vs paper config"});
-    machine::MachineConfig base;
-    const double ref = harmonicWarm(base);
-
+    // The whole sweep is one batch: (reference + 12 ablation points)
+    // x 6 loops, scheduled across the SimDriver worker pool.
+    std::vector<kernels::KernelJob> jobs;
+    queueSubset(jobs, machine::MachineConfig{});
     for (unsigned lat : {1u, 2u, 3u, 4u, 6u, 8u}) {
         for (bool overlap : {true, false}) {
             machine::MachineConfig cfg;
             cfg.fpuLatency = lat;
             cfg.overlapWithVector = overlap;
-            const double hm = harmonicWarm(cfg);
+            queueSubset(jobs, cfg);
+        }
+    }
+    const std::vector<kernels::KernelResult> results =
+        kernels::runKernelBatch(jobs);
+
+    TextTable t({"FPU latency", "dual issue", "HM MFLOPS",
+                 "vs paper config"});
+    const double ref = harmonicWarm(results, 0);
+
+    size_t group = 1;
+    for (unsigned lat : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        for (bool overlap : {true, false}) {
+            const double hm = harmonicWarm(results, group++);
             t.addRow({std::to_string(lat) + " cycles",
                       overlap ? "yes" : "no", TextTable::num(hm, 2),
                       TextTable::num(100.0 * hm / ref, 1) + "%"});

@@ -24,15 +24,26 @@ namespace
 
 const int kLoops[] = {1, 2, 3, 7, 9, 12};
 
+/** Queue the subset under @p cfg; one job per loop. */
 void
-harmonicBoth(const machine::MachineConfig &cfg, double &cold,
-             double &warm)
+queueSubset(std::vector<kernels::KernelJob> &jobs,
+            const machine::MachineConfig &cfg)
 {
-    std::vector<double> c, w;
     for (int id : kLoops) {
         const bool vec = kernels::livermore::hasVectorVariant(id);
-        const auto r =
-            kernels::runKernel(kernels::livermore::make(id, vec), cfg);
+        jobs.push_back(kernels::KernelJob{
+            kernels::livermore::make(id, vec), cfg});
+    }
+}
+
+/** Cold and warm harmonic means of one queued subset. */
+void
+harmonicBoth(const std::vector<kernels::KernelResult> &results,
+             size_t group, double &cold, double &warm)
+{
+    std::vector<double> c, w;
+    for (size_t i = 0; i < std::size(kLoops); ++i) {
+        const auto &r = results[group * std::size(kLoops) + i];
         c.push_back(r.mflopsCold);
         w.push_back(r.mflopsWarm);
     }
@@ -48,33 +59,47 @@ main()
     banner("Ablation: memory system (Livermore 1,2,3,7,9,12 harmonic "
            "means)");
 
-    TextTable t({"configuration", "cold HM", "warm HM", "cold/warm"});
-    double cold = 0, warm = 0;
-
+    // The whole sweep (8 configurations x 6 loops) runs as one batch
+    // on the SimDriver worker pool.
+    std::vector<kernels::KernelJob> jobs;
     for (unsigned penalty : {7u, 14u, 28u, 56u}) {
         machine::MachineConfig cfg;
         cfg.memory.dataCache.missPenalty = penalty;
         cfg.memory.instrCache.missPenalty = penalty;
-        harmonicBoth(cfg, cold, warm);
+        queueSubset(jobs, cfg);
+    }
+    {
+        machine::MachineConfig cfg;
+        cfg.memory.modelCaches = false;
+        queueSubset(jobs, cfg);
+    }
+    for (unsigned store_cycles : {1u, 2u, 3u}) {
+        machine::MachineConfig cfg;
+        cfg.storeCycles = store_cycles;
+        queueSubset(jobs, cfg);
+    }
+    const std::vector<kernels::KernelResult> results =
+        kernels::runKernelBatch(jobs);
+
+    TextTable t({"configuration", "cold HM", "warm HM", "cold/warm"});
+    double cold = 0, warm = 0;
+    size_t group = 0;
+
+    for (unsigned penalty : {7u, 14u, 28u, 56u}) {
+        harmonicBoth(results, group++, cold, warm);
         t.addRow({"miss penalty " + std::to_string(penalty) +
                       (penalty == 14 ? " (paper)" : ""),
                   TextTable::num(cold, 1), TextTable::num(warm, 1),
                   TextTable::num(cold / warm, 2)});
     }
 
-    {
-        machine::MachineConfig cfg;
-        cfg.memory.modelCaches = false;
-        harmonicBoth(cfg, cold, warm);
-        t.addRow({"ideal memory (no caches)", TextTable::num(cold, 1),
-                  TextTable::num(warm, 1),
-                  TextTable::num(cold / warm, 2)});
-    }
+    harmonicBoth(results, group++, cold, warm);
+    t.addRow({"ideal memory (no caches)", TextTable::num(cold, 1),
+              TextTable::num(warm, 1),
+              TextTable::num(cold / warm, 2)});
 
     for (unsigned store_cycles : {1u, 2u, 3u}) {
-        machine::MachineConfig cfg;
-        cfg.storeCycles = store_cycles;
-        harmonicBoth(cfg, cold, warm);
+        harmonicBoth(results, group++, cold, warm);
         t.addRow({"store cost " + std::to_string(store_cycles) +
                       (store_cycles == 2 ? " cycles (paper)"
                                          : " cycles"),

@@ -11,9 +11,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "assembler/assembler.hh"
 #include "bench/bench_util.hh"
+#include "machine/sim_driver.hh"
+#include "machine/tracer.hh"
 
 namespace
 {
@@ -72,40 +75,75 @@ main()
     banner("Figures 5-8: reductions and recurrences on the unified "
            "vector/scalar file");
 
-    for (const Case &c : kCases) {
-        machine::Machine m(idealMemoryConfig());
-        machine::Tracer tracer;
-        m.attachTracer(&tracer);
-        m.loadProgram(assembler::assemble(c.source));
-        if (c.fibonacci) {
-            m.fpu().regs().writeDouble(0, 1.0);
-            m.fpu().regs().writeDouble(1, 1.0);
-        } else {
-            for (unsigned i = 0; i < 8; ++i)
-                m.fpu().regs().writeDouble(i, 1.0 + i);
+    // All four figures simulate concurrently on the batch driver;
+    // each job captures its timeline and register results into its
+    // own slot (one Tracer and one Machine per worker, no sharing).
+    struct CaseOutput
+    {
+        std::string timeline;
+        uint64_t transfers = 0;
+        std::vector<double> fpRegs;
+    };
+    const size_t n = std::size(kCases);
+    std::vector<CaseOutput> outputs(n);
+    std::vector<machine::SimJob> jobs(n);
+    for (size_t i = 0; i < n; ++i) {
+        const Case &c = kCases[i];
+        CaseOutput &out = outputs[i];
+        jobs[i].name = c.title;
+        jobs[i].program = assembler::assemble(c.source);
+        jobs[i].config = idealMemoryConfig();
+        jobs[i].setup = [&c](machine::Machine &m) {
+            if (c.fibonacci) {
+                m.fpu().regs().writeDouble(0, 1.0);
+                m.fpu().regs().writeDouble(1, 1.0);
+            } else {
+                for (unsigned r = 0; r < 8; ++r)
+                    m.fpu().regs().writeDouble(r, 1.0 + r);
+            }
+        };
+        jobs[i].body = [&out](machine::Machine &m) {
+            machine::Tracer tracer;
+            m.addObserver(&tracer);
+            const machine::RunStats stats = m.run();
+            out.timeline = tracer.renderTimeline();
+            out.transfers = stats.fpAluTransfers;
+            for (unsigned r = 0; r < 17; ++r)
+                out.fpRegs.push_back(m.fpu().regs().readDouble(r));
+            m.removeObserver(&tracer);
+            return stats;
+        };
+    }
+    const std::vector<machine::SimJobResult> results =
+        machine::SimDriver().run(jobs);
+
+    for (size_t i = 0; i < n; ++i) {
+        const Case &c = kCases[i];
+        const CaseOutput &out = outputs[i];
+        if (!results[i].ok) {
+            std::fprintf(stderr, "%s failed: %s\n", c.title,
+                         results[i].error.c_str());
+            return 1;
         }
-        const machine::RunStats stats = m.run();
+        const machine::RunStats &stats = results[i].stats;
 
         std::printf("\n%s\n", c.title);
-        std::printf("%s", tracer.renderTimeline().c_str());
+        std::printf("%s", out.timeline.c_str());
         std::printf("  total cycles: %llu (paper: %llu)%s\n",
                     static_cast<unsigned long long>(stats.cycles),
                     static_cast<unsigned long long>(c.paper_cycles),
                     stats.cycles == c.paper_cycles ? "  [match]"
                                                    : "  [MISMATCH]");
         std::printf("  CPU instruction transfers for the sum: %llu\n",
-                    static_cast<unsigned long long>(
-                        stats.fpAluTransfers));
+                    static_cast<unsigned long long>(out.transfers));
         if (c.fibonacci) {
             std::printf("  Fibonacci results f2..f9:");
-            for (unsigned i = 2; i <= 9; ++i) {
-                std::printf(" %.0f", m.fpu().regs().readDouble(i));
-            }
+            for (unsigned r = 2; r <= 9; ++r)
+                std::printf(" %.0f", out.fpRegs[r]);
             std::printf("\n");
         } else {
             std::printf("  sum of 1..8 = %.0f (expect 36)\n",
-                        m.fpu().regs().readDouble(
-                            c.paper_cycles == 24 ? 16 : 14));
+                        out.fpRegs[c.paper_cycles == 24 ? 16 : 14]);
         }
     }
     std::printf("\nKey: I = element issue, = = in the pipeline, "

@@ -8,11 +8,13 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "assembler/assembler.hh"
 #include "baseline/published.hh"
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "machine/sim_driver.hh"
 
 using namespace mtfpu;
 using namespace mtfpu::bench;
@@ -20,15 +22,19 @@ using namespace mtfpu::bench;
 namespace
 {
 
-/** Cycles from issue to a dependent consumer for @p source text. */
-uint64_t
-measureCycles(const char *source, double num, double den)
+/** Latency measurement job for @p source text. */
+machine::SimJob
+measureJob(const char *name, const char *source, double num, double den)
 {
-    machine::Machine m(idealMemoryConfig());
-    m.loadProgram(assembler::assemble(source));
-    m.fpu().regs().writeDouble(0, num);
-    m.fpu().regs().writeDouble(1, den);
-    return m.run().cycles;
+    machine::SimJob job;
+    job.name = name;
+    job.config = idealMemoryConfig();
+    job.program = assembler::assemble(source);
+    job.setup = [num, den](machine::Machine &m) {
+        m.fpu().regs().writeDouble(0, num);
+        m.fpu().regs().writeDouble(1, den);
+    };
+    return job;
 }
 
 } // anonymous namespace
@@ -40,11 +46,11 @@ main()
 
     const double ns = machine::MachineConfig{}.cycleNs;
 
-    const uint64_t add_cycles =
-        measureCycles("fadd f2, f0, f1\nhalt\n", 2.0, 3.0);
-    const uint64_t mul_cycles =
-        measureCycles("fmul f2, f0, f1\nhalt\n", 2.0, 3.0);
-    const uint64_t div_cycles = measureCycles(R"(
+    // The three operation sequences simulate as one batch.
+    std::vector<machine::SimJob> jobs;
+    jobs.push_back(measureJob("add", "fadd f2, f0, f1\nhalt\n", 2.0, 3.0));
+    jobs.push_back(measureJob("mul", "fmul f2, f0, f1\nhalt\n", 2.0, 3.0));
+    jobs.push_back(measureJob("div", R"(
         frecip f10, f1
         fmul   f11, f1, f10
         fiter  f12, f10, f11
@@ -53,7 +59,18 @@ main()
         fmul   f15, f0, f14
         halt
     )",
-                                              1.0, 3.0);
+                              1.0, 3.0));
+    const auto measured_jobs = machine::SimDriver().run(jobs);
+    for (const auto &r : measured_jobs) {
+        if (!r.ok) {
+            std::fprintf(stderr, "%s failed: %s\n", r.name.c_str(),
+                         r.error.c_str());
+            return 1;
+        }
+    }
+    const uint64_t add_cycles = measured_jobs[0].stats.cycles;
+    const uint64_t mul_cycles = measured_jobs[1].stats.cycles;
+    const uint64_t div_cycles = measured_jobs[2].stats.cycles;
 
     TextTable t({"Operation", "FPU (measured)", "FPU (paper)",
                  "X-MP (paper)"});

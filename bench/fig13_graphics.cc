@@ -7,9 +7,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "kernels/graphics/transform.hh"
+#include "machine/sim_driver.hh"
 
 using namespace mtfpu;
 using namespace mtfpu::bench;
@@ -24,10 +26,21 @@ main()
         mat[i] = 0.0625 * (i + 3);
     const std::array<double, 4> p{1.0, 2.0, 3.0, 4.0};
 
-    const auto pre = kernels::graphics::runTransform(
-        idealMemoryConfig(), false, mat, p);
-    const auto full = kernels::graphics::runTransform(
-        idealMemoryConfig(), true, mat, p);
+    // Both variants (matrix preloaded / loaded first) as one batch.
+    kernels::graphics::TransformResult pre, full;
+    std::vector<machine::SimJob> jobs;
+    jobs.push_back(kernels::graphics::makeTransformJob(
+        idealMemoryConfig(), false, mat, p, pre));
+    jobs.push_back(kernels::graphics::makeTransformJob(
+        idealMemoryConfig(), true, mat, p, full));
+    const auto results = machine::SimDriver().run(jobs);
+    for (const auto &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "%s failed: %s\n", r.name.c_str(),
+                         r.error.c_str());
+            return 1;
+        }
+    }
 
     std::printf("\n%s\n",
                 kernels::graphics::transformSource(false).c_str());

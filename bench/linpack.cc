@@ -21,13 +21,18 @@ main()
     banner("Section 3.3: Linpack (100x100, DGEFA + DGESL)");
 
     const machine::MachineConfig cfg;
-    const kernels::KernelResult scalar =
-        kernels::runKernel(kernels::linpack::make(false), cfg);
-    const kernels::KernelResult vec =
-        kernels::runKernel(kernels::linpack::make(true), cfg);
+    // Both variants run concurrently on the batch driver.
+    const std::vector<kernels::KernelResult> results =
+        kernels::runKernelBatch({kernels::linpack::make(false),
+                                 kernels::linpack::make(true)},
+                                cfg);
+    const kernels::KernelResult &scalar = results[0];
+    const kernels::KernelResult &vec = results[1];
 
     if (!scalar.valid || !vec.valid) {
-        std::fprintf(stderr, "linpack validation failed\n");
+        std::fprintf(stderr, "linpack validation failed%s%s\n",
+                     scalar.error.empty() && vec.error.empty() ? "" : ": ",
+                     (scalar.error + vec.error).c_str());
         return 1;
     }
 

@@ -11,10 +11,13 @@
  */
 
 #include <cstdio>
+#include <deque>
+#include <vector>
 
 #include "baseline/hockney.hh"
 #include "bench/bench_util.hh"
 #include "kernels/builder.hh"
+#include "machine/sim_driver.hh"
 
 using namespace mtfpu;
 using namespace mtfpu::bench;
@@ -23,15 +26,15 @@ namespace
 {
 
 /**
- * Cycles for one memory-to-memory vector add of length n. With
+ * Job measuring one memory-to-memory vector add of length n. With
  * @p strip_overhead the measurement includes the pointer bumps and
  * the strip-mining branch a real loop body carries — the context the
- * paper's n1/2 ~ 4 describes.
+ * paper's n1/2 ~ 4 describes. @p b must outlive the batch run: the
+ * job's setup uses it to lay out memory.
  */
-uint64_t
-vectorAddCycles(unsigned n, bool strip_overhead)
+machine::SimJob
+vectorAddJob(kernels::KernelBuilder &b, unsigned n, bool strip_overhead)
 {
-    kernels::KernelBuilder b;
     b.array("x", 16);
     b.array("y", 16);
     b.array("z", 16);
@@ -58,14 +61,19 @@ vectorAddCycles(unsigned n, bool strip_overhead)
     else
         body();
 
-    machine::Machine m(idealMemoryConfig());
-    m.loadProgram(b.build());
-    b.initConstants(m.mem());
-    for (unsigned i = 0; i < 16; ++i) {
-        m.mem().writeDouble(b.layout().base("x") + 8 * i, 1.0 + i);
-        m.mem().writeDouble(b.layout().base("y") + 8 * i, 2.0 * i);
-    }
-    return m.run().cycles;
+    machine::SimJob job;
+    job.name = "vadd n=" + std::to_string(n) +
+               (strip_overhead ? " strip" : " bare");
+    job.config = idealMemoryConfig();
+    job.program = b.build();
+    job.setup = [&b](machine::Machine &m) {
+        b.initConstants(m.mem());
+        for (unsigned i = 0; i < 16; ++i) {
+            m.mem().writeDouble(b.layout().base("x") + 8 * i, 1.0 + i);
+            m.mem().writeDouble(b.layout().base("y") + 8 * i, 2.0 * i);
+        }
+    };
+    return job;
 }
 
 } // anonymous namespace
@@ -75,13 +83,34 @@ main()
 {
     banner("Section 2.2.1: vector half-performance length n1/2");
 
+    // All 32 measurements (16 lengths x {bare, strip}) as one batch.
+    // The builders live in a deque so the setup closures' references
+    // stay valid while jobs are still being queued.
+    std::deque<kernels::KernelBuilder> builders;
+    std::vector<machine::SimJob> jobs;
+    for (unsigned n = 1; n <= 16; ++n) {
+        for (const bool strip_overhead : {false, true}) {
+            builders.emplace_back();
+            jobs.push_back(
+                vectorAddJob(builders.back(), n, strip_overhead));
+        }
+    }
+    const auto results = machine::SimDriver().run(jobs);
+    for (const auto &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "%s failed: %s\n", r.name.c_str(),
+                         r.error.c_str());
+            return 1;
+        }
+    }
+
     std::printf("\nmemory-to-memory vector add, cycles per length:\n");
     std::printf("  %4s %10s %12s %14s\n", "n", "bare op",
                 "strip loop", "strip/result");
     std::vector<std::pair<double, double>> bare, strip;
     for (unsigned n = 1; n <= 16; ++n) {
-        const uint64_t cb = vectorAddCycles(n, false);
-        const uint64_t cs = vectorAddCycles(n, true);
+        const uint64_t cb = results[(n - 1) * 2].stats.cycles;
+        const uint64_t cs = results[(n - 1) * 2 + 1].stats.cycles;
         bare.emplace_back(n, static_cast<double>(cb));
         strip.emplace_back(n, static_cast<double>(cs));
         std::printf("  %4u %10llu %12llu %14.2f\n", n,

@@ -1,13 +1,17 @@
 /**
  * @file
  * Google-benchmark timing of the simulator itself: simulated cycles
- * per host second on representative workloads, plus the softfp
- * primitive rates. Not a paper experiment — an engineering benchmark
- * of this reproduction.
+ * per host second on representative workloads, the figure-suite
+ * kernel batch serial vs parallel on the SimDriver worker pool, plus
+ * the softfp primitive rates. Not a paper experiment — an engineering
+ * benchmark of this reproduction.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "common/log.hh"
 #include "kernels/livermore/livermore.hh"
 #include "kernels/runner.hh"
 #include "softfp/fp64.hh"
@@ -54,6 +58,65 @@ BM_SimulateLfk21Scalar(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateLfk21Scalar);
+
+/** The figure-suite workload: all 24 Livermore preferred variants. */
+std::vector<kernels::Kernel>
+figureSuite()
+{
+    std::vector<kernels::Kernel> suite;
+    for (int id = 1; id <= kernels::livermore::kNumLoops; ++id)
+        suite.push_back(kernels::livermore::make(
+            id, kernels::livermore::hasVectorVariant(id)));
+    return suite;
+}
+
+/**
+ * The figure-suite batch with @p threads workers (0 = one per host
+ * core). Checks every job succeeded and, when running parallel, that
+ * the per-job stats are byte-identical to a serial reference run.
+ */
+void
+BM_FigureSuiteBatch(benchmark::State &state)
+{
+    const std::vector<kernels::Kernel> suite = figureSuite();
+    const machine::MachineConfig cfg;
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+
+    std::vector<kernels::KernelResult> reference;
+    if (threads != 1)
+        reference = kernels::runKernelBatch(suite, cfg, 1);
+
+    std::vector<kernels::KernelResult> results;
+    for (auto _ : state) {
+        results = kernels::runKernelBatch(suite, cfg, threads);
+        benchmark::DoNotOptimize(results);
+    }
+
+    uint64_t cycles = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].error.empty())
+            fatal(results[i].error);
+        if (!reference.empty() &&
+            !(results[i].cold == reference[i].cold &&
+              results[i].warm == reference[i].warm)) {
+            fatal("parallel stats diverge from serial for " +
+                  suite[i].name);
+        }
+        cycles += results[i].cold.cycles + results[i].warm.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles) * state.iterations(),
+        benchmark::Counter::kIsRate);
+    state.counters["threads"] = static_cast<double>(
+        threads != 0 ? threads
+                     : std::max(1u, std::thread::hardware_concurrency()));
+}
+BENCHMARK(BM_FigureSuiteBatch)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("threads")
+    ->UseRealTime();
 
 void
 BM_SoftFpAdd(benchmark::State &state)

@@ -1,7 +1,7 @@
 #include "fpu/fpu.hh"
 
 #include "common/log.hh"
-#include "softfp/fp64.hh"
+#include "exec/semantics.hh"
 
 namespace mtfpu::fpu
 {
@@ -11,7 +11,7 @@ Fpu::Fpu(unsigned latency)
 {
 }
 
-void
+std::vector<PendingOp>
 Fpu::beginCycle()
 {
     elementIssuedThisCycle_ = false;
@@ -21,7 +21,8 @@ Fpu::beginCycle()
     // discards all remaining elements of its own vector instruction
     // when it retires (paper §2.3.1); elements already in the pipeline
     // behind it complete normally.
-    for (const PendingOp &op : units_.advance(regs_, sb_)) {
+    std::vector<PendingOp> retired = units_.advance(regs_, sb_);
+    for (const PendingOp &op : retired) {
         psw_.flags.merge(op.flags);
         if (op.flags.overflow) {
             psw_.recordOverflow(op.reg);
@@ -33,6 +34,7 @@ Fpu::beginCycle()
     }
 
     lsu_.advance(regs_);
+    return retired;
 }
 
 ElementEvent
@@ -63,8 +65,7 @@ Fpu::tryIssueElement()
     const uint64_t a = regs_.read(element.ra);
     const uint64_t b = regs_.read(element.rb);
     softfp::Flags flags;
-    const uint64_t value = softfp::fpuOperate(
-        isa::fpOpUnit(element.op), isa::fpOpFunc(element.op), a, b, flags);
+    const uint64_t value = exec::evalFpOp(element.op, a, b, flags);
 
     sb_.reserve(element.rr);
     units_.issue(element.op, element.rr, value, flags, seq);

@@ -45,6 +45,8 @@ struct FpuStats
     uint64_t destStallCycles = 0;
     uint64_t squashedElements = 0;
     std::array<uint64_t, 8> opCounts{}; // indexed by isa::FpOp
+
+    bool operator==(const FpuStats &) const = default;
 };
 
 /** Result of one element-issue attempt. */
@@ -64,9 +66,10 @@ class Fpu
     /**
      * Start an active cycle: retire finished ALU operations (merging
      * their flags into the PSW and applying overflow squash) and
-     * complete in-flight load writes.
+     * complete in-flight load writes. Returns the operations retired
+     * this cycle so the Machine can publish them to its observers.
      */
-    void beginCycle();
+    std::vector<PendingOp> beginCycle();
 
     /** Attempt to issue one vector element from the ALU IR. */
     ElementEvent tryIssueElement();

@@ -1,17 +1,11 @@
 #include "fpu/vector_issue.hh"
 
 #include "common/log.hh"
+#include "exec/semantics.hh"
 #include "fpu/scoreboard.hh"
 
 namespace mtfpu::fpu
 {
-
-bool
-AluInstructionRegister::opIsUnary(isa::FpOp op)
-{
-    return op == isa::FpOp::Float || op == isa::FpOp::Truncate ||
-           op == isa::FpOp::Recip;
-}
 
 void
 AluInstructionRegister::transfer(const isa::FpuAluInstr &instr,
@@ -42,7 +36,7 @@ AluInstructionRegister::tryIssue(const Scoreboard &sb, ElementIssue &out)
     // destination must not carry an outstanding reservation.
     if (sb.reserved(live.ra))
         return IssueStall::SourceBusy;
-    if (!opIsUnary(live.op) && sb.reserved(live.rb))
+    if (!exec::fpOpIsUnary(live.op) && sb.reserved(live.rb))
         return IssueStall::SourceBusy;
     if (sb.reserved(live.rr))
         return IssueStall::DestBusy;
@@ -56,11 +50,11 @@ AluInstructionRegister::tryIssue(const Scoreboard &sb, ElementIssue &out)
         current_.reset();
     } else {
         --live.vl;
-        ++live.rr;
-        if (live.sra)
-            ++live.ra;
-        if (live.srb)
-            ++live.rb;
+        exec::ElementSpecs specs{live.rr, live.ra, live.rb};
+        exec::advanceSpecifiers(specs, live.sra, live.srb);
+        live.rr = specs.rr;
+        live.ra = specs.ra;
+        live.rb = specs.rb;
         if (live.rr >= isa::kNumFpuRegs ||
             live.ra >= isa::kNumFpuRegs ||
             live.rb >= isa::kNumFpuRegs) {
@@ -89,7 +83,7 @@ AluInstructionRegister::currentTouches(unsigned reg,
         return false;
     if (reg == live.ra)
         return true;
-    return !opIsUnary(live.op) && reg == live.rb;
+    return !exec::fpOpIsUnary(live.op) && reg == live.rb;
 }
 
 bool
@@ -108,7 +102,7 @@ AluInstructionRegister::touchesBeyondCurrent(unsigned reg,
         return false;
     if (live.sra && reg >= live.ra + 1u && reg <= live.ra + n)
         return true;
-    if (!opIsUnary(live.op) && live.srb &&
+    if (!exec::fpOpIsUnary(live.op) && live.srb &&
         reg >= live.rb + 1u && reg <= live.rb + n) {
         return true;
     }

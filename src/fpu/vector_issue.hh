@@ -114,8 +114,6 @@ class AluInstructionRegister
         uint64_t seq;
     };
 
-    static bool opIsUnary(isa::FpOp op);
-
     std::optional<Live> current_;
 };
 

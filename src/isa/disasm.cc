@@ -42,6 +42,36 @@ branchCondName(BranchCond c)
     return "?";
 }
 
+const char *
+fpOpSymbol(FpOp op)
+{
+    switch (op) {
+      case FpOp::Add: return "+";
+      case FpOp::Sub: return "-";
+      case FpOp::Mul: return "*";
+      case FpOp::IntMul: return "*i";
+      case FpOp::IterStep: return "iter";
+      case FpOp::Float: return "float";
+      case FpOp::Truncate: return "trunc";
+      case FpOp::Recip: return "recip";
+    }
+    return "?";
+}
+
+std::string
+fpElementText(FpOp op, unsigned rr, unsigned ra, unsigned rb)
+{
+    char buf[64];
+    if (op == FpOp::Float || op == FpOp::Truncate || op == FpOp::Recip) {
+        std::snprintf(buf, sizeof(buf), "f%u := %s f%u", rr,
+                      fpOpSymbol(op), ra);
+    } else {
+        std::snprintf(buf, sizeof(buf), "f%u := f%u %s f%u", rr, ra,
+                      fpOpSymbol(op), rb);
+    }
+    return buf;
+}
+
 std::string
 disassemble(const Instr &i)
 {

@@ -40,6 +40,16 @@ std::string disassembleProgram(const assembler::Program &program);
 const char *aluFuncName(AluFunc f);
 const char *branchCondName(BranchCond c);
 
+/** Infix/prefix symbol of an FP operation ("+", "*", "recip", ...). */
+const char *fpOpSymbol(FpOp op);
+
+/**
+ * Paper-style text of one vector element, e.g. "f9 := f8 + f0" or
+ * "f10 := recip f1". Single formatter for the tracer and the Figure
+ * 5-8 timing diagrams.
+ */
+std::string fpElementText(FpOp op, unsigned rr, unsigned ra, unsigned rb);
+
 } // namespace mtfpu::isa
 
 #endif // MTFPU_ISA_DISASM_HH

@@ -1,5 +1,7 @@
 #include "kernels/graphics/transform.hh"
 
+#include "common/log.hh"
+
 namespace mtfpu::kernels::graphics
 {
 
@@ -52,35 +54,58 @@ referenceTransform(const std::array<double, 16> &matrix,
     return out;
 }
 
+machine::SimJob
+makeTransformJob(const machine::MachineConfig &config, bool load_matrix,
+                 const std::array<double, 16> &matrix,
+                 const std::array<double, 4> &point,
+                 TransformResult &out)
+{
+    constexpr uint64_t base = 0x4000;
+
+    machine::SimJob job;
+    job.name = load_matrix ? "transform (load matrix)"
+                           : "transform (matrix preloaded)";
+    job.config = config;
+    job.program = assembler::assemble(transformSource(load_matrix));
+    job.setup = [matrix, point, load_matrix](machine::Machine &m) {
+        m.cpu().writeReg(1, base);
+        for (int i = 0; i < 4; ++i)
+            m.mem().writeDouble(base + 8 * i, point[i]);
+        // Column c of the matrix occupies register group c*4..c*4+3;
+        // in memory the matrix image is stored column-major at
+        // base+64.
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r) {
+                const double v = matrix[r * 4 + c];
+                m.mem().writeDouble(base + 64 + 8 * (c * 4 + r), v);
+                if (!load_matrix)
+                    m.fpu().regs().writeDouble(c * 4 + r, v);
+            }
+        }
+    };
+    job.body = [&out, cycle_ns = config.cycleNs](machine::Machine &m) {
+        const machine::RunStats stats = m.run();
+        out.cycles = stats.cycles;
+        out.mflops = stats.mflops(28.0, cycle_ns);
+        for (int k = 0; k < 4; ++k)
+            out.out[k] = m.mem().readDouble(base + 32 + 8 * k);
+        return stats;
+    };
+    return job;
+}
+
 TransformResult
 runTransform(const machine::MachineConfig &config, bool load_matrix,
              const std::array<double, 16> &matrix,
              const std::array<double, 4> &point)
 {
-    machine::Machine m(config);
-    m.loadProgram(assembler::assemble(transformSource(load_matrix)));
-
-    constexpr uint64_t base = 0x4000;
-    m.cpu().writeReg(1, base);
-    for (int i = 0; i < 4; ++i)
-        m.mem().writeDouble(base + 8 * i, point[i]);
-    // Column c of the matrix occupies register group c*4..c*4+3; in
-    // memory the matrix image is stored column-major at base+64.
-    for (int c = 0; c < 4; ++c) {
-        for (int r = 0; r < 4; ++r) {
-            const double v = matrix[r * 4 + c];
-            m.mem().writeDouble(base + 64 + 8 * (c * 4 + r), v);
-            if (!load_matrix)
-                m.fpu().regs().writeDouble(c * 4 + r, v);
-        }
-    }
-
-    const machine::RunStats stats = m.run();
     TransformResult result;
-    result.cycles = stats.cycles;
-    result.mflops = stats.mflops(28.0, config.cycleNs);
-    for (int k = 0; k < 4; ++k)
-        result.out[k] = m.mem().readDouble(base + 32 + 8 * k);
+    std::vector<machine::SimJob> jobs;
+    jobs.push_back(
+        makeTransformJob(config, load_matrix, matrix, point, result));
+    const auto results = machine::SimDriver(1).run(jobs);
+    if (!results[0].ok)
+        fatal(results[0].error);
     return result;
 }
 

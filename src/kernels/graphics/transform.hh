@@ -14,6 +14,7 @@
 #include <string>
 
 #include "machine/machine.hh"
+#include "machine/sim_driver.hh"
 
 namespace mtfpu::kernels::graphics
 {
@@ -42,6 +43,17 @@ TransformResult runTransform(const machine::MachineConfig &config,
                              bool load_matrix,
                              const std::array<double, 16> &matrix,
                              const std::array<double, 4> &point);
+
+/**
+ * Batch-friendly form of runTransform: a SimJob whose body fills
+ * @p out. @p out must outlive the SimDriver::run call; matrix and
+ * point are captured by value.
+ */
+machine::SimJob makeTransformJob(const machine::MachineConfig &config,
+                                 bool load_matrix,
+                                 const std::array<double, 16> &matrix,
+                                 const std::array<double, 4> &point,
+                                 TransformResult &out);
 
 /** Host reference: result[k] = sum_c matrix[k][c] * point[c]. */
 std::array<double, 4> referenceTransform(

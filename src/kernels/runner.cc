@@ -6,16 +6,17 @@
 namespace mtfpu::kernels
 {
 
-KernelResult
-runKernel(const Kernel &kernel, const machine::MachineConfig &config)
+namespace
 {
-    machine::Machine m(config);
-    m.loadProgram(kernel.program);
 
-    KernelResult result;
-    result.name = kernel.name;
-    result.variant = kernel.variant;
-
+/**
+ * The cold+warm measurement protocol, run on a worker's Machine.
+ * Writes everything except the error field into @p result.
+ */
+machine::RunStats
+measureKernel(machine::Machine &m, const Kernel &kernel,
+              const machine::MachineConfig &config, KernelResult &result)
+{
     // Cold run: caches start invalid (loadProgram flushed them).
     kernel.init(m.mem());
     result.cold = m.run();
@@ -39,6 +40,66 @@ runKernel(const Kernel &kernel, const machine::MachineConfig &config)
     const double ns = config.cycleNs;
     result.mflopsCold = result.cold.mflops(kernel.flops, ns);
     result.mflopsWarm = result.warm.mflops(kernel.flops, ns);
+    return result.warm;
+}
+
+} // anonymous namespace
+
+std::vector<KernelResult>
+runKernelBatch(const std::vector<KernelJob> &jobs, unsigned threads)
+{
+    std::vector<KernelResult> results(jobs.size());
+
+    std::vector<machine::SimJob> sim_jobs;
+    sim_jobs.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const KernelJob &job = jobs[i];
+        KernelResult &result = results[i];
+        result.name = job.kernel.name;
+        result.variant = job.kernel.variant;
+
+        machine::SimJob sim;
+        sim.name = job.kernel.name + "/" + job.kernel.variant;
+        sim.program = job.kernel.program;
+        sim.config = job.config;
+        // Each body writes only its own result slot, so the batch is
+        // data-race-free by construction.
+        sim.body = [&job, &result](machine::Machine &m) {
+            return measureKernel(m, job.kernel, job.config, result);
+        };
+        sim_jobs.push_back(std::move(sim));
+    }
+
+    const machine::SimDriver driver(threads);
+    const std::vector<machine::SimJobResult> outcomes =
+        driver.run(sim_jobs);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok) {
+            results[i].valid = false;
+            results[i].error = outcomes[i].error;
+        }
+    }
+    return results;
+}
+
+std::vector<KernelResult>
+runKernelBatch(const std::vector<Kernel> &kernels,
+               const machine::MachineConfig &config, unsigned threads)
+{
+    std::vector<KernelJob> jobs;
+    jobs.reserve(kernels.size());
+    for (const Kernel &kernel : kernels)
+        jobs.push_back(KernelJob{kernel, config});
+    return runKernelBatch(jobs, threads);
+}
+
+KernelResult
+runKernel(const Kernel &kernel, const machine::MachineConfig &config)
+{
+    KernelResult result =
+        runKernelBatch({KernelJob{kernel, config}}, 1).at(0);
+    if (!result.error.empty())
+        fatal(result.error); // preserve the pre-batch failure contract
     return result;
 }
 

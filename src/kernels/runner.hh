@@ -4,13 +4,21 @@
  * warm (the paper's run-the-loops-twice methodology), validates the
  * simulated results against the host-FP reference, and computes
  * MFLOPS at the 40 ns cycle time.
+ *
+ * Batch entry points sit on the machine::SimDriver thread pool: a
+ * figure or ablation suite is a list of independent (kernel, config)
+ * jobs, each simulated on its own isolated Machine. Results come back
+ * in job order and are identical for any thread count.
  */
 
 #ifndef MTFPU_KERNELS_RUNNER_HH
 #define MTFPU_KERNELS_RUNNER_HH
 
+#include <vector>
+
 #include "kernels/kernel.hh"
 #include "machine/machine.hh"
+#include "machine/sim_driver.hh"
 
 namespace mtfpu::kernels
 {
@@ -27,7 +35,29 @@ struct KernelResult
     /** Relative checksum error vs the host reference (warm run). */
     double relError = 0;
     bool valid = false;
+    /** fatal() message if the simulation itself failed. */
+    std::string error;
 };
+
+/** One batch entry: a kernel and the machine that should run it. */
+struct KernelJob
+{
+    Kernel kernel;
+    machine::MachineConfig config{};
+};
+
+/**
+ * Run every job across @p threads workers (0 = hardware concurrency).
+ * Results are in job order regardless of scheduling.
+ */
+std::vector<KernelResult> runKernelBatch(const std::vector<KernelJob> &jobs,
+                                         unsigned threads = 0);
+
+/** Convenience: the same configuration for a whole kernel list. */
+std::vector<KernelResult> runKernelBatch(const std::vector<Kernel> &kernels,
+                                         const machine::MachineConfig &config =
+                                             machine::MachineConfig{},
+                                         unsigned threads = 0);
 
 /**
  * Run @p kernel on a machine configured by @p config.

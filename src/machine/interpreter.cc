@@ -3,7 +3,7 @@
 #include <cstring>
 
 #include "common/log.hh"
-#include "softfp/fp64.hh"
+#include "exec/semantics.hh"
 
 namespace mtfpu::machine
 {
@@ -49,6 +49,8 @@ Interpreter::run(uint64_t max_steps)
 void
 Interpreter::step()
 {
+    if (halted_)
+        return;
     if (pc_ >= program_.code.size())
         fatal("Interpreter: PC ran past the end of the program");
     const Instr &in = program_.code[pc_];
@@ -59,30 +61,6 @@ Interpreter::step()
     const uint32_t target = redirectTarget_;
     redirectPending_ = false;
 
-    auto aluEval = [](isa::AluFunc f, uint64_t a, uint64_t b) {
-        using isa::AluFunc;
-        switch (f) {
-          case AluFunc::Add: return a + b;
-          case AluFunc::Sub: return a - b;
-          case AluFunc::And: return a & b;
-          case AluFunc::Or: return a | b;
-          case AluFunc::Xor: return a ^ b;
-          case AluFunc::Sll: return a << (b & 63);
-          case AluFunc::Srl: return a >> (b & 63);
-          case AluFunc::Sra:
-            return static_cast<uint64_t>(static_cast<int64_t>(a) >>
-                                         (b & 63));
-          case AluFunc::Slt:
-            return static_cast<uint64_t>(static_cast<int64_t>(a) <
-                                         static_cast<int64_t>(b));
-          case AluFunc::Sltu: return static_cast<uint64_t>(a < b);
-          case AluFunc::Mul:
-            return static_cast<uint64_t>(static_cast<int64_t>(a) *
-                                         static_cast<int64_t>(b));
-        }
-        panic("Interpreter: bad ALU function");
-    };
-
     auto writeInt = [&](unsigned r, uint64_t v) {
         if (r != 0)
             iregs_[r] = v;
@@ -90,92 +68,58 @@ Interpreter::step()
 
     switch (in.major) {
       case Major::Alu:
-        writeInt(in.rd, aluEval(in.func, intReg(in.rs1), intReg(in.rs2)));
+        writeInt(in.rd,
+                 exec::evalAlu(in.func, intReg(in.rs1), intReg(in.rs2)));
         break;
       case Major::AluImm:
         writeInt(in.rd,
-                 aluEval(in.func, intReg(in.rs1),
-                         static_cast<uint64_t>(
-                             static_cast<int64_t>(in.imm))));
+                 exec::evalAlu(in.func, intReg(in.rs1),
+                               static_cast<uint64_t>(
+                                   static_cast<int64_t>(in.imm))));
         break;
       case Major::Lui:
-        writeInt(in.rd, static_cast<uint64_t>(in.imm) << isa::kLuiShift);
+        writeInt(in.rd, exec::evalLui(in.imm));
         break;
       case Major::Ld:
-        writeInt(in.rd, mem_.read64(intReg(in.rs1) +
-                                    static_cast<int64_t>(in.imm)));
+        writeInt(in.rd, mem_.read64(
+                            exec::effectiveAddress(intReg(in.rs1), in.imm)));
         break;
       case Major::St:
-        mem_.write64(intReg(in.rs1) + static_cast<int64_t>(in.imm),
+        mem_.write64(exec::effectiveAddress(intReg(in.rs1), in.imm),
                      intReg(in.rd));
         break;
       case Major::Ldf:
-        fregs_[in.fr] = mem_.read64(intReg(in.rs1) +
-                                    static_cast<int64_t>(in.imm));
+        fregs_[in.fr] =
+            mem_.read64(exec::effectiveAddress(intReg(in.rs1), in.imm));
         break;
       case Major::Stf:
-        mem_.write64(intReg(in.rs1) + static_cast<int64_t>(in.imm),
+        mem_.write64(exec::effectiveAddress(intReg(in.rs1), in.imm),
                      fregs_[in.fr]);
         break;
-      case Major::FpAlu: {
-        const isa::FpuAluInstr &fp = in.fp;
-        unsigned rr = fp.rr, ra = fp.ra, rb = fp.rb;
-        for (unsigned e = 0; e < fp.length(); ++e) {
+      case Major::FpAlu:
+        exec::forEachElement(in.fp, [&](unsigned rr, unsigned ra,
+                                        unsigned rb) {
             softfp::Flags flags;
-            fregs_[rr] = softfp::fpuOperate(isa::fpOpUnit(fp.op),
-                                            isa::fpOpFunc(fp.op),
-                                            fregs_[ra], fregs_[rb],
-                                            flags);
+            fregs_[rr] =
+                exec::evalFpOp(in.fp.op, fregs_[ra], fregs_[rb], flags);
             ++fpElements_;
-            ++rr;
-            if (fp.sra)
-                ++ra;
-            if (fp.srb)
-                ++rb;
-        }
+        });
         break;
-      }
-      case Major::Branch: {
-        bool taken = false;
-        const int64_t a = static_cast<int64_t>(intReg(in.rs1));
-        const int64_t b = static_cast<int64_t>(intReg(in.rs2));
-        switch (in.cond) {
-          case isa::BranchCond::Eq: taken = a == b; break;
-          case isa::BranchCond::Ne: taken = a != b; break;
-          case isa::BranchCond::Lt: taken = a < b; break;
-          case isa::BranchCond::Ge: taken = a >= b; break;
-          case isa::BranchCond::Ltu:
-            taken = intReg(in.rs1) < intReg(in.rs2);
-            break;
-          case isa::BranchCond::Geu:
-            taken = intReg(in.rs1) >= intReg(in.rs2);
-            break;
-        }
-        if (taken) {
+      case Major::Branch:
+        if (exec::evalBranch(in.cond, intReg(in.rs1), intReg(in.rs2))) {
             redirectPending_ = true;
             redirectTarget_ = pc_ + in.imm;
         }
         break;
-      }
-      case Major::Jump:
+      case Major::Jump: {
+        const exec::JumpEffect effect =
+            exec::evalJump(in, pc_, intReg(in.rs1));
+        if (effect.writesLink)
+            writeInt(effect.linkReg, effect.linkValue);
         redirectPending_ = true;
-        switch (in.jkind) {
-          case isa::JumpKind::J:
-            redirectTarget_ = pc_ + in.imm;
-            break;
-          case isa::JumpKind::Jal:
-            writeInt(in.rd, pc_ + 2);
-            redirectTarget_ = pc_ + in.imm;
-            break;
-          case isa::JumpKind::Jr:
-            redirectTarget_ = static_cast<uint32_t>(intReg(in.rs1));
-            break;
-          case isa::JumpKind::Jalr:
-            redirectTarget_ = static_cast<uint32_t>(intReg(in.rs1));
-            writeInt(in.rd, pc_ + 2);
-            break;
-        }
+        redirectTarget_ = effect.target;
         break;
+      }
       case Major::Mvfc:
         writeInt(in.rd, fregs_[in.fr]);
         break;

@@ -3,10 +3,11 @@
  * A purely functional (untimed) interpreter of the ISA. It executes
  * instructions strictly in program order — vector ALU instructions
  * expand element by element — with the same architectural semantics
- * as the cycle model (branch/jump delay slots included). It serves as
- * the oracle for the semantics-vs-timing property tests: for any
- * hazard-free program the cycle model must produce identical
- * architectural state.
+ * as the cycle model (branch/jump delay slots included). Both engines
+ * delegate instruction semantics to src/exec, so they cannot drift;
+ * the interpreter serves as the oracle for the semantics-vs-timing
+ * property tests and for the LockstepChecker observer that
+ * shadow-executes it under the cycle model.
  */
 
 #ifndef MTFPU_MACHINE_INTERPRETER_HH
@@ -36,17 +37,33 @@ class Interpreter
      */
     void run(uint64_t max_steps = 100'000'000);
 
+    /**
+     * Execute exactly one instruction (public so a lockstep driver
+     * can single-step in time with the cycle model's issue events).
+     * No-op once halted.
+     */
+    void step();
+
     memory::MainMemory &mem() { return mem_; }
     uint64_t intReg(unsigned r) const { return r == 0 ? 0 : iregs_[r]; }
     uint64_t fpReg(unsigned r) const { return fregs_[r]; }
+
+    /** Preload register state (e.g. lockstep arming from a Machine). */
+    void setIntReg(unsigned r, uint64_t v)
+    {
+        if (r != 0)
+            iregs_[r] = v;
+    }
+    void setFpReg(unsigned r, uint64_t v) { fregs_[r] = v; }
+
     double fpRegDouble(unsigned r) const;
+    uint32_t pc() const { return pc_; }
+    bool halted() const { return halted_; }
 
     /** Count of FPU ALU elements executed (for cross-checking). */
     uint64_t fpElements() const { return fpElements_; }
 
   private:
-    void step();
-
     assembler::Program program_;
     memory::MainMemory mem_;
     std::array<uint64_t, isa::kNumIntRegs> iregs_{};

@@ -1,0 +1,135 @@
+#include "machine/lockstep.hh"
+
+#include <string>
+
+#include "common/log.hh"
+#include "isa/disasm.hh"
+
+namespace mtfpu::machine
+{
+
+namespace
+{
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // anonymous namespace
+
+LockstepChecker::LockstepChecker(Machine &machine)
+    : machine_(machine), interp_(machine.mem().size())
+{
+}
+
+void
+LockstepChecker::arm()
+{
+    interp_.loadProgram(machine_.program());
+    memory::MainMemory &src = machine_.mem();
+    memory::MainMemory &dst = interp_.mem();
+    for (uint64_t addr = 0; addr < src.size(); addr += 8)
+        dst.write64(addr, src.read64(addr));
+    // Setup hooks may preload registers before run() (e.g. a graphics
+    // matrix in f0..f15); mirror them into the shadow.
+    for (unsigned r = 1; r < isa::kNumIntRegs; ++r)
+        interp_.setIntReg(r, machine_.cpu().readReg(r));
+    for (unsigned r = 0; r < isa::kNumFpuRegs; ++r)
+        interp_.setFpReg(r, machine_.fpu().regs().read(r));
+    issues_ = 0;
+    armed_ = true;
+}
+
+void
+LockstepChecker::onCycle(uint64_t cycle)
+{
+    (void)cycle;
+    // The first active cycle of a run happens after the program and
+    // data image are in place but before any instruction issues —
+    // the right moment to snapshot the shadow state.
+    if (!armed_)
+        arm();
+}
+
+void
+LockstepChecker::onIssue(const exec::IssueEvent &event)
+{
+    if (!armed_)
+        fatal("LockstepChecker: issue before the run started");
+    if (event.pc != interp_.pc()) {
+        fatal("lockstep divergence at cycle " +
+              std::to_string(event.cycle) + ": machine issued pc=" +
+              std::to_string(event.pc) + " (" +
+              isa::disassemble(*event.instr) +
+              ") but the interpreter is at pc=" +
+              std::to_string(interp_.pc()));
+    }
+    interp_.step();
+    ++issues_;
+}
+
+void
+LockstepChecker::onRunEnd(uint64_t cycles)
+{
+    if (!armed_)
+        return;
+    compareFinalState(cycles);
+    armed_ = false; // re-arm at the next run's first cycle
+    ++runsVerified_;
+}
+
+void
+LockstepChecker::compareFinalState(uint64_t cycles)
+{
+    auto diverged = [&](const std::string &what) {
+        fatal("lockstep divergence after " + std::to_string(cycles) +
+              " cycles, " + std::to_string(issues_) + " instructions: " +
+              what);
+    };
+
+    if (!interp_.halted())
+        diverged("machine halted but the interpreter has not");
+
+    for (unsigned r = 1; r < isa::kNumIntRegs; ++r) {
+        const uint64_t have = machine_.cpu().readReg(r);
+        const uint64_t want = interp_.intReg(r);
+        if (have != want) {
+            diverged("r" + std::to_string(r) + " machine=" + hex(have) +
+                     " interpreter=" + hex(want));
+        }
+    }
+
+    for (unsigned r = 0; r < isa::kNumFpuRegs; ++r) {
+        const uint64_t have = machine_.fpu().regs().read(r);
+        const uint64_t want = interp_.fpReg(r);
+        if (have != want) {
+            diverged("f" + std::to_string(r) + " machine=" + hex(have) +
+                     " interpreter=" + hex(want));
+        }
+    }
+
+    const uint64_t have_elems = machine_.fpu().stats().elementsIssued;
+    if (have_elems != interp_.fpElements()) {
+        diverged("FPU element count machine=" +
+                 std::to_string(have_elems) + " interpreter=" +
+                 std::to_string(interp_.fpElements()));
+    }
+
+    memory::MainMemory &a = machine_.mem();
+    memory::MainMemory &b = interp_.mem();
+    for (uint64_t addr = 0; addr < a.size(); addr += 8) {
+        const uint64_t have = a.read64(addr);
+        const uint64_t want = b.read64(addr);
+        if (have != want) {
+            diverged("mem[0x" + hex(addr) + "] machine=" + hex(have) +
+                     " interpreter=" + hex(want));
+        }
+    }
+}
+
+} // namespace mtfpu::machine

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Differential (lockstep) checking of the cycle model against the
+ * untimed Interpreter, built on the ExecObserver event stream. The
+ * checker shadow-executes every issued instruction in the interpreter
+ * and faults the run on the first divergence:
+ *
+ *   - at every CPU issue event, the interpreter must be about to
+ *     execute the same PC (issue order is architectural order on this
+ *     machine — one in-order CPU instruction per cycle);
+ *   - at run end, the integer register file, the FPU register file,
+ *     all of memory, and the executed FPU element count must match
+ *     exactly (the Machine drains its pipelines before returning, so
+ *     delayed load/retire writes have landed).
+ *
+ * Mid-run register comparison is deliberately not attempted: the cycle
+ * model's load results and FPU retirements become visible cycles after
+ * issue, so transient differences against the instantaneous
+ * interpreter are correct behavior, not divergence.
+ *
+ * Not applicable to programs that overflow: the hardware squashes the
+ * remainder of an overflowing vector (§2.3.1) while the functional
+ * interpreter executes every element, so they legitimately differ.
+ */
+
+#ifndef MTFPU_MACHINE_LOCKSTEP_HH
+#define MTFPU_MACHINE_LOCKSTEP_HH
+
+#include <cstdint>
+
+#include "exec/observer.hh"
+#include "machine/interpreter.hh"
+#include "machine/machine.hh"
+
+namespace mtfpu::machine
+{
+
+/** Observer that shadow-executes the Interpreter under a Machine. */
+class LockstepChecker : public exec::ExecObserver
+{
+  public:
+    /**
+     * Bind to @p machine (which must outlive the checker). Attach
+     * with machine.addObserver(&checker); the checker snapshots the
+     * program and memory image at the first active cycle of each run,
+     * so attach before run() and after memory setup.
+     */
+    explicit LockstepChecker(Machine &machine);
+
+    void onCycle(uint64_t cycle) override;
+    void onIssue(const exec::IssueEvent &event) override;
+    void onRunEnd(uint64_t cycles) override;
+
+    /** Instructions cross-checked so far in the current run. */
+    uint64_t issuesChecked() const { return issues_; }
+
+    /** Completed run verifications (incremented at each clean run end). */
+    uint64_t runsVerified() const { return runsVerified_; }
+
+    /** The shadow interpreter (for test introspection). */
+    const Interpreter &interpreter() const { return interp_; }
+
+  private:
+    /** Snapshot the machine's program and memory into the shadow. */
+    void arm();
+
+    /** Full architectural-state comparison; fatal() on divergence. */
+    void compareFinalState(uint64_t cycles);
+
+    Machine &machine_;
+    Interpreter interp_;
+    uint64_t issues_ = 0;
+    uint64_t runsVerified_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_LOCKSTEP_HH

@@ -1,46 +1,15 @@
 #include "machine/machine.hh"
 
-#include <cstdio>
+#include <algorithm>
 
 #include "common/log.hh"
-#include "isa/disasm.hh"
+#include "exec/semantics.hh"
 
 namespace mtfpu::machine
 {
 
 using isa::Instr;
 using isa::Major;
-
-namespace
-{
-
-/** Paper-style element text, e.g. "f9 := f8 + f0". */
-std::string
-elementText(const fpu::ElementIssue &e)
-{
-    const char *sym = "?";
-    switch (e.op) {
-      case isa::FpOp::Add: sym = "+"; break;
-      case isa::FpOp::Sub: sym = "-"; break;
-      case isa::FpOp::Mul: sym = "*"; break;
-      case isa::FpOp::IntMul: sym = "*i"; break;
-      case isa::FpOp::IterStep: sym = "iter"; break;
-      case isa::FpOp::Float: sym = "float"; break;
-      case isa::FpOp::Truncate: sym = "trunc"; break;
-      case isa::FpOp::Recip: sym = "recip"; break;
-    }
-    char buf[64];
-    if (e.op == isa::FpOp::Float || e.op == isa::FpOp::Truncate ||
-        e.op == isa::FpOp::Recip) {
-        std::snprintf(buf, sizeof(buf), "f%u := %s f%u", e.rr, sym, e.ra);
-    } else {
-        std::snprintf(buf, sizeof(buf), "f%u := f%u %s f%u", e.rr, e.ra,
-                      sym, e.rb);
-    }
-    return buf;
-}
-
-} // anonymous namespace
 
 Machine::Machine(const MachineConfig &config)
     : config_(config), memsys_(config.memory), fpu_(config.fpuLatency)
@@ -65,50 +34,105 @@ Machine::resetForRun(bool flush_caches)
     interruptAt_ = UINT64_MAX;
     interruptLen_ = 0;
     stats_ = RunStats{};
+    collector_.reset();
     memsys_.resetStats();
     if (flush_caches)
         memsys_.flushAll();
 }
 
-uint64_t
-Machine::execAlu(isa::AluFunc func, uint64_t a, uint64_t b)
+void
+Machine::addObserver(exec::ExecObserver *observer)
 {
-    using isa::AluFunc;
-    switch (func) {
-      case AluFunc::Add: return a + b;
-      case AluFunc::Sub: return a - b;
-      case AluFunc::And: return a & b;
-      case AluFunc::Or: return a | b;
-      case AluFunc::Xor: return a ^ b;
-      case AluFunc::Sll: return a << (b & 63);
-      case AluFunc::Srl: return a >> (b & 63);
-      case AluFunc::Sra:
-        return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
-      case AluFunc::Slt:
-        return static_cast<int64_t>(a) < static_cast<int64_t>(b) ? 1 : 0;
-      case AluFunc::Sltu: return a < b ? 1 : 0;
-      case AluFunc::Mul:
-        return static_cast<uint64_t>(static_cast<int64_t>(a) *
-                                     static_cast<int64_t>(b));
-    }
-    panic("execAlu: bad function");
+    if (observer)
+        observers_.push_back(observer);
 }
 
-bool
-Machine::evalBranch(isa::BranchCond cond, uint64_t a, uint64_t b)
+void
+Machine::removeObserver(exec::ExecObserver *observer)
 {
-    using isa::BranchCond;
-    switch (cond) {
-      case BranchCond::Eq: return a == b;
-      case BranchCond::Ne: return a != b;
-      case BranchCond::Lt:
-        return static_cast<int64_t>(a) < static_cast<int64_t>(b);
-      case BranchCond::Ge:
-        return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
-      case BranchCond::Ltu: return a < b;
-      case BranchCond::Geu: return a >= b;
-    }
-    panic("evalBranch: bad condition");
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
+}
+
+void
+Machine::attachTracer(Tracer *tracer)
+{
+    if (tracer_)
+        removeObserver(tracer_);
+    tracer_ = tracer;
+    if (tracer_)
+        addObserver(tracer_);
+}
+
+void
+Machine::notifyCycle(uint64_t cycle)
+{
+    collector_.onCycle(cycle);
+    for (exec::ExecObserver *o : observers_)
+        o->onCycle(cycle);
+}
+
+void
+Machine::notifyIssue(const exec::IssueEvent &event)
+{
+    collector_.onIssue(event);
+    for (exec::ExecObserver *o : observers_)
+        o->onIssue(event);
+}
+
+void
+Machine::notifyElement(const exec::ElementEvent &event)
+{
+    collector_.onElement(event);
+    for (exec::ExecObserver *o : observers_)
+        o->onElement(event);
+}
+
+void
+Machine::notifyMemAccess(const exec::MemAccessEvent &event)
+{
+    collector_.onMemAccess(event);
+    for (exec::ExecObserver *o : observers_)
+        o->onMemAccess(event);
+}
+
+void
+Machine::notifyRetire(const exec::RetireEvent &event)
+{
+    collector_.onRetire(event);
+    for (exec::ExecObserver *o : observers_)
+        o->onRetire(event);
+}
+
+void
+Machine::notifyStall(const exec::StallEvent &event)
+{
+    collector_.onStall(event);
+    for (exec::ExecObserver *o : observers_)
+        o->onStall(event);
+}
+
+void
+Machine::notifyRunEnd(uint64_t cycles)
+{
+    collector_.onRunEnd(cycles);
+    for (exec::ExecObserver *o : observers_)
+        o->onRunEnd(cycles);
+}
+
+void
+Machine::emitElement(uint64_t cycle, const fpu::ElementIssue &element)
+{
+    exec::ElementEvent event;
+    event.cycle = cycle;
+    event.op = element.op;
+    event.rr = element.rr;
+    event.ra = element.ra;
+    event.rb = element.rb;
+    event.last = element.last;
+    event.latency = fpu_.latency();
+    notifyElement(event);
 }
 
 RunStats
@@ -125,7 +149,7 @@ Machine::run()
         // Lock-step global stall: every pipeline is frozen.
         if (globalStall_ > 0) {
             --globalStall_;
-            ++stats_.memoryStallCycles;
+            notifyStall(exec::StallEvent{cycle, exec::StallKind::Memory});
             ++cycle;
             continue;
         }
@@ -134,43 +158,50 @@ Machine::run()
         if (cpu_.halted && !fpu_.busy() && !cpu_.pendingWrites())
             break;
 
-        fpu_.beginCycle();
+        notifyCycle(cycle);
+
+        // Retirements first: results written back this cycle are
+        // architecturally visible to everything issued below.
+        for (const fpu::PendingOp &op : fpu_.beginCycle()) {
+            exec::RetireEvent retire;
+            retire.cycle = cycle;
+            retire.op = op.op;
+            retire.reg = op.reg;
+            retire.value = op.value;
+            retire.overflowed = op.flags.overflow;
+            notifyRetire(retire);
+        }
         cpu_.advance();
 
         // The occupied ALU IR issues one element per cycle...
         const fpu::ElementEvent ev = fpu_.tryIssueElement();
-        if (ev.issued && tracer_) {
-            tracer_->record(cycle, TraceKind::FpElement,
-                            elementText(ev.element), fpu_.latency());
-        }
+        if (ev.issued)
+            emitElement(cycle, ev.element);
 
         // ...while the CPU issues in parallel (unless a modeled
         // interrupt has diverted it to a handler, §2.3.1 — the FPU's
         // element re-issue above is unaffected).
         const bool interrupted =
             cycle >= interruptAt_ && cycle < interruptAt_ + interruptLen_;
-        bool cpu_issued = false;
         if (!cpu_.halted && !interrupted)
-            cpu_issued = tryCpuIssue(cycle);
-
-        if (ev.issued && cpu_issued)
-            ++stats_.dualIssueCycles;
+            tryCpuIssue(cycle);
 
         ++cycle;
     }
 
     stats_.cycles = cycle > 0 ? cycle - 1 : 0;
+    collector_.fill(stats_);
     stats_.fpu = fpu_.stats();
     stats_.dataCache = memsys_.dataStats();
     stats_.instrBuffer = memsys_.instrBufferStats();
     stats_.instrCache = memsys_.instrCacheStats();
+    notifyRunEnd(stats_.cycles);
     return stats_;
 }
 
 void
 Machine::finishIssue(bool redirect_pending)
 {
-    ++stats_.instructionsIssued;
     // The issued instruction leaves the fetch stage; the next PC must
     // access the instruction buffer afresh (even if it is the same
     // address, as in a one-instruction loop).
@@ -185,14 +216,14 @@ Machine::finishIssue(bool redirect_pending)
 }
 
 bool
-Machine::stallCpu()
+Machine::stallCpu(uint64_t cycle)
 {
-    ++stats_.cpuStallCycles;
+    notifyStall(exec::StallEvent{cycle, exec::StallKind::Cpu});
     return false;
 }
 
 bool
-Machine::handleHazard(unsigned reg, bool include_sources)
+Machine::handleHazard(uint64_t cycle, unsigned reg, bool include_sources)
 {
     if (!fpu_.hazardWithUnissued(reg, include_sources))
         return true;
@@ -203,7 +234,7 @@ Machine::handleHazard(unsigned reg, bool include_sources)
               std::to_string(cpu_.pc) + "); the compiler must break "
               "the vector (paper §2.3.2)");
       case HazardPolicy::Stall:
-        stallCpu();
+        stallCpu(cycle);
         return false;
       case HazardPolicy::Ignore:
         return true;
@@ -220,21 +251,19 @@ Machine::tryCpuIssue(uint64_t cycle)
 
     // Single-issue ablation: nothing issues while the IR is busy.
     if (!config_.overlapWithVector && fpu_.aluIrBusy())
-        return stallCpu();
+        return stallCpu(cycle);
 
     // Instruction fetch through the instruction buffer (charged once
     // per PC value).
     if (fetchedPc_ != static_cast<int64_t>(cpu_.pc)) {
         fetchedPc_ = static_cast<int64_t>(cpu_.pc);
-        const unsigned penalty =
-            memsys_.instrFetch(static_cast<uint64_t>(cpu_.pc) * 4);
+        const uint64_t fetch_addr = static_cast<uint64_t>(cpu_.pc) * 4;
+        const unsigned penalty = memsys_.instrFetch(fetch_addr);
+        notifyMemAccess(exec::MemAccessEvent{
+            cycle, fetch_addr, exec::MemAccessKind::InstrFetch, penalty});
         if (penalty > 0) {
             globalStall_ = penalty;
-            if (tracer_) {
-                tracer_->record(cycle, TraceKind::GlobalStall,
-                                "ifetch miss", penalty);
-            }
-            return stallCpu();
+            return stallCpu(cycle);
         }
     }
 
@@ -244,119 +273,119 @@ Machine::tryCpuIssue(uint64_t cycle)
     // slot; the redirect fires when it completes issue.
     const bool redirect_pending = cpu_.redirect.has_value();
 
+    // Control-flow outcome for the issue event (branches/jumps only).
+    bool branch_taken = false;
+
     switch (in.major) {
       case Major::Alu: {
         if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2))
-            return stallCpu();
-        cpu_.writeReg(in.rd, execAlu(in.func, cpu_.readReg(in.rs1),
-                                     cpu_.readReg(in.rs2)));
+            return stallCpu(cycle);
+        cpu_.writeReg(in.rd, exec::evalAlu(in.func, cpu_.readReg(in.rs1),
+                                           cpu_.readReg(in.rs2)));
         break;
       }
       case Major::AluImm: {
         if (!cpu_.regReady(in.rs1))
-            return stallCpu();
+            return stallCpu(cycle);
         cpu_.writeReg(in.rd,
-                      execAlu(in.func, cpu_.readReg(in.rs1),
-                              static_cast<uint64_t>(
-                                  static_cast<int64_t>(in.imm))));
+                      exec::evalAlu(in.func, cpu_.readReg(in.rs1),
+                                    static_cast<uint64_t>(
+                                        static_cast<int64_t>(in.imm))));
         break;
       }
       case Major::Lui:
-        cpu_.writeReg(in.rd, static_cast<uint64_t>(in.imm)
-                                 << isa::kLuiShift);
+        cpu_.writeReg(in.rd, exec::evalLui(in.imm));
         break;
       case Major::Ld: {
         if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
-            return stallCpu();
-        const uint64_t addr = cpu_.readReg(in.rs1) +
-                              static_cast<int64_t>(in.imm);
+            return stallCpu(cycle);
+        const uint64_t addr =
+            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
         const unsigned penalty = memsys_.dataAccess(addr, false);
         cpu_.scheduleWrite(in.rd, memsys_.mem().read64(addr), 2);
         memPortFreeAt_ = cycle + 1;
         if (penalty > 0)
             globalStall_ = penalty;
-        ++stats_.loads;
+        notifyMemAccess(exec::MemAccessEvent{
+            cycle, addr, exec::MemAccessKind::Load, penalty});
         break;
       }
       case Major::St: {
         if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rd) ||
             memPortFreeAt_ > cycle) {
-            return stallCpu();
+            return stallCpu(cycle);
         }
-        const uint64_t addr = cpu_.readReg(in.rs1) +
-                              static_cast<int64_t>(in.imm);
+        const uint64_t addr =
+            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
         memsys_.mem().write64(addr, cpu_.readReg(in.rd));
         const unsigned penalty = memsys_.dataAccess(addr, true);
         memPortFreeAt_ = cycle + config_.storeCycles;
         if (penalty > 0)
             globalStall_ = penalty;
-        ++stats_.stores;
+        notifyMemAccess(exec::MemAccessEvent{
+            cycle, addr, exec::MemAccessKind::Store, penalty});
         break;
       }
       case Major::Ldf: {
         if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
-            return stallCpu();
+            return stallCpu(cycle);
         if (fpu_.transferStall(in.fr))
-            return stallCpu();
+            return stallCpu(cycle);
         if (fpu_.currentElementInterlock(in.fr, true))
-            return stallCpu();
-        if (!handleHazard(in.fr, true))
+            return stallCpu(cycle);
+        if (!handleHazard(cycle, in.fr, true))
             return false;
-        const uint64_t addr = cpu_.readReg(in.rs1) +
-                              static_cast<int64_t>(in.imm);
+        const uint64_t addr =
+            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
         const unsigned penalty = memsys_.dataAccess(addr, false);
         fpu_.issueLoad(in.fr, memsys_.mem().read64(addr));
         memPortFreeAt_ = cycle + 1;
         if (penalty > 0)
             globalStall_ = penalty;
-        ++stats_.fpLoads;
+        notifyMemAccess(exec::MemAccessEvent{
+            cycle, addr, exec::MemAccessKind::FpLoad, penalty});
         break;
       }
       case Major::Stf: {
         if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
-            return stallCpu();
+            return stallCpu(cycle);
         if (fpu_.transferStall(in.fr))
-            return stallCpu();
+            return stallCpu(cycle);
         if (fpu_.currentElementInterlock(in.fr, false))
-            return stallCpu();
-        if (!handleHazard(in.fr, false))
+            return stallCpu(cycle);
+        if (!handleHazard(cycle, in.fr, false))
             return false;
-        const uint64_t addr = cpu_.readReg(in.rs1) +
-                              static_cast<int64_t>(in.imm);
+        const uint64_t addr =
+            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
         memsys_.mem().write64(addr, fpu_.readForTransfer(in.fr));
         const unsigned penalty = memsys_.dataAccess(addr, true);
         memPortFreeAt_ = cycle + config_.storeCycles;
         if (penalty > 0)
             globalStall_ = penalty;
-        ++stats_.fpStores;
+        notifyMemAccess(exec::MemAccessEvent{
+            cycle, addr, exec::MemAccessKind::FpStore, penalty});
         break;
       }
       case Major::FpAlu: {
         if (!fpu_.canTransferAlu())
-            return stallCpu();
+            return stallCpu(cycle);
         fpu_.transferAlu(in.fp);
-        if (tracer_) {
-            tracer_->record(cycle, TraceKind::FpTransfer,
-                            in.fp.toString());
-        }
+        notifyIssue(exec::IssueEvent{cycle, cpu_.pc, &in, false});
         const fpu::ElementEvent ev = fpu_.tryIssueElement();
-        if (ev.issued && tracer_) {
-            tracer_->record(cycle, TraceKind::FpElement,
-                            elementText(ev.element), fpu_.latency());
-        }
-        ++stats_.fpAluTransfers;
-        break;
+        if (ev.issued)
+            emitElement(cycle, ev.element);
+        finishIssue(redirect_pending);
+        return true;
       }
       case Major::Branch: {
         if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2))
-            return stallCpu();
+            return stallCpu(cycle);
         if (cpu_.redirect)
             fatal("branch in a branch delay slot (pc=" +
                   std::to_string(cpu_.pc) + ")");
-        ++stats_.branches;
-        if (evalBranch(in.cond, cpu_.readReg(in.rs1),
-                       cpu_.readReg(in.rs2))) {
-            ++stats_.takenBranches;
+        if (exec::evalBranch(in.cond, cpu_.readReg(in.rs1),
+                             cpu_.readReg(in.rs2))) {
+            branch_taken = true;
             cpu_.redirect = cpu_.pc + in.imm;
         }
         break;
@@ -365,58 +394,35 @@ Machine::tryCpuIssue(uint64_t cycle)
         if (cpu_.redirect)
             fatal("jump in a branch delay slot (pc=" +
                   std::to_string(cpu_.pc) + ")");
-        switch (in.jkind) {
-          case isa::JumpKind::J:
-            cpu_.redirect = cpu_.pc + in.imm;
-            break;
-          case isa::JumpKind::Jal:
-            cpu_.writeReg(in.rd, cpu_.pc + 2);
-            cpu_.redirect = cpu_.pc + in.imm;
-            break;
-          case isa::JumpKind::Jr:
-            if (!cpu_.regReady(in.rs1))
-                return stallCpu();
-            cpu_.redirect =
-                static_cast<uint32_t>(cpu_.readReg(in.rs1));
-            break;
-          case isa::JumpKind::Jalr: {
-            if (!cpu_.regReady(in.rs1))
-                return stallCpu();
-            const uint32_t target =
-                static_cast<uint32_t>(cpu_.readReg(in.rs1));
-            cpu_.writeReg(in.rd, cpu_.pc + 2);
-            cpu_.redirect = target;
-            break;
-          }
-        }
-        ++stats_.branches;
-        ++stats_.takenBranches;
+        if (exec::jumpReadsRegister(in.jkind) && !cpu_.regReady(in.rs1))
+            return stallCpu(cycle);
+        const exec::JumpEffect effect =
+            exec::evalJump(in, cpu_.pc, cpu_.readReg(in.rs1));
+        if (effect.writesLink)
+            cpu_.writeReg(effect.linkReg, effect.linkValue);
+        cpu_.redirect = effect.target;
+        branch_taken = true;
         break;
       }
       case Major::Mvfc: {
         if (fpu_.transferStall(in.fr))
-            return stallCpu();
+            return stallCpu(cycle);
         if (fpu_.currentElementInterlock(in.fr, false))
-            return stallCpu();
-        if (!handleHazard(in.fr, false))
+            return stallCpu(cycle);
+        if (!handleHazard(cycle, in.fr, false))
             return false;
         cpu_.scheduleWrite(in.rd, fpu_.readForTransfer(in.fr), 2);
         break;
       }
       case Major::Halt:
         cpu_.halted = true;
-        ++stats_.instructionsIssued;
-        if (tracer_)
-            tracer_->record(cycle, TraceKind::CpuIssue, "halt");
+        notifyIssue(exec::IssueEvent{cycle, cpu_.pc, &in, false});
         return true;
       default:
         fatal("Machine: unknown opcode at pc=" + std::to_string(cpu_.pc));
     }
 
-    if (tracer_ && in.major != Major::FpAlu) {
-        tracer_->record(cycle, TraceKind::CpuIssue,
-                        isa::disassemble(in));
-    }
+    notifyIssue(exec::IssueEvent{cycle, cpu_.pc, &in, branch_taken});
     finishIssue(redirect_pending);
     return true;
 }

@@ -19,6 +19,12 @@
  *   - stores occupy the memory port for two cycles;
  *   - branches and jumps have one (always-executed) delay slot;
  *   - cache misses freeze the whole machine (lock-step stall).
+ *
+ * Instruction *semantics* (what each operation computes) live in
+ * src/exec and are shared with the untimed Interpreter; this class
+ * owns only the timing policy. Instrumentation is decoupled through
+ * the exec::ExecObserver event stream — tracing, statistics, and
+ * lockstep checking all attach via addObserver().
  */
 
 #ifndef MTFPU_MACHINE_MACHINE_HH
@@ -29,8 +35,10 @@
 
 #include "assembler/assembler.hh"
 #include "cpu/cpu.hh"
+#include "exec/observer.hh"
 #include "fpu/fpu.hh"
 #include "machine/config.hh"
+#include "machine/observers.hh"
 #include "machine/stats.hh"
 #include "machine/tracer.hh"
 #include "memory/memory_system.hh"
@@ -57,8 +65,22 @@ class Machine
      */
     void resetForRun(bool flush_caches);
 
-    /** Attach (or detach with nullptr) a trace sink. */
-    void attachTracer(Tracer *tracer) { tracer_ = tracer; }
+    /**
+     * Register an event observer. Observers are notified in
+     * registration order; the Machine does not take ownership and the
+     * pointer must stay valid until removed (or the Machine dies).
+     */
+    void addObserver(exec::ExecObserver *observer);
+
+    /** Unregister an observer (no-op if not registered). */
+    void removeObserver(exec::ExecObserver *observer);
+
+    /**
+     * Convenience wrapper from the pre-observer interface: attach a
+     * trace sink (or detach the current one with nullptr). Equivalent
+     * to add/removeObserver on the Tracer.
+     */
+    void attachTracer(Tracer *tracer);
 
     /**
      * Model an interrupt (paper §2.3.1): from @p cycle, the CPU stops
@@ -93,23 +115,32 @@ class Machine
     void finishIssue(bool redirect_pending);
 
     /** Record a CPU stall cycle and return false (issue helper). */
-    bool stallCpu();
+    bool stallCpu(uint64_t cycle);
 
     /** Handle an unissued-element race per the configured policy. */
-    bool handleHazard(unsigned reg, bool include_sources);
+    bool handleHazard(uint64_t cycle, unsigned reg, bool include_sources);
 
-    /** Evaluate an integer ALU function. */
-    static uint64_t execAlu(isa::AluFunc func, uint64_t a, uint64_t b);
+    // Event fan-out: the built-in stats collector first, then every
+    // registered observer in order.
+    void notifyCycle(uint64_t cycle);
+    void notifyIssue(const exec::IssueEvent &event);
+    void notifyElement(const exec::ElementEvent &event);
+    void notifyMemAccess(const exec::MemAccessEvent &event);
+    void notifyRetire(const exec::RetireEvent &event);
+    void notifyStall(const exec::StallEvent &event);
+    void notifyRunEnd(uint64_t cycles);
 
-    /** Evaluate a branch condition. */
-    static bool evalBranch(isa::BranchCond cond, uint64_t a, uint64_t b);
+    /** Emit an ElementEvent for a just-issued FPU element. */
+    void emitElement(uint64_t cycle, const fpu::ElementIssue &element);
 
     MachineConfig config_;
     memory::MemorySystem memsys_;
     fpu::Fpu fpu_;
     cpu::Cpu cpu_;
     assembler::Program program_;
-    Tracer *tracer_ = nullptr;
+    StatsCollector collector_;
+    std::vector<exec::ExecObserver *> observers_;
+    Tracer *tracer_ = nullptr; // attachTracer bookkeeping only
 
     // Per-run microarchitectural state.
     uint64_t memPortFreeAt_ = 0;

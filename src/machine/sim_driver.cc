@@ -1,0 +1,84 @@
+#include "machine/sim_driver.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace mtfpu::machine
+{
+
+SimDriver::SimDriver(unsigned threads)
+    : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+unsigned
+SimDriver::threadsFor(size_t jobs) const
+{
+    if (jobs == 0)
+        return 0;
+    return static_cast<unsigned>(
+        std::min<size_t>(threads_, jobs));
+}
+
+SimJobResult
+SimDriver::runOne(const SimJob &job)
+{
+    SimJobResult result;
+    result.name = job.name;
+    try {
+        Machine machine(job.config);
+        machine.loadProgram(job.program);
+        if (job.setup)
+            job.setup(machine);
+        result.stats = job.body ? job.body(machine) : machine.run();
+        result.ok = true;
+    } catch (const std::exception &err) {
+        result.ok = false;
+        result.error = err.what();
+    }
+    return result;
+}
+
+std::vector<SimJobResult>
+SimDriver::run(const std::vector<SimJob> &jobs) const
+{
+    std::vector<SimJobResult> results(jobs.size());
+    const unsigned workers = threadsFor(jobs.size());
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runOne(jobs[i]);
+        return results;
+    }
+
+    // Work stealing through an atomic cursor: each worker claims the
+    // next unstarted job. Every result slot is written by exactly one
+    // worker, so the results vector needs no locking.
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            results[i] = runOne(jobs[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace mtfpu::machine

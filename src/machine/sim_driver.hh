@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel batch-simulation driver. A study (a figure regeneration,
+ * an ablation sweep, a kernel suite) is a list of independent
+ * (program, configuration) jobs; the driver runs each job on its own
+ * fully isolated Machine instance across a worker-thread pool.
+ *
+ * Determinism: a Machine is a closed system — no shared mutable state
+ * exists between jobs (each worker builds its own Machine, memory, and
+ * observers), so per-job results are bit-identical regardless of the
+ * thread count or scheduling order. The driver test suite asserts
+ * RunStats equality between a 1-thread and an N-thread pass.
+ *
+ * Error containment: a job that fatal()s (bad program, hazard-policy
+ * violation, runaway cycle guard) fails alone; its SimJobResult
+ * carries the message and the remaining jobs still run.
+ */
+
+#ifndef MTFPU_MACHINE_SIM_DRIVER_HH
+#define MTFPU_MACHINE_SIM_DRIVER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "machine/config.hh"
+#include "machine/machine.hh"
+#include "machine/stats.hh"
+
+namespace mtfpu::machine
+{
+
+/** One independent simulation. */
+struct SimJob
+{
+    /** Identifier carried through to the result (table row, test name). */
+    std::string name;
+
+    /** Program image to load. */
+    assembler::Program program;
+
+    /** Machine configuration for this job. */
+    MachineConfig config{};
+
+    /**
+     * Optional pre-run hook, called after loadProgram (memory/data
+     * initialization, observer attachment). Must only touch the given
+     * Machine — it runs on a worker thread.
+     */
+    std::function<void(Machine &)> setup;
+
+    /**
+     * Optional run body replacing the default `return m.run()` —
+     * e.g. cold+warm double runs or interrupt scheduling. Same
+     * threading rules as setup.
+     */
+    std::function<RunStats(Machine &)> body;
+};
+
+/** Outcome of one job. */
+struct SimJobResult
+{
+    std::string name;
+    RunStats stats{};
+    bool ok = false;
+    std::string error; // fatal() message when !ok
+};
+
+/** The batch runner. */
+class SimDriver
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means hardware_concurrency()
+     * (min 1). The pool is capped at the job count per batch.
+     */
+    explicit SimDriver(unsigned threads = 0);
+
+    /** Effective worker count for a batch of @p jobs jobs. */
+    unsigned threadsFor(size_t jobs) const;
+
+    /** Configured worker count (after the 0 → hardware resolution). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run every job; returns results in job order. Jobs are handed to
+     * workers through an atomic cursor, so completion order is
+     * arbitrary but the result vector is not.
+     */
+    std::vector<SimJobResult> run(const std::vector<SimJob> &jobs) const;
+
+  private:
+    /** Run one job on a freshly constructed Machine. */
+    static SimJobResult runOne(const SimJob &job);
+
+    unsigned threads_;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_SIM_DRIVER_HH

@@ -44,6 +44,10 @@ struct RunStats
     memory::CacheStats instrBuffer{};
     memory::CacheStats instrCache{};
 
+    /** Counter-exact equality, used by the batch-driver determinism
+     *  tests (serial vs. threaded runs must agree bit for bit). */
+    bool operator==(const RunStats &) const = default;
+
     /** Elapsed simulated time for @p cycle_ns per cycle. */
     double
     seconds(double cycle_ns) const

@@ -3,8 +3,39 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "isa/disasm.hh"
+
 namespace mtfpu::machine
 {
+
+void
+Tracer::onIssue(const exec::IssueEvent &event)
+{
+    // FPU ALU issues render as a transfer of the whole (vector)
+    // instruction; everything else as a plain CPU issue.
+    if (event.instr->major == isa::Major::FpAlu)
+        record(event.cycle, TraceKind::FpTransfer, event.instr->fp.toString());
+    else
+        record(event.cycle, TraceKind::CpuIssue, isa::disassemble(*event.instr));
+}
+
+void
+Tracer::onElement(const exec::ElementEvent &event)
+{
+    record(event.cycle, TraceKind::FpElement,
+           isa::fpElementText(event.op, event.rr, event.ra, event.rb),
+           event.latency);
+}
+
+void
+Tracer::onMemAccess(const exec::MemAccessEvent &event)
+{
+    // Only instruction-buffer misses appear in the paper's timing
+    // diagrams; data-cache penalties show up as the global freeze.
+    if (event.kind == exec::MemAccessKind::InstrFetch && event.penalty > 0)
+        record(event.cycle, TraceKind::GlobalStall, "ifetch miss",
+               event.penalty);
+}
 
 std::string
 Tracer::renderLog() const

@@ -2,6 +2,11 @@
  * @file
  * Cycle-by-cycle trace collection and the timing-diagram renderer
  * used to regenerate the paper's Figure 5-8 pipeline diagrams.
+ *
+ * The Tracer is an ExecObserver: it subscribes to the Machine's event
+ * stream (Machine::addObserver / the attachTracer convenience) rather
+ * than being wired into the pipeline, so tracing composes freely with
+ * the other observers (stats collection, lockstep checking).
  */
 
 #ifndef MTFPU_MACHINE_TRACER_HH
@@ -10,6 +15,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "exec/observer.hh"
 
 namespace mtfpu::machine
 {
@@ -35,7 +42,7 @@ struct TraceEvent
 };
 
 /** Event sink; attach to a Machine to record a run. */
-class Tracer
+class Tracer : public exec::ExecObserver
 {
   public:
     void
@@ -47,6 +54,12 @@ class Tracer
 
     const std::vector<TraceEvent> &events() const { return events_; }
     void clear() { events_.clear(); }
+
+    // --- ExecObserver hooks -------------------------------------------
+
+    void onIssue(const exec::IssueEvent &event) override;
+    void onElement(const exec::ElementEvent &event) override;
+    void onMemAccess(const exec::MemAccessEvent &event) override;
 
     /**
      * Render a Figure 5-8 style timing diagram: one row per issued

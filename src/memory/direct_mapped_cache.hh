@@ -23,6 +23,8 @@ struct CacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
 
+    bool operator==(const CacheStats &) const = default;
+
     uint64_t accesses() const { return hits + misses; }
 
     /** Miss ratio in [0, 1]; 0 when there were no accesses. */
