@@ -2,9 +2,16 @@
  * @file
  * Google-benchmark timing of the simulator itself: simulated cycles
  * per host second on representative workloads, the figure-suite
- * kernel batch serial vs parallel on the SimDriver worker pool, plus
- * the softfp primitive rates. Not a paper experiment — an engineering
- * benchmark of this reproduction.
+ * kernel batch serial vs parallel on the SimDriver worker pool under
+ * each softfp backend, the batch-memoization win on duplicate-heavy
+ * sweeps, plus the softfp primitive rates. Not a paper experiment —
+ * an engineering benchmark of this reproduction.
+ *
+ * Machine-readable output: pass --benchmark_out=<file>
+ * --benchmark_out_format=json and post-process with
+ * bench/summarize_sim_speed.py to produce the compact
+ * BENCH_sim_speed.json committed at the repo root (see
+ * EXPERIMENTS.md, "Recording a perf baseline").
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +21,7 @@
 #include "common/log.hh"
 #include "kernels/livermore/livermore.hh"
 #include "kernels/runner.hh"
+#include "softfp/backend.hh"
 #include "softfp/fp64.hh"
 
 namespace
@@ -21,11 +29,21 @@ namespace
 
 using namespace mtfpu;
 
-void
-BM_SimulateLfk01Vector(benchmark::State &state)
+softfp::Backend
+backendArg(const benchmark::State &state, int index)
 {
-    const kernels::Kernel k = kernels::livermore::make(1, true);
-    machine::Machine m;
+    return state.range(index) == 0 ? softfp::Backend::Soft
+                                   : softfp::Backend::HostFast;
+}
+
+/** Single-kernel simulation rate, one backend per benchmark arg. */
+void
+simulateOne(benchmark::State &state, int id, bool vector)
+{
+    const kernels::Kernel k = kernels::livermore::make(id, vector);
+    machine::MachineConfig cfg;
+    cfg.fpBackend = backendArg(state, 0);
+    machine::Machine m(cfg);
     m.loadProgram(k.program);
     uint64_t cycles = 0;
     for (auto _ : state) {
@@ -37,27 +55,22 @@ BM_SimulateLfk01Vector(benchmark::State &state)
     state.counters["sim_cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles) * state.iterations(),
         benchmark::Counter::kIsRate);
+    state.SetLabel(softfp::backendName(cfg.fpBackend));
 }
-BENCHMARK(BM_SimulateLfk01Vector);
+
+void
+BM_SimulateLfk01Vector(benchmark::State &state)
+{
+    simulateOne(state, 1, true);
+}
+BENCHMARK(BM_SimulateLfk01Vector)->Arg(0)->Arg(1)->ArgName("backend");
 
 void
 BM_SimulateLfk21Scalar(benchmark::State &state)
 {
-    const kernels::Kernel k = kernels::livermore::make(21, false);
-    machine::Machine m;
-    m.loadProgram(k.program);
-    uint64_t cycles = 0;
-    for (auto _ : state) {
-        m.resetForRun(true);
-        k.init(m.mem());
-        cycles = m.run().cycles;
-        benchmark::DoNotOptimize(cycles);
-    }
-    state.counters["sim_cycles/s"] = benchmark::Counter(
-        static_cast<double>(cycles) * state.iterations(),
-        benchmark::Counter::kIsRate);
+    simulateOne(state, 21, false);
 }
-BENCHMARK(BM_SimulateLfk21Scalar);
+BENCHMARK(BM_SimulateLfk21Scalar)->Arg(0)->Arg(1)->ArgName("backend");
 
 /** The figure-suite workload: all 24 Livermore preferred variants. */
 std::vector<kernels::Kernel>
@@ -72,14 +85,16 @@ figureSuite()
 
 /**
  * The figure-suite batch with @p threads workers (0 = one per host
- * core). Checks every job succeeded and, when running parallel, that
- * the per-job stats are byte-identical to a serial reference run.
+ * core) and the arg-selected backend. Checks every job succeeded and,
+ * when running parallel, that the per-job stats are byte-identical to
+ * a serial reference run.
  */
 void
 BM_FigureSuiteBatch(benchmark::State &state)
 {
     const std::vector<kernels::Kernel> suite = figureSuite();
-    const machine::MachineConfig cfg;
+    machine::MachineConfig cfg;
+    cfg.fpBackend = backendArg(state, 1);
     const unsigned threads = static_cast<unsigned>(state.range(0));
 
     std::vector<kernels::KernelResult> reference;
@@ -110,13 +125,56 @@ BM_FigureSuiteBatch(benchmark::State &state)
     state.counters["threads"] = static_cast<double>(
         threads != 0 ? threads
                      : std::max(1u, std::thread::hardware_concurrency()));
+    state.SetLabel(softfp::backendName(cfg.fpBackend));
 }
 BENCHMARK(BM_FigureSuiteBatch)
-    ->Arg(1)
-    ->Arg(0)
+    ->ArgsProduct({{1, 0}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
-    ->ArgName("threads")
+    ->ArgNames({"threads", "backend"})
     ->UseRealTime();
+
+/**
+ * Memoization on a duplicate-heavy sweep: the same pure jobs repeated
+ * 8x (the shape of an ablation grid sharing baseline rows). Arg 0
+ * toggles memoization; the speedup is the dedup win.
+ */
+void
+BM_MemoizedDuplicateSweep(benchmark::State &state)
+{
+    const bool memoize = state.range(0) != 0;
+    std::vector<machine::SimJob> jobs;
+    for (int id : {1, 3, 7, 12}) {
+        const kernels::Kernel k = kernels::livermore::make(id, false);
+        machine::SimJob job;
+        job.name = k.name;
+        job.program = k.program;
+        job.memInit = kernels::memImage(k);
+        for (int copy = 0; copy < 8; ++copy) {
+            jobs.push_back(job);
+            jobs.back().name = k.name + "#" + std::to_string(copy);
+        }
+    }
+
+    const machine::SimDriver driver(1, memoize);
+    std::vector<machine::SimJobResult> results;
+    for (auto _ : state) {
+        results = driver.run(jobs);
+        benchmark::DoNotOptimize(results);
+    }
+    for (const machine::SimJobResult &r : results) {
+        if (!r.ok)
+            fatal(r.error);
+    }
+    state.counters["jobs/s"] = benchmark::Counter(
+        static_cast<double>(jobs.size()) * state.iterations(),
+        benchmark::Counter::kIsRate);
+    state.SetLabel(memoize ? "memoized" : "brute-force");
+}
+BENCHMARK(BM_MemoizedDuplicateSweep)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("memoize");
 
 void
 BM_SoftFpAdd(benchmark::State &state)
@@ -133,6 +191,20 @@ BM_SoftFpAdd(benchmark::State &state)
 BENCHMARK(BM_SoftFpAdd);
 
 void
+BM_HostFpAdd(benchmark::State &state)
+{
+    softfp::Flags flags;
+    uint64_t a = softfp::fromDouble(1.25);
+    const uint64_t b = softfp::fromDouble(3.7);
+    for (auto _ : state) {
+        a = softfp::fpAddHost(a, b, flags);
+        benchmark::DoNotOptimize(a);
+        a = softfp::fromDouble(1.25);
+    }
+}
+BENCHMARK(BM_HostFpAdd);
+
+void
 BM_SoftFpMul(benchmark::State &state)
 {
     softfp::Flags flags;
@@ -144,6 +216,19 @@ BM_SoftFpMul(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SoftFpMul);
+
+void
+BM_HostFpMul(benchmark::State &state)
+{
+    softfp::Flags flags;
+    uint64_t a = softfp::fromDouble(1.25);
+    const uint64_t b = softfp::fromDouble(0.9999);
+    for (auto _ : state) {
+        a = softfp::fpMulHost(a, b, flags);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_HostFpMul);
 
 void
 BM_SoftFpDivideMacro(benchmark::State &state)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Condense google-benchmark JSON from bench/sim_speed into a small,
+stable, machine-readable summary.
+
+Usage:
+    ./build/bench/sim_speed --benchmark_out=raw.json \
+        --benchmark_out_format=json [--benchmark_min_time=0.4]
+    python3 bench/summarize_sim_speed.py raw.json > BENCH_sim_speed.json
+
+The summary keeps one record per benchmark (name, wall/CPU time, rate
+counters, label) plus derived backend speedups for benchmarks measured
+under both softfp backends, so a committed baseline stays readable in
+diffs and comparable across machines. Only the Python standard library
+is used.
+"""
+
+import json
+import sys
+
+
+def _counters(run):
+    """Extract user counters (rates) from one benchmark run record."""
+    skip = {
+        "name", "run_name", "run_type", "repetitions",
+        "repetition_index", "threads", "iterations", "real_time",
+        "cpu_time", "time_unit", "label", "family_index",
+        "per_family_instance_index", "aggregate_name",
+    }
+    return {
+        k: v for k, v in run.items()
+        if k not in skip and isinstance(v, (int, float))
+    }
+
+
+def summarize(raw):
+    """Build the summary dict from parsed google-benchmark JSON."""
+    ctx = raw.get("context", {})
+    benchmarks = []
+    for run in raw.get("benchmarks", []):
+        if run.get("run_type") == "aggregate":
+            continue
+        benchmarks.append({
+            "name": run["name"],
+            "real_time_ns": run.get("real_time"),
+            "cpu_time_ns": run.get("cpu_time"),
+            "iterations": run.get("iterations"),
+            "label": run.get("label", ""),
+            "counters": _counters(run),
+        })
+
+    # Derived: host-fast vs soft speedup wherever the same benchmark
+    # ran under both backends (the /backend:N argument).
+    def base_name(name):
+        return name.replace("/backend:0", "/backend:*") \
+                   .replace("/backend:1", "/backend:*")
+
+    by_base = {}
+    for b in benchmarks:
+        if "/backend:" in b["name"]:
+            by_base.setdefault(base_name(b["name"]), {})[
+                "soft" if "/backend:0" in b["name"] else "host"] = b
+
+    speedups = {}
+    for base, pair in sorted(by_base.items()):
+        if "soft" in pair and "host" in pair:
+            soft_t = pair["soft"]["real_time_ns"]
+            host_t = pair["host"]["real_time_ns"]
+            if host_t:
+                speedups[base] = round(soft_t / host_t, 3)
+
+    return {
+        "schema": "mtfpu-sim-speed-summary-v1",
+        "context": {
+            "date": ctx.get("date", ""),
+            "host_name": ctx.get("host_name", ""),
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "build_type": ctx.get("library_build_type", ""),
+        },
+        "benchmarks": benchmarks,
+        "host_fast_speedup": speedups,
+    }
+
+
+def main(argv):
+    if len(argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as f:
+        raw = json.load(f)
+    json.dump(summarize(raw), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

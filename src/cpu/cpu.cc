@@ -2,50 +2,11 @@
 
 #include <algorithm>
 
-#include "common/log.hh"
-
 namespace mtfpu::cpu
 {
 
-uint64_t
-Cpu::readReg(unsigned reg) const
-{
-    if (reg >= isa::kNumIntRegs)
-        fatal("Cpu: read of r" + std::to_string(reg));
-    return reg == 0 ? 0 : regs_[reg];
-}
-
 void
-Cpu::writeReg(unsigned reg, uint64_t value)
-{
-    if (reg >= isa::kNumIntRegs)
-        fatal("Cpu: write of r" + std::to_string(reg));
-    if (reg != 0)
-        regs_[reg] = value;
-}
-
-void
-Cpu::scheduleWrite(unsigned reg, uint64_t value, unsigned delay)
-{
-    if (reg == 0)
-        return;
-    if (delay == 0) {
-        writeReg(reg, value);
-        return;
-    }
-    pending_.push_back(
-        Pending{delay, static_cast<uint8_t>(reg), value});
-}
-
-bool
-Cpu::regReady(unsigned reg) const
-{
-    return std::none_of(pending_.begin(), pending_.end(),
-                        [reg](const Pending &p) { return p.reg == reg; });
-}
-
-void
-Cpu::advance()
+Cpu::advanceSlow()
 {
     for (auto &p : pending_) {
         if (--p.remaining == 0)

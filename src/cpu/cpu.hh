@@ -18,8 +18,10 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "isa/cpu_instr.hh"
 
 namespace mtfpu::cpu
@@ -29,23 +31,64 @@ namespace mtfpu::cpu
 class Cpu
 {
   public:
+    // The accessors below are inline: every one of them runs at least
+    // once per issued instruction on the Machine's hot path.
+
     /** Read a register (r0 reads as zero). */
-    uint64_t readReg(unsigned reg) const;
+    uint64_t
+    readReg(unsigned reg) const
+    {
+        if (reg >= isa::kNumIntRegs)
+            fatal("Cpu: read of r" + std::to_string(reg));
+        return reg == 0 ? 0 : regs_[reg];
+    }
 
     /** Write a register immediately (ALU results; r0 discarded). */
-    void writeReg(unsigned reg, uint64_t value);
+    void
+    writeReg(unsigned reg, uint64_t value)
+    {
+        if (reg >= isa::kNumIntRegs)
+            fatal("Cpu: write of r" + std::to_string(reg));
+        if (reg != 0)
+            regs_[reg] = value;
+    }
 
     /**
      * Schedule a delayed write (loads, mvfc): visible to instructions
      * issuing @p delay active cycles after this one.
      */
-    void scheduleWrite(unsigned reg, uint64_t value, unsigned delay);
+    void
+    scheduleWrite(unsigned reg, uint64_t value, unsigned delay)
+    {
+        if (reg == 0)
+            return;
+        if (delay == 0) {
+            writeReg(reg, value);
+            return;
+        }
+        pending_.push_back(
+            Pending{delay, static_cast<uint8_t>(reg), value});
+    }
 
     /** True if no in-flight delayed write targets @p reg. */
-    bool regReady(unsigned reg) const;
+    bool
+    regReady(unsigned reg) const
+    {
+        for (const Pending &p : pending_) {
+            if (p.reg == reg)
+                return false;
+        }
+        return true;
+    }
 
     /** Advance one active cycle: complete due delayed writes. */
-    void advance();
+    void
+    advance()
+    {
+        if (pending_.empty())
+            return;
+        advanceSlow();
+    }
 
     /** True while any delayed write is in flight. */
     bool pendingWrites() const { return !pending_.empty(); }
@@ -70,6 +113,9 @@ class Cpu
         uint8_t reg;
         uint64_t value;
     };
+
+    /** Out-of-line tail of advance(): retire due delayed writes. */
+    void advanceSlow();
 
     std::array<uint64_t, isa::kNumIntRegs> regs_{};
     std::vector<Pending> pending_;

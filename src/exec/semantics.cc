@@ -111,6 +111,26 @@ evalFpOp(isa::FpOp op, uint64_t a, uint64_t b, softfp::Flags &flags)
                               flags);
 }
 
+uint64_t
+evalFpOp(isa::FpOp op, uint64_t a, uint64_t b, softfp::Flags &flags,
+         softfp::Backend backend)
+{
+    if (backend == softfp::Backend::Soft)
+        return evalFpOp(op, a, b, flags);
+    using isa::FpOp;
+    switch (op) {
+      case FpOp::Add: return softfp::fpAddHost(a, b, flags);
+      case FpOp::Sub: return softfp::fpSubHost(a, b, flags);
+      case FpOp::Float: return softfp::fpFloatHost(a, flags);
+      case FpOp::Truncate: return softfp::fpTruncateHost(a, flags);
+      case FpOp::Mul: return softfp::fpMulHost(a, b, flags);
+      case FpOp::IntMul: return softfp::fpIntMul(a, b);
+      case FpOp::IterStep: return softfp::fpIterStep(a, b, flags);
+      case FpOp::Recip: return softfp::fpRecipApprox(a, flags);
+    }
+    panic("evalFpOp: bad operation");
+}
+
 void
 advanceSpecifiers(ElementSpecs &specs, bool sra, bool srb)
 {

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "isa/cpu_instr.hh"
+#include "softfp/backend.hh"
 #include "softfp/fp64.hh"
 
 namespace mtfpu::exec
@@ -69,6 +70,16 @@ bool fpOpIsUnary(isa::FpOp op);
  */
 uint64_t evalFpOp(isa::FpOp op, uint64_t a, uint64_t b,
                   softfp::Flags &flags);
+
+/**
+ * Backend-selectable element execution. `Backend::Soft` is the
+ * bit-level reference; `Backend::HostFast` computes the IEEE-exact
+ * units with native host doubles (identical bits and flags — see
+ * softfp/backend.hh). Dispatches directly on @p op, skipping the
+ * unit/func re-mapping on the hot path.
+ */
+uint64_t evalFpOp(isa::FpOp op, uint64_t a, uint64_t b,
+                  softfp::Flags &flags, softfp::Backend backend);
 
 /** The live Rr/Ra/Rb specifiers of a vector instruction. */
 struct ElementSpecs

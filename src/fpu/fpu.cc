@@ -6,22 +6,18 @@
 namespace mtfpu::fpu
 {
 
-Fpu::Fpu(unsigned latency)
-    : units_(latency)
+Fpu::Fpu(unsigned latency, softfp::Backend backend)
+    : units_(latency), backend_(backend)
 {
 }
 
-std::vector<PendingOp>
-Fpu::beginCycle()
+void
+Fpu::retirePswState(const std::vector<PendingOp> &retired)
 {
-    elementIssuedThisCycle_ = false;
-
-    // Retire finished ALU operations: write back, release
-    // reservations, accumulate PSW state. An element that overflowed
-    // discards all remaining elements of its own vector instruction
-    // when it retires (paper §2.3.1); elements already in the pipeline
-    // behind it complete normally.
-    std::vector<PendingOp> retired = units_.advance(regs_, sb_);
+    // Accumulate PSW state of retiring ALU operations. An element
+    // that overflowed discards all remaining elements of its own
+    // vector instruction when it retires (paper §2.3.1); elements
+    // already in the pipeline behind it complete normally.
     for (const PendingOp &op : retired) {
         psw_.flags.merge(op.flags);
         if (op.flags.overflow) {
@@ -32,17 +28,12 @@ Fpu::beginCycle()
             }
         }
     }
-
-    lsu_.advance(regs_);
-    return retired;
 }
 
 ElementEvent
-Fpu::tryIssueElement()
+Fpu::tryIssueElementSlow()
 {
     ElementEvent event;
-    if (elementIssuedThisCycle_ || !ir_.busy())
-        return event;
 
     const uint64_t seq = ir_.currentSeq();
     ElementIssue element;
@@ -65,7 +56,8 @@ Fpu::tryIssueElement()
     const uint64_t a = regs_.read(element.ra);
     const uint64_t b = regs_.read(element.rb);
     softfp::Flags flags;
-    const uint64_t value = exec::evalFpOp(element.op, a, b, flags);
+    const uint64_t value =
+        exec::evalFpOp(element.op, a, b, flags, backend_);
 
     sb_.reserve(element.rr);
     units_.issue(element.op, element.rr, value, flags, seq);

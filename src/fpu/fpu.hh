@@ -31,6 +31,7 @@
 #include "fpu/register_file.hh"
 #include "fpu/scoreboard.hh"
 #include "fpu/vector_issue.hh"
+#include "softfp/backend.hh"
 
 namespace mtfpu::fpu
 {
@@ -60,19 +61,42 @@ struct ElementEvent
 class Fpu
 {
   public:
-    /** @param latency Functional-unit latency (3 in the paper). */
-    explicit Fpu(unsigned latency = kFpuLatency);
+    /**
+     * @param latency Functional-unit latency (3 in the paper).
+     * @param backend softfp implementation executing elements; both
+     *        choices are bit-identical (softfp/backend.hh).
+     */
+    explicit Fpu(unsigned latency = kFpuLatency,
+                 softfp::Backend backend = softfp::Backend::Soft);
 
     /**
      * Start an active cycle: retire finished ALU operations (merging
      * their flags into the PSW and applying overflow squash) and
      * complete in-flight load writes. Returns the operations retired
-     * this cycle so the Machine can publish them to its observers.
+     * this cycle so the Machine can publish them to its observers;
+     * the reference is into a buffer reused on the next active cycle.
+     * Inline: runs every active cycle, usually with nothing retiring.
      */
-    std::vector<PendingOp> beginCycle();
+    const std::vector<PendingOp> &
+    beginCycle()
+    {
+        elementIssuedThisCycle_ = false;
+        const std::vector<PendingOp> &retired = units_.advance(regs_, sb_);
+        if (!retired.empty())
+            retirePswState(retired);
+        lsu_.advance(regs_);
+        return retired;
+    }
 
-    /** Attempt to issue one vector element from the ALU IR. */
-    ElementEvent tryIssueElement();
+    /** Attempt to issue one vector element from the ALU IR.
+     *  Inline empty fast path: the IR is idle in scalar-heavy code. */
+    ElementEvent
+    tryIssueElement()
+    {
+        if (elementIssuedThisCycle_ || !ir_.busy())
+            return ElementEvent{};
+        return tryIssueElementSlow();
+    }
 
     /** True if the CPU may transfer an FPU ALU instruction now. */
     bool canTransferAlu() const;
@@ -120,11 +144,18 @@ class Fpu
     const Psw &psw() const { return psw_; }
     const FpuStats &stats() const { return stats_; }
     unsigned latency() const { return units_.latency(); }
+    softfp::Backend backend() const { return backend_; }
 
     /** Full reset (registers, pipelines, PSW, statistics). */
     void reset();
 
   private:
+    /** Out-of-line tail of beginCycle(): PSW merge + overflow squash. */
+    void retirePswState(const std::vector<PendingOp> &retired);
+
+    /** Out-of-line tail of tryIssueElement(): the IR holds work. */
+    ElementEvent tryIssueElementSlow();
+
     RegisterFile regs_;
     Scoreboard sb_;
     FunctionalUnits units_;
@@ -132,6 +163,7 @@ class Fpu
     LoadStoreUnit lsu_;
     Psw psw_;
     FpuStats stats_;
+    softfp::Backend backend_;
     uint64_t nextSeq_ = 1;
     bool elementIssuedThisCycle_ = false;
 };

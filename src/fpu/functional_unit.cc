@@ -24,20 +24,20 @@ FunctionalUnits::issue(isa::FpOp op, unsigned reg, uint64_t value,
                                   value, flags, op, seq});
 }
 
-std::vector<PendingOp>
-FunctionalUnits::advance(RegisterFile &regs, Scoreboard &sb)
+const std::vector<PendingOp> &
+FunctionalUnits::advanceSlow(RegisterFile &regs, Scoreboard &sb)
 {
-    std::vector<PendingOp> retired;
+    retired_.clear();
     for (auto &op : inflight_) {
         if (--op.remaining == 0) {
             regs.write(op.reg, op.value);
             sb.release(op.reg);
-            retired.push_back(op);
+            retired_.push_back(op);
         }
     }
     std::erase_if(inflight_,
                   [](const PendingOp &op) { return op.remaining == 0; });
-    return retired;
+    return retired_;
 }
 
 } // namespace mtfpu::fpu

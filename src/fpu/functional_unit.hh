@@ -60,9 +60,20 @@ class FunctionalUnits
     /**
      * Advance one active cycle: write back every operation whose
      * latency has elapsed, releasing its reservation and merging its
-     * flags. Returns the operations retired this cycle.
+     * flags. Returns the operations retired this cycle; the reference
+     * points into a reused internal buffer (no per-cycle allocation)
+     * and is valid until the next advance() or clear().
+     * Inline empty fast path: idle pipelines cost one branch.
      */
-    std::vector<PendingOp> advance(RegisterFile &regs, Scoreboard &sb);
+    const std::vector<PendingOp> &
+    advance(RegisterFile &regs, Scoreboard &sb)
+    {
+        if (inflight_.empty()) {
+            retired_.clear();
+            return retired_;
+        }
+        return advanceSlow(regs, sb);
+    }
 
     /** True if any operation is still in flight. */
     bool busy() const { return !inflight_.empty(); }
@@ -71,11 +82,21 @@ class FunctionalUnits
     unsigned latency() const { return latency_; }
 
     /** Drop all in-flight state (reset). */
-    void clear() { inflight_.clear(); }
+    void
+    clear()
+    {
+        inflight_.clear();
+        retired_.clear();
+    }
 
   private:
+    /** Out-of-line tail of advance(): retire elapsed operations. */
+    const std::vector<PendingOp> &advanceSlow(RegisterFile &regs,
+                                              Scoreboard &sb);
+
     unsigned latency_;
     std::vector<PendingOp> inflight_;
+    std::vector<PendingOp> retired_; // reused advance() result buffer
 };
 
 } // namespace mtfpu::fpu

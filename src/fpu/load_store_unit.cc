@@ -14,7 +14,7 @@ LoadStoreUnit::issueLoad(unsigned reg, uint64_t value)
 }
 
 void
-LoadStoreUnit::advance(RegisterFile &regs)
+LoadStoreUnit::advanceSlow(RegisterFile &regs)
 {
     for (auto &load : pending_) {
         if (--load.remaining == 0)

@@ -29,8 +29,15 @@ class LoadStoreUnit
      */
     void issueLoad(unsigned reg, uint64_t value);
 
-    /** Apply writes that have completed; call once per active cycle. */
-    void advance(RegisterFile &regs);
+    /** Apply writes that have completed; call once per active cycle.
+     *  Inline empty fast path: most cycles carry no in-flight load. */
+    void
+    advance(RegisterFile &regs)
+    {
+        if (pending_.empty())
+            return;
+        advanceSlow(regs);
+    }
 
     /** True if a load is still in flight to @p reg. */
     bool pendingTo(unsigned reg) const;
@@ -48,6 +55,9 @@ class LoadStoreUnit
         uint8_t reg;
         uint64_t value;
     };
+
+    /** Out-of-line tail of advance(): retire due load writes. */
+    void advanceSlow(RegisterFile &regs);
 
     std::vector<PendingLoad> pending_;
 };

@@ -2,26 +2,8 @@
 
 #include <cstring>
 
-#include "common/log.hh"
-
 namespace mtfpu::fpu
 {
-
-uint64_t
-RegisterFile::read(unsigned reg) const
-{
-    if (reg >= isa::kNumFpuRegs)
-        fatal("RegisterFile: read of f" + std::to_string(reg));
-    return regs_[reg];
-}
-
-void
-RegisterFile::write(unsigned reg, uint64_t value)
-{
-    if (reg >= isa::kNumFpuRegs)
-        fatal("RegisterFile: write of f" + std::to_string(reg));
-    regs_[reg] = value;
-}
 
 double
 RegisterFile::readDouble(unsigned reg) const
@@ -38,12 +20,6 @@ RegisterFile::writeDouble(unsigned reg, double value)
     uint64_t v;
     std::memcpy(&v, &value, sizeof(v));
     write(reg, v);
-}
-
-void
-RegisterFile::clear()
-{
-    regs_.fill(0);
 }
 
 } // namespace mtfpu::fpu

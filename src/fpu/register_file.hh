@@ -5,6 +5,9 @@
  * registers; there is no separate vector register bank. The file has
  * four ports (A, B, R, M) in hardware; port arbitration is modeled by
  * the issue logic, not here.
+ *
+ * read() and write() are inline — they run several times per
+ * simulated cycle on the element issue and retire paths.
  */
 
 #ifndef MTFPU_FPU_REGISTER_FILE_HH
@@ -12,7 +15,9 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
+#include "common/log.hh"
 #include "isa/fpu_instr.hh"
 
 namespace mtfpu::fpu
@@ -23,10 +28,22 @@ class RegisterFile
 {
   public:
     /** Read register @p reg. */
-    uint64_t read(unsigned reg) const;
+    uint64_t
+    read(unsigned reg) const
+    {
+        if (reg >= isa::kNumFpuRegs)
+            fatal("RegisterFile: read of f" + std::to_string(reg));
+        return regs_[reg];
+    }
 
     /** Write register @p reg. */
-    void write(unsigned reg, uint64_t value);
+    void
+    write(unsigned reg, uint64_t value)
+    {
+        if (reg >= isa::kNumFpuRegs)
+            fatal("RegisterFile: write of f" + std::to_string(reg));
+        regs_[reg] = value;
+    }
 
     /** Read as a host double (same bit layout). */
     double readDouble(unsigned reg) const;
@@ -35,7 +52,7 @@ class RegisterFile
     void writeDouble(unsigned reg, double value);
 
     /** Zero every register. */
-    void clear();
+    void clear() { regs_.fill(0); }
 
   private:
     std::array<uint64_t, isa::kNumFpuRegs> regs_{};

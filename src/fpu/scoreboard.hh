@@ -4,13 +4,19 @@
  * register, set when an outstanding ALU operation will write that
  * register, cleared when the operation retires. Loads and stores read
  * the table through their own port but never set bits.
+ *
+ * Everything is defined inline: reserved() sits on the per-element
+ * issue path (several probes per simulated cycle), so it must compile
+ * down to a bit test.
  */
 
 #ifndef MTFPU_FPU_SCOREBOARD_HH
 #define MTFPU_FPU_SCOREBOARD_HH
 
 #include <bitset>
+#include <string>
 
+#include "common/log.hh"
 #include "isa/fpu_instr.hh"
 
 namespace mtfpu::fpu
@@ -21,16 +27,40 @@ class Scoreboard
 {
   public:
     /** Set the reservation bit at ALU element issue. */
-    void reserve(unsigned reg);
+    void
+    reserve(unsigned reg)
+    {
+        if (reg >= isa::kNumFpuRegs)
+            fatal("Scoreboard: reserve of f" + std::to_string(reg));
+        if (bits_[reg])
+            panic("Scoreboard: double reservation of f" +
+                  std::to_string(reg));
+        bits_[reg] = true;
+    }
 
     /** Clear the reservation bit at ALU operation retire. */
-    void release(unsigned reg);
+    void
+    release(unsigned reg)
+    {
+        if (reg >= isa::kNumFpuRegs)
+            fatal("Scoreboard: release of f" + std::to_string(reg));
+        if (!bits_[reg])
+            panic("Scoreboard: release of unreserved f" +
+                  std::to_string(reg));
+        bits_[reg] = false;
+    }
 
     /** True if an outstanding ALU write targets @p reg. */
-    bool reserved(unsigned reg) const;
+    bool
+    reserved(unsigned reg) const
+    {
+        if (reg >= isa::kNumFpuRegs)
+            fatal("Scoreboard: probe of f" + std::to_string(reg));
+        return bits_[reg];
+    }
 
     /** Clear every bit. */
-    void clear();
+    void clear() { bits_.reset(); }
 
     /** Number of set bits (for invariants in tests). */
     size_t count() const { return bits_.count(); }

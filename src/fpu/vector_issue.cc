@@ -17,53 +17,6 @@ AluInstructionRegister::transfer(const isa::FpuAluInstr &instr,
                     instr.sra, instr.srb, seq};
 }
 
-uint64_t
-AluInstructionRegister::currentSeq() const
-{
-    return current_ ? current_->seq : 0;
-}
-
-IssueStall
-AluInstructionRegister::tryIssue(const Scoreboard &sb, ElementIssue &out)
-{
-    if (!current_)
-        return IssueStall::Empty;
-
-    Live &live = *current_;
-
-    // Scalar scoreboarding of this element: both source reservation
-    // bits must be clear (unary operations read only Ra), and the
-    // destination must not carry an outstanding reservation.
-    if (sb.reserved(live.ra))
-        return IssueStall::SourceBusy;
-    if (!exec::fpOpIsUnary(live.op) && sb.reserved(live.rb))
-        return IssueStall::SourceBusy;
-    if (sb.reserved(live.rr))
-        return IssueStall::DestBusy;
-
-    out = ElementIssue{live.op, live.rr, live.ra, live.rb, live.vl == 0};
-
-    // After issue: check the VL field; if zero, clear the IR,
-    // otherwise decrement it and increment the register specifiers
-    // (Rr always; Ra/Rb under their stride bits). Paper §2.1.1.
-    if (live.vl == 0) {
-        current_.reset();
-    } else {
-        --live.vl;
-        exec::ElementSpecs specs{live.rr, live.ra, live.rb};
-        exec::advanceSpecifiers(specs, live.sra, live.srb);
-        live.rr = specs.rr;
-        live.ra = specs.ra;
-        live.rb = specs.rb;
-        if (live.rr >= isa::kNumFpuRegs ||
-            live.ra >= isa::kNumFpuRegs ||
-            live.rb >= isa::kNumFpuRegs) {
-            fatal("vector element specifier incremented past f51");
-        }
-    }
-    return IssueStall::None;
-}
-
 void
 AluInstructionRegister::squash()
 {

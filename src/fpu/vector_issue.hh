@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/log.hh"
+#include "exec/semantics.hh"
+#include "fpu/scoreboard.hh"
 #include "isa/fpu_instr.hh"
 
 namespace mtfpu::fpu
@@ -42,8 +45,6 @@ struct ElementIssue
     bool last; // true if this was the final element of the instruction
 };
 
-class Scoreboard;
-
 /** The ALU instruction register. */
 class AluInstructionRegister
 {
@@ -60,15 +61,57 @@ class AluInstructionRegister
     void transfer(const isa::FpuAluInstr &instr, uint64_t seq);
 
     /** Sequence tag of the occupying instruction (0 if empty). */
-    uint64_t currentSeq() const;
+    uint64_t currentSeq() const { return current_ ? current_->seq : 0; }
 
     /**
      * Attempt to issue the current element against the scoreboard.
      * On success the caller must execute the element and reserve its
      * destination; the IR advances its specifiers (or clears itself
-     * after the last element).
+     * after the last element). Inline: this runs once per occupied
+     * active cycle and dominated the issue-path profile out of line.
      */
-    IssueStall tryIssue(const Scoreboard &sb, ElementIssue &out);
+    IssueStall
+    tryIssue(const Scoreboard &sb, ElementIssue &out)
+    {
+        if (!current_)
+            return IssueStall::Empty;
+
+        Live &live = *current_;
+
+        // Scalar scoreboarding of this element: both source
+        // reservation bits must be clear (unary operations read only
+        // Ra), and the destination must not carry an outstanding
+        // reservation.
+        if (sb.reserved(live.ra))
+            return IssueStall::SourceBusy;
+        if (!exec::fpOpIsUnary(live.op) && sb.reserved(live.rb))
+            return IssueStall::SourceBusy;
+        if (sb.reserved(live.rr))
+            return IssueStall::DestBusy;
+
+        out = ElementIssue{live.op, live.rr, live.ra, live.rb,
+                           live.vl == 0};
+
+        // After issue: check the VL field; if zero, clear the IR,
+        // otherwise decrement it and increment the register specifiers
+        // (Rr always; Ra/Rb under their stride bits). Paper §2.1.1.
+        if (live.vl == 0) {
+            current_.reset();
+        } else {
+            --live.vl;
+            exec::ElementSpecs specs{live.rr, live.ra, live.rb};
+            exec::advanceSpecifiers(specs, live.sra, live.srb);
+            live.rr = specs.rr;
+            live.ra = specs.ra;
+            live.rb = specs.rb;
+            if (live.rr >= isa::kNumFpuRegs ||
+                live.ra >= isa::kNumFpuRegs ||
+                live.rb >= isa::kNumFpuRegs) {
+                fatal("vector element specifier incremented past f51");
+            }
+        }
+        return IssueStall::None;
+    }
 
     /**
      * Discard all remaining elements (overflow semantics, §2.3.1).

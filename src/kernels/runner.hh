@@ -14,6 +14,7 @@
 #ifndef MTFPU_KERNELS_RUNNER_HH
 #define MTFPU_KERNELS_RUNNER_HH
 
+#include <utility>
 #include <vector>
 
 #include "kernels/kernel.hh"
@@ -69,6 +70,16 @@ std::vector<KernelResult> runKernelBatch(const std::vector<Kernel> &kernels,
 KernelResult runKernel(const Kernel &kernel,
                        const machine::MachineConfig &config =
                            machine::MachineConfig{});
+
+/**
+ * Materialize a kernel's init closure into the declarative SimJob
+ * memInit form: the (address, word) pairs of every nonzero word the
+ * initializer writes into a fresh @p mem_bytes memory. A SimJob built
+ * from a kernel's program plus this image needs no setup hook, which
+ * makes it pure — and therefore memoizable by the SimDriver.
+ */
+std::vector<std::pair<uint64_t, uint64_t>> memImage(
+    const Kernel &kernel, size_t mem_bytes = 4u << 20);
 
 /** Validate a kernel's simulated checksum only (used by tests). */
 double kernelError(const Kernel &kernel,

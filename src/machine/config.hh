@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "memory/memory_system.hh"
+#include "softfp/backend.hh"
 
 namespace mtfpu::machine
 {
@@ -51,11 +52,22 @@ struct MachineConfig
     /** Race handling for unissued vector elements. */
     HazardPolicy hazardPolicy = HazardPolicy::Fatal;
 
+    /**
+     * Which softfp backend executes FPU ALU elements. Both produce
+     * bit-identical results and flags (asserted by the backend
+     * cross-check tests); `HostFast` is several times faster on the
+     * IEEE-exact units and is the default.
+     */
+    softfp::Backend fpBackend = softfp::Backend::HostFast;
+
     /** Memory hierarchy configuration. */
     memory::MemoryConfig memory{};
 
     /** Runaway-simulation guard. */
     uint64_t maxCycles = 2'000'000'000;
+
+    /** Field-exact equality (used by the SimDriver job memoizer). */
+    bool operator==(const MachineConfig &) const = default;
 };
 
 } // namespace mtfpu::machine

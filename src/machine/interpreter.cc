@@ -100,8 +100,8 @@ Interpreter::step()
         exec::forEachElement(in.fp, [&](unsigned rr, unsigned ra,
                                         unsigned rb) {
             softfp::Flags flags;
-            fregs_[rr] =
-                exec::evalFpOp(in.fp.op, fregs_[ra], fregs_[rb], flags);
+            fregs_[rr] = exec::evalFpOp(in.fp.op, fregs_[ra], fregs_[rb],
+                                        flags, backend_);
             ++fpElements_;
         });
         break;

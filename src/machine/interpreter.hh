@@ -18,6 +18,7 @@
 
 #include "assembler/assembler.hh"
 #include "memory/main_memory.hh"
+#include "softfp/backend.hh"
 
 namespace mtfpu::machine
 {
@@ -27,6 +28,14 @@ class Interpreter
 {
   public:
     explicit Interpreter(size_t mem_bytes = 4u << 20);
+
+    /**
+     * Select the softfp backend for FPU elements (default Soft). Both
+     * backends are bit-identical; a lockstep shadow mirrors its
+     * Machine's choice so the comparison stays apples to apples.
+     */
+    void setBackend(softfp::Backend backend) { backend_ = backend; }
+    softfp::Backend backend() const { return backend_; }
 
     /** Load a program and reset registers (memory is preserved). */
     void loadProgram(assembler::Program program);
@@ -73,6 +82,7 @@ class Interpreter
     bool redirectPending_ = false;
     uint32_t redirectTarget_ = 0;
     uint64_t fpElements_ = 0;
+    softfp::Backend backend_ = softfp::Backend::Soft;
 };
 
 } // namespace mtfpu::machine

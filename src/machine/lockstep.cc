@@ -25,6 +25,10 @@ hex(uint64_t v)
 LockstepChecker::LockstepChecker(Machine &machine)
     : machine_(machine), interp_(machine.mem().size())
 {
+    // The shadow executes elements with the same softfp backend as
+    // the cycle model, so the differential test covers whichever
+    // backend the Machine is configured with.
+    interp_.setBackend(machine.config().fpBackend);
 }
 
 void

@@ -12,7 +12,8 @@ using isa::Instr;
 using isa::Major;
 
 Machine::Machine(const MachineConfig &config)
-    : config_(config), memsys_(config.memory), fpu_(config.fpuLatency)
+    : config_(config), memsys_(config.memory),
+      fpu_(config.fpuLatency, config.fpBackend)
 {
 }
 
@@ -20,7 +21,37 @@ void
 Machine::loadProgram(assembler::Program program)
 {
     program_ = std::move(program);
+    predecode();
     resetForRun(true);
+}
+
+void
+Machine::predecode()
+{
+    code_.clear();
+    code_.reserve(program_.code.size());
+    for (uint32_t pc = 0; pc < program_.code.size(); ++pc) {
+        const Instr &in = program_.code[pc];
+        IssueSlot slot;
+        slot.major = in.major;
+        slot.func = in.func;
+        slot.cond = in.cond;
+        slot.jkind = in.jkind;
+        slot.rd = in.rd;
+        slot.rs1 = in.rs1;
+        slot.rs2 = in.rs2;
+        slot.fr = in.fr;
+        slot.imm64 = in.major == Major::Lui
+                         ? exec::evalLui(in.imm)
+                         : static_cast<uint64_t>(
+                               static_cast<int64_t>(in.imm));
+        slot.target = pc + in.imm;
+        slot.link = exec::linkAddress(pc);
+        slot.fetchAddr = static_cast<uint64_t>(pc) * 4;
+        slot.fp = in.fp;
+        slot.raw = &program_.code[pc];
+        code_.push_back(slot);
+    }
 }
 
 void
@@ -45,6 +76,7 @@ Machine::addObserver(exec::ExecObserver *observer)
 {
     if (observer)
         observers_.push_back(observer);
+    hasObservers_ = !observers_.empty();
 }
 
 void
@@ -53,6 +85,7 @@ Machine::removeObserver(exec::ExecObserver *observer)
     observers_.erase(
         std::remove(observers_.begin(), observers_.end(), observer),
         observers_.end());
+    hasObservers_ = !observers_.empty();
 }
 
 void
@@ -65,60 +98,79 @@ Machine::attachTracer(Tracer *tracer)
         addObserver(tracer_);
 }
 
+// Event fan-out. The built-in StatsCollector is a direct (devirtualized)
+// call; the registered-observer loops are skipped outright through the
+// cached hasObservers_ flag, so an unobserved simulation pays nothing
+// per event beyond the collector's counter updates.
+
 void
 Machine::notifyCycle(uint64_t cycle)
 {
     collector_.onCycle(cycle);
-    for (exec::ExecObserver *o : observers_)
-        o->onCycle(cycle);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onCycle(cycle);
+    }
 }
 
 void
 Machine::notifyIssue(const exec::IssueEvent &event)
 {
     collector_.onIssue(event);
-    for (exec::ExecObserver *o : observers_)
-        o->onIssue(event);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onIssue(event);
+    }
 }
 
 void
 Machine::notifyElement(const exec::ElementEvent &event)
 {
     collector_.onElement(event);
-    for (exec::ExecObserver *o : observers_)
-        o->onElement(event);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onElement(event);
+    }
 }
 
 void
 Machine::notifyMemAccess(const exec::MemAccessEvent &event)
 {
     collector_.onMemAccess(event);
-    for (exec::ExecObserver *o : observers_)
-        o->onMemAccess(event);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onMemAccess(event);
+    }
 }
 
 void
 Machine::notifyRetire(const exec::RetireEvent &event)
 {
     collector_.onRetire(event);
-    for (exec::ExecObserver *o : observers_)
-        o->onRetire(event);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onRetire(event);
+    }
 }
 
 void
 Machine::notifyStall(const exec::StallEvent &event)
 {
     collector_.onStall(event);
-    for (exec::ExecObserver *o : observers_)
-        o->onStall(event);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onStall(event);
+    }
 }
 
 void
 Machine::notifyRunEnd(uint64_t cycles)
 {
     collector_.onRunEnd(cycles);
-    for (exec::ExecObserver *o : observers_)
-        o->onRunEnd(cycles);
+    if (hasObservers_) {
+        for (exec::ExecObserver *o : observers_)
+            o->onRunEnd(cycles);
+    }
 }
 
 void
@@ -138,16 +190,28 @@ Machine::emitElement(uint64_t cycle, const fpu::ElementIssue &element)
 RunStats
 Machine::run()
 {
-    if (program_.code.empty())
+    if (code_.empty())
         fatal("Machine::run: no program loaded");
+
+    // Loop-invariant limits, hoisted out of the per-cycle path.
+    const uint64_t max_cycles = config_.maxCycles;
 
     uint64_t cycle = 0;
     for (;;) {
-        if (cycle >= config_.maxCycles)
+        if (cycle >= max_cycles)
             fatal("Machine::run: exceeded maxCycles");
 
-        // Lock-step global stall: every pipeline is frozen.
+        // Lock-step global stall: every pipeline is frozen. With no
+        // observers attached nothing can watch the intermediate
+        // cycles, so the whole stall is burned in one step; with
+        // observers the per-cycle stall events are replayed exactly.
         if (globalStall_ > 0) {
+            if (!hasObservers_) {
+                collector_.addMemoryStalls(globalStall_);
+                cycle += globalStall_;
+                globalStall_ = 0;
+                continue;
+            }
             --globalStall_;
             notifyStall(exec::StallEvent{cycle, exec::StallKind::Memory});
             ++cycle;
@@ -245,7 +309,7 @@ Machine::handleHazard(uint64_t cycle, unsigned reg, bool include_sources)
 bool
 Machine::tryCpuIssue(uint64_t cycle)
 {
-    if (cpu_.pc >= program_.code.size())
+    if (cpu_.pc >= code_.size())
         fatal("Machine: PC ran past the end of the program (missing "
               "halt?)");
 
@@ -253,21 +317,21 @@ Machine::tryCpuIssue(uint64_t cycle)
     if (!config_.overlapWithVector && fpu_.aluIrBusy())
         return stallCpu(cycle);
 
+    const IssueSlot &in = code_[cpu_.pc];
+
     // Instruction fetch through the instruction buffer (charged once
     // per PC value).
     if (fetchedPc_ != static_cast<int64_t>(cpu_.pc)) {
         fetchedPc_ = static_cast<int64_t>(cpu_.pc);
-        const uint64_t fetch_addr = static_cast<uint64_t>(cpu_.pc) * 4;
-        const unsigned penalty = memsys_.instrFetch(fetch_addr);
+        const unsigned penalty = memsys_.instrFetch(in.fetchAddr);
         notifyMemAccess(exec::MemAccessEvent{
-            cycle, fetch_addr, exec::MemAccessKind::InstrFetch, penalty});
+            cycle, in.fetchAddr, exec::MemAccessKind::InstrFetch,
+            penalty});
         if (penalty > 0) {
             globalStall_ = penalty;
             return stallCpu(cycle);
         }
     }
-
-    const Instr &in = program_.code[cpu_.pc];
 
     // If a taken branch is outstanding, this instruction is its delay
     // slot; the redirect fires when it completes issue.
@@ -287,20 +351,17 @@ Machine::tryCpuIssue(uint64_t cycle)
       case Major::AluImm: {
         if (!cpu_.regReady(in.rs1))
             return stallCpu(cycle);
-        cpu_.writeReg(in.rd,
-                      exec::evalAlu(in.func, cpu_.readReg(in.rs1),
-                                    static_cast<uint64_t>(
-                                        static_cast<int64_t>(in.imm))));
+        cpu_.writeReg(in.rd, exec::evalAlu(in.func, cpu_.readReg(in.rs1),
+                                           in.imm64));
         break;
       }
       case Major::Lui:
-        cpu_.writeReg(in.rd, exec::evalLui(in.imm));
+        cpu_.writeReg(in.rd, in.imm64);
         break;
       case Major::Ld: {
         if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
             return stallCpu(cycle);
-        const uint64_t addr =
-            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
+        const uint64_t addr = cpu_.readReg(in.rs1) + in.imm64;
         const unsigned penalty = memsys_.dataAccess(addr, false);
         cpu_.scheduleWrite(in.rd, memsys_.mem().read64(addr), 2);
         memPortFreeAt_ = cycle + 1;
@@ -315,8 +376,7 @@ Machine::tryCpuIssue(uint64_t cycle)
             memPortFreeAt_ > cycle) {
             return stallCpu(cycle);
         }
-        const uint64_t addr =
-            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
+        const uint64_t addr = cpu_.readReg(in.rs1) + in.imm64;
         memsys_.mem().write64(addr, cpu_.readReg(in.rd));
         const unsigned penalty = memsys_.dataAccess(addr, true);
         memPortFreeAt_ = cycle + config_.storeCycles;
@@ -335,8 +395,7 @@ Machine::tryCpuIssue(uint64_t cycle)
             return stallCpu(cycle);
         if (!handleHazard(cycle, in.fr, true))
             return false;
-        const uint64_t addr =
-            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
+        const uint64_t addr = cpu_.readReg(in.rs1) + in.imm64;
         const unsigned penalty = memsys_.dataAccess(addr, false);
         fpu_.issueLoad(in.fr, memsys_.mem().read64(addr));
         memPortFreeAt_ = cycle + 1;
@@ -355,8 +414,7 @@ Machine::tryCpuIssue(uint64_t cycle)
             return stallCpu(cycle);
         if (!handleHazard(cycle, in.fr, false))
             return false;
-        const uint64_t addr =
-            exec::effectiveAddress(cpu_.readReg(in.rs1), in.imm);
+        const uint64_t addr = cpu_.readReg(in.rs1) + in.imm64;
         memsys_.mem().write64(addr, fpu_.readForTransfer(in.fr));
         const unsigned penalty = memsys_.dataAccess(addr, true);
         memPortFreeAt_ = cycle + config_.storeCycles;
@@ -370,7 +428,7 @@ Machine::tryCpuIssue(uint64_t cycle)
         if (!fpu_.canTransferAlu())
             return stallCpu(cycle);
         fpu_.transferAlu(in.fp);
-        notifyIssue(exec::IssueEvent{cycle, cpu_.pc, &in, false});
+        notifyIssue(exec::IssueEvent{cycle, cpu_.pc, in.raw, false});
         const fpu::ElementEvent ev = fpu_.tryIssueElement();
         if (ev.issued)
             emitElement(cycle, ev.element);
@@ -386,7 +444,7 @@ Machine::tryCpuIssue(uint64_t cycle)
         if (exec::evalBranch(in.cond, cpu_.readReg(in.rs1),
                              cpu_.readReg(in.rs2))) {
             branch_taken = true;
-            cpu_.redirect = cpu_.pc + in.imm;
+            cpu_.redirect = in.target;
         }
         break;
       }
@@ -394,13 +452,29 @@ Machine::tryCpuIssue(uint64_t cycle)
         if (cpu_.redirect)
             fatal("jump in a branch delay slot (pc=" +
                   std::to_string(cpu_.pc) + ")");
-        if (exec::jumpReadsRegister(in.jkind) && !cpu_.regReady(in.rs1))
-            return stallCpu(cycle);
-        const exec::JumpEffect effect =
-            exec::evalJump(in, cpu_.pc, cpu_.readReg(in.rs1));
-        if (effect.writesLink)
-            cpu_.writeReg(effect.linkReg, effect.linkValue);
-        cpu_.redirect = effect.target;
+        // Same effect as exec::evalJump, from predecoded fields.
+        switch (in.jkind) {
+          case isa::JumpKind::J:
+            cpu_.redirect = in.target;
+            break;
+          case isa::JumpKind::Jal:
+            cpu_.writeReg(in.rd, in.link);
+            cpu_.redirect = in.target;
+            break;
+          case isa::JumpKind::Jr:
+            if (!cpu_.regReady(in.rs1))
+                return stallCpu(cycle);
+            cpu_.redirect =
+                static_cast<uint32_t>(cpu_.readReg(in.rs1));
+            break;
+          case isa::JumpKind::Jalr:
+            if (!cpu_.regReady(in.rs1))
+                return stallCpu(cycle);
+            cpu_.redirect =
+                static_cast<uint32_t>(cpu_.readReg(in.rs1));
+            cpu_.writeReg(in.rd, in.link);
+            break;
+        }
         branch_taken = true;
         break;
       }
@@ -416,13 +490,13 @@ Machine::tryCpuIssue(uint64_t cycle)
       }
       case Major::Halt:
         cpu_.halted = true;
-        notifyIssue(exec::IssueEvent{cycle, cpu_.pc, &in, false});
+        notifyIssue(exec::IssueEvent{cycle, cpu_.pc, in.raw, false});
         return true;
       default:
         fatal("Machine: unknown opcode at pc=" + std::to_string(cpu_.pc));
     }
 
-    notifyIssue(exec::IssueEvent{cycle, cpu_.pc, &in, branch_taken});
+    notifyIssue(exec::IssueEvent{cycle, cpu_.pc, in.raw, branch_taken});
     finishIssue(redirect_pending);
     return true;
 }

@@ -104,6 +104,38 @@ class Machine
     const assembler::Program &program() const { return program_; }
 
   private:
+    /**
+     * One predecoded, issue-ready instruction. loadProgram lowers the
+     * assembler::Program into this dense form once, so the per-cycle
+     * issue path never re-extracts fields, sign-extends immediates,
+     * or recomputes fetch addresses:
+     *  - imm64: the immediate in operand form — sign-extended to 64
+     *    bits for AluImm and load/store displacements, the shifted
+     *    constant for Lui;
+     *  - target: the resolved pc-relative redirect target (Branch,
+     *    J/Jal);
+     *  - link: the jal/jalr link value (the address past the delay
+     *    slot);
+     *  - fetchAddr: the instruction's byte fetch address (pc * 4).
+     */
+    struct IssueSlot
+    {
+        isa::Major major;
+        isa::AluFunc func;
+        isa::BranchCond cond;
+        isa::JumpKind jkind;
+        uint8_t rd, rs1, rs2, fr;
+        uint64_t imm64;
+        uint32_t target;
+        uint32_t link;
+        uint64_t fetchAddr;
+        isa::FpuAluInstr fp;
+        const isa::Instr *raw; // original instruction (observer events)
+    };
+
+    /** Lower program_ into the predecoded issue form. */
+    void predecode();
+
     /** Attempt one CPU instruction issue; true if something issued. */
     bool tryCpuIssue(uint64_t cycle);
 
@@ -138,9 +170,11 @@ class Machine
     fpu::Fpu fpu_;
     cpu::Cpu cpu_;
     assembler::Program program_;
+    std::vector<IssueSlot> code_; // predecoded program_ image
     StatsCollector collector_;
     std::vector<exec::ExecObserver *> observers_;
-    Tracer *tracer_ = nullptr; // attachTracer bookkeeping only
+    bool hasObservers_ = false; // cached !observers_.empty()
+    Tracer *tracer_ = nullptr;  // attachTracer bookkeeping only
 
     // Per-run microarchitectural state.
     uint64_t memPortFreeAt_ = 0;

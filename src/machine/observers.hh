@@ -83,6 +83,13 @@ class StatsCollector : public exec::ExecObserver
             ++counts_.cpuStallCycles;
     }
 
+    /**
+     * Account @p n memory-stall cycles at once. Used by the Machine's
+     * zero-observer fast path, which burns a whole global stall in
+     * one step instead of replaying per-cycle stall events.
+     */
+    void addMemoryStalls(uint64_t n) { counts_.memoryStallCycles += n; }
+
     /** Copy the event-derived counters into @p stats. */
     void
     fill(RunStats &stats) const

@@ -1,16 +1,81 @@
 #include "machine/sim_driver.hh"
 
 #include <atomic>
+#include <cstring>
 #include <exception>
 #include <thread>
+#include <unordered_map>
 
 #include "common/log.hh"
 
 namespace mtfpu::machine
 {
 
-SimDriver::SimDriver(unsigned threads)
-    : threads_(threads)
+namespace
+{
+
+/** FNV-1a over the eight bytes of @p v folded into hash @p h. */
+uint64_t
+fnv1a(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Content hash of everything that can influence a pure job's RunStats:
+ * the encoded instruction stream, the declarative memory image, and
+ * every MachineConfig field. Collisions are harmless — sameContent()
+ * verifies exact equality before two jobs share a result.
+ */
+uint64_t
+hashJob(const SimJob &job)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    for (const isa::Instr &in : job.program.code)
+        h = fnv1a(h, in.encode());
+    for (const auto &[addr, word] : job.memInit) {
+        h = fnv1a(h, addr);
+        h = fnv1a(h, word);
+    }
+    const MachineConfig &c = job.config;
+    h = fnv1a(h, c.fpuLatency);
+    uint64_t cycle_bits;
+    std::memcpy(&cycle_bits, &c.cycleNs, sizeof(cycle_bits));
+    h = fnv1a(h, cycle_bits);
+    h = fnv1a(h, c.storeCycles);
+    h = fnv1a(h, (static_cast<uint64_t>(c.overlapWithVector) << 16) |
+                     (static_cast<uint64_t>(c.hazardPolicy) << 8) |
+                     static_cast<uint64_t>(c.fpBackend));
+    const memory::MemoryConfig &m = c.memory;
+    for (const memory::CacheConfig &cc :
+         {m.dataCache, m.instrBuffer, m.instrCache}) {
+        h = fnv1a(h, cc.sizeBytes);
+        h = fnv1a(h, cc.lineBytes);
+        h = fnv1a(h, (static_cast<uint64_t>(cc.missPenalty) << 1) |
+                         static_cast<uint64_t>(cc.writeAllocate));
+    }
+    h = fnv1a(h, m.memBytes);
+    h = fnv1a(h, static_cast<uint64_t>(m.modelCaches));
+    h = fnv1a(h, c.maxCycles);
+    return h;
+}
+
+/** Exact content equality (names excluded — they don't affect stats). */
+bool
+sameContent(const SimJob &a, const SimJob &b)
+{
+    return a.config == b.config && a.memInit == b.memInit &&
+           a.program.code == b.program.code;
+}
+
+} // anonymous namespace
+
+SimDriver::SimDriver(unsigned threads, bool memoize)
+    : threads_(threads), memoize_(memoize)
 {
     if (threads_ == 0) {
         threads_ = std::thread::hardware_concurrency();
@@ -28,6 +93,32 @@ SimDriver::threadsFor(size_t jobs) const
         std::min<size_t>(threads_, jobs));
 }
 
+std::vector<size_t>
+SimDriver::uniqueJobs(const std::vector<SimJob> &jobs)
+{
+    std::vector<size_t> leader(jobs.size());
+    // Hash buckets hold representative indices only; a bucket scan
+    // plus sameContent() guards against hash collisions.
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        leader[i] = i;
+        if (!isPure(jobs[i]))
+            continue;
+        std::vector<size_t> &bucket = buckets[hashJob(jobs[i])];
+        bool found = false;
+        for (size_t rep : bucket) {
+            if (sameContent(jobs[rep], jobs[i])) {
+                leader[i] = rep;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            bucket.push_back(i);
+    }
+    return leader;
+}
+
 SimJobResult
 SimDriver::runOne(const SimJob &job)
 {
@@ -36,6 +127,8 @@ SimDriver::runOne(const SimJob &job)
     try {
         Machine machine(job.config);
         machine.loadProgram(job.program);
+        for (const auto &[addr, word] : job.memInit)
+            machine.mem().write64(addr, word);
         if (job.setup)
             job.setup(machine);
         result.stats = job.body ? job.body(machine) : machine.run();
@@ -51,33 +144,58 @@ std::vector<SimJobResult>
 SimDriver::run(const std::vector<SimJob> &jobs) const
 {
     std::vector<SimJobResult> results(jobs.size());
-    const unsigned workers = threadsFor(jobs.size());
 
-    if (workers <= 1) {
+    // Memoization partition: only representatives simulate.
+    std::vector<size_t> work; // indices of jobs that actually run
+    std::vector<size_t> leader;
+    if (memoize_) {
+        leader = uniqueJobs(jobs);
+        work.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (leader[i] == i)
+                work.push_back(i);
+        }
+    } else {
+        work.resize(jobs.size());
         for (size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runOne(jobs[i]);
-        return results;
+            work[i] = i;
     }
 
-    // Work stealing through an atomic cursor: each worker claims the
-    // next unstarted job. Every result slot is written by exactly one
-    // worker, so the results vector needs no locking.
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                return;
+    const unsigned workers = threadsFor(work.size());
+    if (workers <= 1) {
+        for (size_t i : work)
             results[i] = runOne(jobs[i]);
-        }
-    };
+    } else {
+        // Work stealing through an atomic cursor: each worker claims
+        // the next unstarted job. Every result slot is written by
+        // exactly one worker, so the results vector needs no locking.
+        std::atomic<size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const size_t w =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (w >= work.size())
+                    return;
+                results[work[w]] = runOne(jobs[work[w]]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    // Duplicates inherit their representative's outcome, renamed.
+    if (memoize_) {
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (leader[i] != i) {
+                results[i] = results[leader[i]];
+                results[i].name = jobs[i].name;
+            }
+        }
+    }
     return results;
 }
 

@@ -11,6 +11,16 @@
  * thread count or scheduling order. The driver test suite asserts
  * RunStats equality between a 1-thread and an N-thread pass.
  *
+ * Memoization: batches frequently repeat the same (program, config)
+ * pair — ablation sweeps share a baseline column, figure suites rerun
+ * reference rows. Because jobs are closed systems, two *pure* jobs
+ * (no setup/body hooks) with identical program code, memory image,
+ * and configuration must produce identical RunStats, so the driver
+ * simulates one and copies the result to the rest. Jobs carrying
+ * setup or body closures are never memoized: a std::function's
+ * behavior is not content-hashable. The declarative memInit field
+ * exists precisely so data-initialized jobs can stay pure.
+ *
  * Error containment: a job that fatal()s (bad program, hazard-policy
  * violation, runaway cycle guard) fails alone; its SimJobResult
  * carries the message and the remaining jobs still run.
@@ -19,8 +29,10 @@
 #ifndef MTFPU_MACHINE_SIM_DRIVER_HH
 #define MTFPU_MACHINE_SIM_DRIVER_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "assembler/assembler.hh"
@@ -44,16 +56,25 @@ struct SimJob
     MachineConfig config{};
 
     /**
-     * Optional pre-run hook, called after loadProgram (memory/data
-     * initialization, observer attachment). Must only touch the given
-     * Machine — it runs on a worker thread.
+     * Declarative initial memory image: (byte address, 64-bit word)
+     * pairs written after loadProgram and before setup. Prefer this
+     * over a setup closure for plain data initialization — it keeps
+     * the job pure, and therefore memoizable.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> memInit;
+
+    /**
+     * Optional pre-run hook, called after loadProgram and memInit
+     * (register initialization, observer attachment). Must only touch
+     * the given Machine — it runs on a worker thread. Disqualifies
+     * the job from memoization.
      */
     std::function<void(Machine &)> setup;
 
     /**
      * Optional run body replacing the default `return m.run()` —
      * e.g. cold+warm double runs or interrupt scheduling. Same
-     * threading rules as setup.
+     * threading rules as setup; also disqualifies memoization.
      */
     std::function<RunStats(Machine &)> body;
 };
@@ -74,8 +95,10 @@ class SimDriver
     /**
      * @param threads Worker count; 0 means hardware_concurrency()
      * (min 1). The pool is capped at the job count per batch.
+     * @param memoize Deduplicate identical pure jobs (see file
+     * comment); pass false to force every job to simulate.
      */
-    explicit SimDriver(unsigned threads = 0);
+    explicit SimDriver(unsigned threads = 0, bool memoize = true);
 
     /** Effective worker count for a batch of @p jobs jobs. */
     unsigned threadsFor(size_t jobs) const;
@@ -83,18 +106,40 @@ class SimDriver
     /** Configured worker count (after the 0 → hardware resolution). */
     unsigned threads() const { return threads_; }
 
+    /** Whether identical pure jobs share one simulation. */
+    bool memoize() const { return memoize_; }
+
     /**
-     * Run every job; returns results in job order. Jobs are handed to
-     * workers through an atomic cursor, so completion order is
-     * arbitrary but the result vector is not.
+     * Run every job; returns results in job order. Unique jobs are
+     * handed to workers through an atomic cursor, so completion order
+     * is arbitrary but the result vector is not. With memoization on,
+     * duplicate pure jobs inherit their representative's stats (under
+     * their own name) without simulating.
      */
     std::vector<SimJobResult> run(const std::vector<SimJob> &jobs) const;
+
+    /**
+     * Memoization partition of a batch: result[i] is the index of the
+     * first job identical to jobs[i] (== i for unique or non-pure
+     * jobs). Identity means byte-equal program code, memInit, and
+     * config; names are ignored. Exposed for the driver tests and for
+     * callers sizing a batch in advance.
+     */
+    static std::vector<size_t> uniqueJobs(const std::vector<SimJob> &jobs);
+
+    /** Memoizable: carries no setup/body closure. */
+    static bool
+    isPure(const SimJob &job)
+    {
+        return !job.setup && !job.body;
+    }
 
   private:
     /** Run one job on a freshly constructed Machine. */
     static SimJobResult runOne(const SimJob &job);
 
     unsigned threads_;
+    bool memoize_;
 };
 
 } // namespace mtfpu::machine

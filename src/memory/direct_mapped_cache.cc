@@ -1,5 +1,7 @@
 #include "memory/direct_mapped_cache.hh"
 
+#include <bit>
+
 #include "common/log.hh"
 
 namespace mtfpu::memory
@@ -24,44 +26,10 @@ DirectMappedCache::DirectMappedCache(const CacheConfig &config)
     if (config.lineBytes > config.sizeBytes)
         fatal("DirectMappedCache: line larger than cache");
     lines_.resize(config.sizeBytes / config.lineBytes);
-}
-
-uint64_t
-DirectMappedCache::lineIndex(uint64_t addr) const
-{
-    return (addr / config_.lineBytes) % lines_.size();
-}
-
-uint64_t
-DirectMappedCache::tagOf(uint64_t addr) const
-{
-    return addr / config_.lineBytes / lines_.size();
-}
-
-unsigned
-DirectMappedCache::access(uint64_t addr, bool is_write)
-{
-    Line &line = lines_[lineIndex(addr)];
-    const uint64_t tag = tagOf(addr);
-
-    if (line.valid && line.tag == tag) {
-        ++stats_.hits;
-        return 0;
-    }
-
-    ++stats_.misses;
-    if (!is_write || config_.writeAllocate) {
-        line.valid = true;
-        line.tag = tag;
-    }
-    return config_.missPenalty;
-}
-
-bool
-DirectMappedCache::probe(uint64_t addr) const
-{
-    const Line &line = lines_[lineIndex(addr)];
-    return line.valid && line.tag == tagOf(addr);
+    lineShift_ = static_cast<unsigned>(std::countr_zero(config.lineBytes));
+    indexMask_ = lines_.size() - 1;
+    tagShift_ = lineShift_ +
+                static_cast<unsigned>(std::countr_zero(lines_.size()));
 }
 
 void

@@ -46,6 +46,8 @@ struct CacheConfig
     unsigned missPenalty = 14;
     /** Allocate lines on write misses (write-back style). */
     bool writeAllocate = true;
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /**
@@ -58,16 +60,41 @@ class DirectMappedCache
     explicit DirectMappedCache(const CacheConfig &config);
 
     /**
-     * Perform one access.
+     * Perform one access. Inline, with the power-of-two line/size
+     * geometry precomputed into shifts at construction — this runs
+     * once per instruction fetch and once per data reference, and a
+     * hardware division per lookup dominated the simulator profile.
      *
      * @param addr Byte address.
      * @param is_write True for stores.
      * @return Stall penalty in cycles (0 on a hit).
      */
-    unsigned access(uint64_t addr, bool is_write);
+    unsigned
+    access(uint64_t addr, bool is_write)
+    {
+        Line &line = lines_[lineIndex(addr)];
+        const uint64_t tag = tagOf(addr);
+
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            return 0;
+        }
+
+        ++stats_.misses;
+        if (!is_write || config_.writeAllocate) {
+            line.valid = true;
+            line.tag = tag;
+        }
+        return config_.missPenalty;
+    }
 
     /** True if @p addr would hit right now (no state change). */
-    bool probe(uint64_t addr) const;
+    bool
+    probe(uint64_t addr) const
+    {
+        const Line &line = lines_[lineIndex(addr)];
+        return line.valid && line.tag == tagOf(addr);
+    }
 
     /** Invalidate all lines (cold-start). */
     void flush();
@@ -83,12 +110,21 @@ class DirectMappedCache
         uint64_t tag = 0;
     };
 
-    uint64_t lineIndex(uint64_t addr) const;
-    uint64_t tagOf(uint64_t addr) const;
+    uint64_t
+    lineIndex(uint64_t addr) const
+    {
+        return (addr >> lineShift_) & indexMask_;
+    }
+
+    uint64_t tagOf(uint64_t addr) const { return addr >> tagShift_; }
 
     CacheConfig config_;
     std::vector<Line> lines_;
     CacheStats stats_;
+    // Precomputed geometry (sizes are validated powers of two).
+    unsigned lineShift_ = 0; // log2(lineBytes)
+    unsigned tagShift_ = 0;  // log2(lineBytes * numLines)
+    uint64_t indexMask_ = 0; // numLines - 1
 };
 
 } // namespace mtfpu::memory

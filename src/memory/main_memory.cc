@@ -1,8 +1,7 @@
 #include "memory/main_memory.hh"
 
+#include <algorithm>
 #include <cstring>
-
-#include "common/log.hh"
 
 namespace mtfpu::memory
 {
@@ -10,31 +9,6 @@ namespace mtfpu::memory
 MainMemory::MainMemory(size_t size)
     : data_((size + 7) / 8, 0)
 {
-}
-
-void
-MainMemory::check(uint64_t addr) const
-{
-    if (addr % 8 != 0)
-        fatal("MainMemory: unaligned 64-bit access at " +
-              std::to_string(addr));
-    if (addr / 8 >= data_.size())
-        fatal("MainMemory: access past end of memory at " +
-              std::to_string(addr));
-}
-
-uint64_t
-MainMemory::read64(uint64_t addr) const
-{
-    check(addr);
-    return data_[addr / 8];
-}
-
-void
-MainMemory::write64(uint64_t addr, uint64_t value)
-{
-    check(addr);
-    data_[addr / 8] = value;
 }
 
 double

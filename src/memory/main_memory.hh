@@ -10,7 +10,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/log.hh"
 
 namespace mtfpu::memory
 {
@@ -25,11 +28,24 @@ class MainMemory
     /** Memory size in bytes. */
     size_t size() const { return data_.size(); }
 
+    // read64/write64 are inline: they run once per simulated load or
+    // store, and the bounds check folds into the word-index shift.
+
     /** Read an aligned 64-bit word; fatal() on misalignment/range. */
-    uint64_t read64(uint64_t addr) const;
+    uint64_t
+    read64(uint64_t addr) const
+    {
+        check(addr);
+        return data_[addr / 8];
+    }
 
     /** Write an aligned 64-bit word; fatal() on misalignment/range. */
-    void write64(uint64_t addr, uint64_t value);
+    void
+    write64(uint64_t addr, uint64_t value)
+    {
+        check(addr);
+        data_[addr / 8] = value;
+    }
 
     /** Convenience: read a double at @p addr. */
     double readDouble(uint64_t addr) const;
@@ -41,7 +57,16 @@ class MainMemory
     void clear();
 
   private:
-    void check(uint64_t addr) const;
+    void
+    check(uint64_t addr) const
+    {
+        if (addr % 8 != 0)
+            fatal("MainMemory: unaligned 64-bit access at " +
+                  std::to_string(addr));
+        if (addr / 8 >= data_.size())
+            fatal("MainMemory: access past end of memory at " +
+                  std::to_string(addr));
+    }
 
     std::vector<uint64_t> data_; // word-granular backing store
 };

@@ -36,6 +36,8 @@ struct MemoryConfig
     size_t memBytes = 4u << 20;
     /** If false, every access hits (ideal-memory ablation). */
     bool modelCaches = true;
+
+    bool operator==(const MemoryConfig &) const = default;
 };
 
 /** The composed hierarchy. */

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "assembler/assembler.hh"
@@ -131,6 +132,122 @@ TEST(SimDriver, SetupAndBodyHooksRun)
         machine::SimDriver(1).run(std::vector<machine::SimJob>{job});
     ASSERT_TRUE(results[0].ok) << results[0].error;
     EXPECT_EQ(r3, 42u);
+}
+
+/** Pure (hook-free, memoizable) Livermore jobs via memImage. */
+std::vector<machine::SimJob>
+pureLivermoreJobs(int loops)
+{
+    std::vector<machine::SimJob> jobs;
+    for (int id = 1; id <= loops; ++id) {
+        const kernels::Kernel k = kernels::livermore::make(id, false);
+        machine::SimJob job;
+        job.name = k.name + "/" + k.variant;
+        job.program = k.program;
+        job.memInit = kernels::memImage(k);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+TEST(SimDriverMemo, UniqueJobsPartition)
+{
+    std::vector<machine::SimJob> jobs = pureLivermoreJobs(2);
+    ASSERT_EQ(jobs.size(), 2u);
+    jobs.push_back(jobs[0]); // exact duplicate of job 0
+    jobs.back().name = "duplicate-of-0";
+    jobs.push_back(jobs[0]); // same content, different config
+    jobs.back().name = "different-config";
+    jobs.back().config.fpuLatency = 5;
+    jobs.push_back(jobs[0]); // same content, but impure (setup hook)
+    jobs.back().name = "impure";
+    jobs.back().setup = [](machine::Machine &) {};
+
+    const std::vector<size_t> leader = machine::SimDriver::uniqueJobs(jobs);
+    ASSERT_EQ(leader.size(), 5u);
+    EXPECT_EQ(leader[0], 0u);
+    EXPECT_EQ(leader[1], 1u);
+    EXPECT_EQ(leader[2], 0u); // memoized onto job 0
+    EXPECT_EQ(leader[3], 3u); // config differs -> unique
+    EXPECT_EQ(leader[4], 4u); // hooks disqualify memoization
+    EXPECT_TRUE(machine::SimDriver::isPure(jobs[0]));
+    EXPECT_FALSE(machine::SimDriver::isPure(jobs[4]));
+}
+
+TEST(SimDriverMemo, MemoizedMatchesUnmemoized)
+{
+    // A batch full of duplicates: memoized and brute-force runs must
+    // produce identical per-job results, each under its own name.
+    std::vector<machine::SimJob> jobs = pureLivermoreJobs(4);
+    const size_t unique = jobs.size();
+    for (size_t i = 0; i < unique; ++i) {
+        jobs.push_back(jobs[i]);
+        jobs.back().name = jobs[i].name + "/again";
+    }
+
+    const auto memo = machine::SimDriver(2, true).run(jobs);
+    const auto brute = machine::SimDriver(2, false).run(jobs);
+    ASSERT_EQ(memo.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        EXPECT_EQ(memo[i].name, jobs[i].name);
+        ASSERT_TRUE(memo[i].ok) << memo[i].error;
+        ASSERT_TRUE(brute[i].ok) << brute[i].error;
+        EXPECT_TRUE(memo[i].stats == brute[i].stats);
+    }
+}
+
+TEST(SimDriverMemo, HookedJobsAllSimulate)
+{
+    // Jobs with closures must never share a result, even when their
+    // programs are identical.
+    std::atomic<int> runs{0};
+    std::vector<machine::SimJob> jobs(4);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].name = "hooked-" + std::to_string(i);
+        jobs[i].program = assembler::assemble("add r1, r0, r0\nhalt\n");
+        jobs[i].setup = [&runs](machine::Machine &) { ++runs; };
+    }
+    const auto results = machine::SimDriver(2, true).run(jobs);
+    EXPECT_EQ(runs.load(), 4);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(SimDriverMemo, MemInitAppliedBeforeRun)
+{
+    machine::SimJob job;
+    job.name = "meminit";
+    job.program = assembler::assemble("ld r1, 256(r0)\nhalt\n");
+    job.memInit = {{256, 0xdeadbeefcafef00dull}};
+    uint64_t r1 = 0;
+    job.body = [&r1](machine::Machine &m) {
+        const machine::RunStats stats = m.run();
+        r1 = m.cpu().readReg(1);
+        return stats;
+    };
+    const auto results =
+        machine::SimDriver(1).run(std::vector<machine::SimJob>{job});
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(r1, 0xdeadbeefcafef00dull);
+}
+
+TEST(SimDriverMemo, FailingLeaderPropagatesToDuplicates)
+{
+    // A missing halt makes the PC run off the program: a pure failing
+    // job. Its duplicate inherits the same contained error.
+    std::vector<machine::SimJob> jobs(2);
+    jobs[0].name = "runs-off-a";
+    jobs[0].program = assembler::assemble("add r1, r0, r0\n");
+    jobs[1] = jobs[0];
+    jobs[1].name = "runs-off-b";
+
+    const auto results = machine::SimDriver(1, true).run(jobs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_EQ(results[0].error, results[1].error);
+    EXPECT_EQ(results[1].name, "runs-off-b");
 }
 
 TEST(KernelBatch, MatchesSerialRunKernel)

@@ -5,7 +5,9 @@
  * LockstepChecker attached, which shadow-executes the functional
  * Interpreter and faults on any divergence in issue order, final
  * register/memory state, or FPU element counts. A divergence throws
- * FatalError, failing the test.
+ * FatalError, failing the test. Every kernel suite runs once per
+ * softfp backend, so the Soft and HostFast element paths both get
+ * full differential coverage.
  */
 
 #include <gtest/gtest.h>
@@ -20,12 +22,18 @@ namespace
 
 using namespace mtfpu;
 
+constexpr softfp::Backend kBackends[] = {softfp::Backend::Soft,
+                                         softfp::Backend::HostFast};
+
 /** Run @p kernel on both engines in lockstep; expect no divergence. */
 void
-expectLockstep(const kernels::Kernel &kernel)
+expectLockstep(const kernels::Kernel &kernel, softfp::Backend backend)
 {
-    SCOPED_TRACE(kernel.name + " (" + kernel.variant + ")");
-    machine::Machine m;
+    SCOPED_TRACE(kernel.name + " (" + kernel.variant + ", " +
+                 softfp::backendName(backend) + ")");
+    machine::MachineConfig cfg;
+    cfg.fpBackend = backend;
+    machine::Machine m(cfg);
     m.loadProgram(kernel.program);
     kernel.init(m.mem());
     machine::LockstepChecker checker(m);
@@ -43,15 +51,20 @@ expectLockstep(const kernels::Kernel &kernel)
 
 TEST(Lockstep, LivermoreScalarAllLoops)
 {
-    for (int id = 1; id <= kernels::livermore::kNumLoops; ++id)
-        expectLockstep(kernels::livermore::make(id, false));
+    for (const softfp::Backend backend : kBackends) {
+        for (int id = 1; id <= kernels::livermore::kNumLoops; ++id)
+            expectLockstep(kernels::livermore::make(id, false), backend);
+    }
 }
 
 TEST(Lockstep, LivermoreVectorAllVectorizableLoops)
 {
-    for (int id = 1; id <= kernels::livermore::kNumLoops; ++id) {
-        if (kernels::livermore::hasVectorVariant(id))
-            expectLockstep(kernels::livermore::make(id, true));
+    for (const softfp::Backend backend : kBackends) {
+        for (int id = 1; id <= kernels::livermore::kNumLoops; ++id) {
+            if (kernels::livermore::hasVectorVariant(id))
+                expectLockstep(kernels::livermore::make(id, true),
+                               backend);
+        }
     }
 }
 
@@ -60,8 +73,10 @@ TEST(Lockstep, LinpackBothVariants)
     // A reduced problem size keeps the run short; the code paths
     // (DGEFA pivoting, DAXPY/DSCAL strips, the division macro) are
     // identical to Linpack 100.
-    expectLockstep(kernels::linpack::make(false, 24));
-    expectLockstep(kernels::linpack::make(true, 24));
+    for (const softfp::Backend backend : kBackends) {
+        expectLockstep(kernels::linpack::make(false, 24), backend);
+        expectLockstep(kernels::linpack::make(true, 24), backend);
+    }
 }
 
 TEST(Lockstep, GraphicsTransformBothVariants)
@@ -71,22 +86,29 @@ TEST(Lockstep, GraphicsTransformBothVariants)
         mat[i] = 0.0625 * (i + 3);
     const std::array<double, 4> p{1.0, 2.0, 3.0, 4.0};
 
-    for (const bool load_matrix : {false, true}) {
-        SCOPED_TRACE(load_matrix ? "load matrix" : "matrix preloaded");
-        kernels::graphics::TransformResult out;
-        const machine::SimJob job = kernels::graphics::makeTransformJob(
-            machine::MachineConfig{}, load_matrix, mat, p, out);
+    for (const softfp::Backend backend : kBackends) {
+        for (const bool load_matrix : {false, true}) {
+            SCOPED_TRACE(std::string(softfp::backendName(backend)) +
+                         (load_matrix ? ", load matrix"
+                                      : ", matrix preloaded"));
+            machine::MachineConfig cfg;
+            cfg.fpBackend = backend;
+            kernels::graphics::TransformResult out;
+            const machine::SimJob job =
+                kernels::graphics::makeTransformJob(cfg, load_matrix,
+                                                    mat, p, out);
 
-        machine::Machine m(job.config);
-        m.loadProgram(job.program);
-        job.setup(m);
-        machine::LockstepChecker checker(m);
-        m.addObserver(&checker);
+            machine::Machine m(job.config);
+            m.loadProgram(job.program);
+            job.setup(m);
+            machine::LockstepChecker checker(m);
+            m.addObserver(&checker);
 
-        ASSERT_NO_THROW(job.body(m));
-        EXPECT_GT(checker.issuesChecked(), 0u);
-        EXPECT_EQ(checker.runsVerified(), 1u);
-        EXPECT_GT(out.cycles, 0u);
+            ASSERT_NO_THROW(job.body(m));
+            EXPECT_GT(checker.issuesChecked(), 0u);
+            EXPECT_EQ(checker.runsVerified(), 1u);
+            EXPECT_GT(out.cycles, 0u);
+        }
     }
 }
 

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Differential tests of the HostFast softfp backend against the Soft
+ * bit-level reference. The backend contract is strict: identical
+ * result *bits* and identical exception *Flags* for every input —
+ * including NaNs, infinities, zeros, subnormals, round-to-nearest
+ * ties, and the overflow/underflow boundary binades where the host
+ * fast path must detect that it cannot answer and fall back.
+ *
+ * Three layers:
+ *  1. a directed special-case corpus crossed through every operation;
+ *  2. randomized sweeps (raw bit patterns, same-binade cancellation,
+ *     and distribution-shaped operands) with fixed seeds;
+ *  3. whole-kernel runs: every Livermore, Linpack, and graphics
+ *     kernel under each backend must produce byte-identical RunStats
+ *     (the PR acceptance criterion — timing, flags, and results all
+ *     flow into those counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "kernels/graphics/transform.hh"
+#include "kernels/linpack/linpack.hh"
+#include "kernels/livermore/livermore.hh"
+#include "kernels/runner.hh"
+#include "softfp/backend.hh"
+#include "softfp/fp64.hh"
+
+namespace
+{
+
+using namespace mtfpu;
+using softfp::Backend;
+using softfp::Flags;
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Flag sets must match bit for bit. */
+::testing::AssertionResult
+flagsEqual(const Flags &a, const Flags &b)
+{
+    if (a.overflow == b.overflow && a.underflow == b.underflow &&
+        a.inexact == b.inexact && a.invalid == b.invalid &&
+        a.divByZero == b.divByZero) {
+        return ::testing::AssertionSuccess();
+    }
+    auto render = [](const Flags &f) {
+        std::string s;
+        if (f.overflow)
+            s += "O";
+        if (f.underflow)
+            s += "U";
+        if (f.inexact)
+            s += "X";
+        if (f.invalid)
+            s += "V";
+        if (f.divByZero)
+            s += "Z";
+        return s.empty() ? std::string("-") : s;
+    };
+    return ::testing::AssertionFailure()
+           << "flags soft=" << render(a) << " host=" << render(b);
+}
+
+/** One binary op under both backends; bits and flags must agree. */
+void
+checkBinary(const char *op, uint64_t (*soft)(uint64_t, uint64_t, Flags &),
+            uint64_t (*host)(uint64_t, uint64_t, Flags &), uint64_t a,
+            uint64_t b)
+{
+    Flags fs, fh;
+    const uint64_t rs = soft(a, b, fs);
+    const uint64_t rh = host(a, b, fh);
+    EXPECT_EQ(rs, rh) << op << "(" << hex(a) << ", " << hex(b)
+                      << "): soft=" << hex(rs) << " host=" << hex(rh);
+    EXPECT_TRUE(flagsEqual(fs, fh))
+        << op << "(" << hex(a) << ", " << hex(b) << ")";
+}
+
+/** One unary op under both backends; bits and flags must agree. */
+void
+checkUnary(const char *op, uint64_t (*soft)(uint64_t, Flags &),
+           uint64_t (*host)(uint64_t, Flags &), uint64_t a)
+{
+    Flags fs, fh;
+    const uint64_t rs = soft(a, fs);
+    const uint64_t rh = host(a, fh);
+    EXPECT_EQ(rs, rh) << op << "(" << hex(a) << "): soft=" << hex(rs)
+                      << " host=" << hex(rh);
+    EXPECT_TRUE(flagsEqual(fs, fh)) << op << "(" << hex(a) << ")";
+}
+
+void
+checkAllOps(uint64_t a, uint64_t b)
+{
+    checkBinary("add", softfp::fpAdd, softfp::fpAddHost, a, b);
+    checkBinary("sub", softfp::fpSub, softfp::fpSubHost, a, b);
+    checkBinary("mul", softfp::fpMul, softfp::fpMulHost, a, b);
+    checkUnary("float", softfp::fpFloat, softfp::fpFloatHost, a);
+    checkUnary("trunc", softfp::fpTruncate, softfp::fpTruncateHost, a);
+}
+
+/**
+ * Directed corpus: every IEEE special class plus the boundary values
+ * where the host fast path must hand off to the reference.
+ */
+const std::vector<uint64_t> &
+corpus()
+{
+    using softfp::fromDouble;
+    static const std::vector<uint64_t> values = {
+        0x0000000000000000ull, // +0
+        0x8000000000000000ull, // -0
+        0x7ff0000000000000ull, // +inf
+        0xfff0000000000000ull, // -inf
+        0x7ff8000000000000ull, // quiet NaN
+        0xfff8000000000001ull, // quiet NaN, sign + payload
+        0x7ff0000000000001ull, // signaling NaN
+        0x0000000000000001ull, // smallest subnormal
+        0x000fffffffffffffull, // largest subnormal
+        0x800fffffffffffffull, // largest negative subnormal
+        0x0010000000000000ull, // smallest normal
+        0x8010000000000000ull, // -smallest normal
+        0x0010000000000001ull, // just above smallest normal
+        0x001fffffffffffffull, // top of the lowest normal binade
+        0x7fefffffffffffffull, // largest normal
+        0xffefffffffffffffull, // -largest normal
+        0x7fe0000000000000ull, // top binade (host add must fall back)
+        0x7fd0000000000000ull, // half the top binade
+        fromDouble(1.0),
+        fromDouble(-1.0),
+        fromDouble(2.0),
+        fromDouble(-2.0),
+        fromDouble(0.5),
+        fromDouble(1.5),
+        fromDouble(3.0),
+        fromDouble(1.0 / 3.0),
+        fromDouble(0.1),
+        fromDouble(-0.1),
+        // RNE tie makers: 1 + 2^-53 ties to even in addition;
+        // (1 + 2^-52) * (1 + 2^-52) ties in multiplication.
+        0x3ca0000000000000ull, // 2^-53
+        0xbca0000000000000ull, // -2^-53
+        0x3ff0000000000001ull, // 1 + ulp
+        0x3ff0000000000002ull, // 1 + 2 ulp
+        0x3fefffffffffffffull, // 1 - ulp/2 (cancellation fodder)
+        fromDouble(4503599627370496.0), // 2^52
+        fromDouble(9007199254740992.0), // 2^53
+        fromDouble(9007199254740993.0), // 2^53 + 1 rounds
+        fromDouble(1e300),
+        fromDouble(-1e300),
+        fromDouble(1e-300),
+        fromDouble(1e308),
+        fromDouble(123456789.0),
+        fromDouble(-123456789.5),
+    };
+    return values;
+}
+
+TEST(SoftfpBackend, DirectedCorpusAllPairs)
+{
+    for (const uint64_t a : corpus()) {
+        for (const uint64_t b : corpus())
+            checkAllOps(a, b);
+    }
+}
+
+TEST(SoftfpBackend, ExactCancellationIsExactZero)
+{
+    // x - x must be +0 with no flags on both backends (the host path
+    // must notice the zero result is outside its guarded range).
+    for (const uint64_t a : corpus())
+        checkBinary("sub", softfp::fpSub, softfp::fpSubHost, a, a);
+}
+
+TEST(SoftfpBackend, RandomRawBitPatterns)
+{
+    // Raw 64-bit patterns: mostly huge/NaN-adjacent encodings — the
+    // fallback-detection path.
+    std::mt19937_64 rng(0x5eed0001);
+    for (int i = 0; i < 200000; ++i)
+        checkAllOps(rng(), rng());
+}
+
+TEST(SoftfpBackend, RandomNormalOperands)
+{
+    // Same-magnitude normals: the host fast path proper, with heavy
+    // inexact traffic and occasional exact results.
+    std::mt19937_64 rng(0x5eed0002);
+    auto normal = [&rng]() {
+        const uint64_t sign = rng() & softfp::kSignBit;
+        const uint64_t exp =
+            (1 + rng() % 2045) << softfp::kFracBits; // biased 1..2045
+        return sign | exp | (rng() & softfp::kFracMask);
+    };
+    for (int i = 0; i < 200000; ++i)
+        checkAllOps(normal(), normal());
+}
+
+TEST(SoftfpBackend, RandomCancellation)
+{
+    // Operands in the same binade with nearly equal significands:
+    // exercises massive cancellation, exact differences, and the
+    // subnormal-result fallback.
+    std::mt19937_64 rng(0x5eed0003);
+    for (int i = 0; i < 100000; ++i) {
+        const uint64_t exp =
+            (1 + rng() % 2045) << softfp::kFracBits;
+        const uint64_t frac = rng() & softfp::kFracMask;
+        const uint64_t delta = rng() % 4;
+        const uint64_t a = exp | frac;
+        const uint64_t b =
+            exp | ((frac + delta) & softfp::kFracMask);
+        checkAllOps(a, b);
+        checkAllOps(a | softfp::kSignBit, b);
+        checkAllOps(a, b | softfp::kSignBit);
+    }
+}
+
+TEST(SoftfpBackend, RandomUnderflowOverflowBoundary)
+{
+    // Products near the underflow and overflow boundaries: biased
+    // exponents chosen so ea + eb straddles the representable range.
+    std::mt19937_64 rng(0x5eed0004);
+    auto boundary = [&rng](unsigned lo, unsigned span) {
+        const uint64_t exp =
+            static_cast<uint64_t>(lo + rng() % span)
+            << softfp::kFracBits;
+        return (rng() & softfp::kSignBit) | exp |
+               (rng() & softfp::kFracMask);
+    };
+    for (int i = 0; i < 100000; ++i) {
+        // ea + eb - bias near 0 (underflow side) or near 2046.
+        checkAllOps(boundary(1, 60), boundary(960, 120));
+        checkAllOps(boundary(1986, 60), boundary(960, 120));
+    }
+}
+
+TEST(SoftfpBackend, TruncateBoundaries)
+{
+    // Magnitudes around each integer-width boundary, including the
+    // 2^62..2^63 band where the host path falls back.
+    std::mt19937_64 rng(0x5eed0005);
+    for (int pow = -4; pow <= 70; ++pow) {
+        const uint64_t exp =
+            static_cast<uint64_t>(softfp::kExpBias + pow)
+            << softfp::kFracBits;
+        for (int i = 0; i < 500; ++i) {
+            const uint64_t v = exp | (rng() & softfp::kFracMask);
+            checkUnary("trunc", softfp::fpTruncate, softfp::fpTruncateHost,
+                       v);
+            checkUnary("trunc", softfp::fpTruncate, softfp::fpTruncateHost,
+                       v | softfp::kSignBit);
+        }
+    }
+}
+
+TEST(SoftfpBackend, FloatWidthBoundaries)
+{
+    // int64 inputs whose significant width straddles 53 bits — the
+    // exact/inexact conversion boundary — plus the extremes.
+    checkUnary("float", softfp::fpFloat, softfp::fpFloatHost, 0);
+    checkUnary("float", softfp::fpFloat, softfp::fpFloatHost,
+               static_cast<uint64_t>(INT64_MIN));
+    checkUnary("float", softfp::fpFloat, softfp::fpFloatHost,
+               static_cast<uint64_t>(INT64_MAX));
+    std::mt19937_64 rng(0x5eed0006);
+    for (int width = 1; width <= 63; ++width) {
+        for (int i = 0; i < 500; ++i) {
+            uint64_t v = (1ull << (width - 1)) |
+                         (width > 1 ? rng() % (1ull << (width - 1)) : 0);
+            checkUnary("float", softfp::fpFloat, softfp::fpFloatHost, v);
+            checkUnary("float", softfp::fpFloat, softfp::fpFloatHost,
+                       static_cast<uint64_t>(-static_cast<int64_t>(v)));
+        }
+    }
+}
+
+TEST(SoftfpBackend, DispatcherCoversEveryUnit)
+{
+    // fpuOperate(Backend, ...) must agree across backends for every
+    // (unit, func) in the Figure-4 table — including the units that
+    // always take the Soft path (recip, iteration step, intmul).
+    std::mt19937_64 rng(0x5eed0007);
+    const std::pair<unsigned, unsigned> ops[] = {
+        {1, 0}, // add
+        {1, 1}, // sub
+        {1, 2}, // float
+        {1, 3}, // truncate
+        {2, 0}, // multiply
+        {2, 1}, // integer multiply
+        {2, 2}, // iteration step
+        {3, 0}, // reciprocal approximation
+    };
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t a = rng(), b = rng();
+        for (const auto &[unit, func] : ops) {
+            Flags fs, fh;
+            const uint64_t rs =
+                softfp::fpuOperate(Backend::Soft, unit, func, a, b, fs);
+            const uint64_t rh = softfp::fpuOperate(Backend::HostFast, unit,
+                                                   func, a, b, fh);
+            EXPECT_EQ(rs, rh)
+                << "unit " << unit << " func " << func << " a=" << hex(a)
+                << " b=" << hex(b);
+            EXPECT_TRUE(flagsEqual(fs, fh))
+                << "unit " << unit << " func " << func;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-kernel equivalence: byte-identical RunStats per backend.
+// ---------------------------------------------------------------------
+
+void
+expectBackendsAgree(const kernels::Kernel &kernel)
+{
+    SCOPED_TRACE(kernel.name + " (" + kernel.variant + ")");
+    machine::MachineConfig soft_cfg;
+    soft_cfg.fpBackend = Backend::Soft;
+    machine::MachineConfig host_cfg;
+    host_cfg.fpBackend = Backend::HostFast;
+
+    const kernels::KernelResult rs = kernels::runKernel(kernel, soft_cfg);
+    const kernels::KernelResult rh = kernels::runKernel(kernel, host_cfg);
+    ASSERT_TRUE(rs.error.empty()) << rs.error;
+    ASSERT_TRUE(rh.error.empty()) << rh.error;
+    EXPECT_TRUE(rs.valid);
+    EXPECT_TRUE(rh.valid);
+    // RunStats equality covers cycles, issue/stall/memory counters,
+    // FPU element and flag counts — everything a backend could skew.
+    EXPECT_TRUE(rs.cold == rh.cold) << "cold stats diverge";
+    EXPECT_TRUE(rs.warm == rh.warm) << "warm stats diverge";
+    EXPECT_EQ(rs.relError, rh.relError);
+}
+
+TEST(SoftfpBackendKernels, LivermoreAllLoopsBothVariants)
+{
+    for (int id = 1; id <= kernels::livermore::kNumLoops; ++id) {
+        expectBackendsAgree(kernels::livermore::make(id, false));
+        if (kernels::livermore::hasVectorVariant(id))
+            expectBackendsAgree(kernels::livermore::make(id, true));
+    }
+}
+
+TEST(SoftfpBackendKernels, LinpackBothVariants)
+{
+    expectBackendsAgree(kernels::linpack::make(false, 24));
+    expectBackendsAgree(kernels::linpack::make(true, 24));
+}
+
+TEST(SoftfpBackendKernels, GraphicsTransform)
+{
+    std::array<double, 16> mat{};
+    for (int i = 0; i < 16; ++i)
+        mat[i] = 0.125 * (i - 7) + 0.3;
+    const std::array<double, 4> p{0.25, -1.5, 3.75, 1.0};
+
+    for (const bool load_matrix : {false, true}) {
+        SCOPED_TRACE(load_matrix ? "load matrix" : "matrix preloaded");
+        machine::MachineConfig soft_cfg;
+        soft_cfg.fpBackend = Backend::Soft;
+        machine::MachineConfig host_cfg;
+        host_cfg.fpBackend = Backend::HostFast;
+        const kernels::graphics::TransformResult rs =
+            kernels::graphics::runTransform(soft_cfg, load_matrix, mat, p);
+        const kernels::graphics::TransformResult rh =
+            kernels::graphics::runTransform(host_cfg, load_matrix, mat, p);
+        EXPECT_EQ(rs.cycles, rh.cycles);
+        for (int k = 0; k < 4; ++k)
+            EXPECT_EQ(rs.out[k], rh.out[k]) << "component " << k;
+    }
+}
+
+} // anonymous namespace
