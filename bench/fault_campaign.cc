@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fault-injection campaign driver: sweeps seeded single-bit faults
+ * over a set of Livermore kernels and prints the detection-coverage
+ * classification table (detected-hardware / detected-lockstep /
+ * masked / sdc — see src/faults/campaign.hh for the scheme).
+ *
+ * Usage:
+ *   fault_campaign [--kernels=lfk01,lfk03,lfk12] [--faults=N]
+ *                  [--seed=S] [--no-lockstep] [--threads=N]
+ *                  [--guard-factor=G] [--report-dir=DIR]
+ *                  [--assert-no-sdc]
+ *
+ * --assert-no-sdc exits nonzero if any trial classifies as silent
+ * data corruption; with the lockstep checker attached (the default)
+ * SDC is structurally impossible, which is what the CI smoke job
+ * asserts.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "faults/campaign.hh"
+#include "kernels/livermore/livermore.hh"
+
+using namespace mtfpu;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+flagValue(const char *arg, const char *name, std::string &value)
+{
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=')
+        return false;
+    value = arg + len + 1;
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names = {"lfk01", "lfk03", "lfk12"};
+    faults::CampaignConfig cfg;
+    cfg.faultsPerKernel = 34;
+    cfg.machine = bench::idealMemoryConfig();
+    bool assert_no_sdc = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        if (flagValue(argv[i], "--kernels", value)) {
+            names = splitCsv(value);
+        } else if (flagValue(argv[i], "--faults", value)) {
+            cfg.faultsPerKernel =
+                static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flagValue(argv[i], "--seed", value)) {
+            cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flagValue(argv[i], "--threads", value)) {
+            cfg.threads =
+                static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flagValue(argv[i], "--guard-factor", value)) {
+            cfg.guardFactor = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flagValue(argv[i], "--report-dir", value)) {
+            cfg.reportDir = value;
+        } else if (std::strcmp(argv[i], "--no-lockstep") == 0) {
+            cfg.lockstep = false;
+        } else if (std::strcmp(argv[i], "--assert-no-sdc") == 0) {
+            assert_no_sdc = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    // Resolve kernel names against the Livermore suite (vector
+    // variants preferred — the paper's MultiTitan configuration).
+    std::vector<kernels::Kernel> suite = kernels::livermore::all(true);
+    std::vector<kernels::Kernel> selected;
+    for (const std::string &name : names) {
+        bool found = false;
+        for (const kernels::Kernel &k : suite) {
+            if (k.name == name) {
+                selected.push_back(k);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown kernel: %s\n", name.c_str());
+            return 2;
+        }
+    }
+
+    bench::banner("Fault-injection campaign: " +
+                  std::to_string(cfg.faultsPerKernel) +
+                  " seeded single-bit faults per kernel, lockstep " +
+                  (cfg.lockstep ? "on" : "off"));
+
+    faults::CampaignResult result;
+    try {
+        result = faults::runCampaign(selected, cfg);
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "campaign setup failed: %s\n", err.what());
+        return 1;
+    }
+
+    std::printf("%s\n", result.table().c_str());
+    std::printf("golden runs:\n");
+    for (size_t k = 0; k < result.kernels.size(); ++k) {
+        std::printf("  %-8s %8llu cycles  checksum %.17g\n",
+                    result.kernels[k].c_str(),
+                    static_cast<unsigned long long>(result.goldenCycles[k]),
+                    result.goldenChecksums[k]);
+    }
+
+    if (assert_no_sdc && !result.sdcFree()) {
+        std::fprintf(stderr,
+                     "ASSERTION FAILED: %u silent-data-corruption escapes\n",
+                     result.count(faults::FaultOutcome::Sdc));
+        for (const faults::FaultTrial &t : result.trials) {
+            if (t.outcome == faults::FaultOutcome::Sdc)
+                std::fprintf(stderr, "  %s\n", t.to_json().c_str());
+        }
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace mtfpu
+{
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+LogSink &
+currentSink()
+{
+    static LogSink sink; // empty = default stderr sink
+    return sink;
+}
+
+thread_local std::string tJobTag;
+
+/** Emit one atomic line to the active sink (caller formats nothing). */
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(logMutex());
+    const LogSink &sink = currentSink();
+    if (sink) {
+        sink(level, tJobTag, msg);
+        return;
+    }
+    const char *head = level == LogLevel::Warn ? "warn" : "info";
+    if (tJobTag.empty()) {
+        std::fprintf(stderr, "%s: %s\n", head, msg.c_str());
+    } else {
+        std::fprintf(stderr, "%s: [%s] %s\n", head, tJobTag.c_str(),
+                     msg.c_str());
+    }
+}
+
+} // anonymous namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> guard(logMutex());
+    LogSink previous = std::move(currentSink());
+    currentSink() = std::move(sink);
+    return previous;
+}
+
+LogJobScope::LogJobScope(const std::string &tag)
+    : previous_(std::move(tJobTag))
+{
+    tJobTag = tag;
+}
+
+LogJobScope::~LogJobScope()
+{
+    tJobTag = std::move(previous_);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw InvariantError("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw SimError(ErrCode::Unknown, msg);
+}
+
+void
+fatal(ErrCode code, const std::string &msg, ErrContext context)
+{
+    throw SimError(code, msg, context);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    emit(LogLevel::Info, msg);
+}
+
+} // namespace mtfpu

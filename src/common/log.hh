@@ -2,59 +2,79 @@
  * @file
  * Minimal gem5-style status/error reporting helpers.
  *
- * panic() is for internal simulator bugs (aborts); fatal() is for
- * conditions caused by the user's input (exits); warn()/inform() report
- * conditions without stopping the simulation.
+ * panic() is for internal simulator bugs (throws InvariantError so a
+ * batch driver can contain the corrupted job); fatal() is for
+ * conditions caused by the user's input (throws SimError, optionally
+ * with an error-taxonomy code); warn()/inform() report conditions
+ * without stopping the simulation.
+ *
+ * warn()/inform() are routed through a process-wide thread-safe sink:
+ * each message is emitted as one atomic line, prefixed with the
+ * calling thread's job tag when one is set (LogJobScope). Parallel
+ * SimDriver workers therefore never interleave partial lines, and
+ * every message is attributable to the job that produced it.
  */
 
 #ifndef MTFPU_COMMON_LOG_HH
 #define MTFPU_COMMON_LOG_HH
 
-#include <cstdio>
-#include <cstdlib>
-#include <stdexcept>
+#include <functional>
 #include <string>
+
+#include "common/sim_error.hh"
 
 namespace mtfpu
 {
 
-/** Thrown by fatal() so harnesses (and tests) can catch user errors. */
-class FatalError : public std::runtime_error
+/** Severity of a sink message. */
+enum class LogLevel : uint8_t
 {
-  public:
-    explicit FatalError(const std::string &what)
-        : std::runtime_error(what)
-    {}
+    Info,
+    Warn,
 };
 
-/** Report an internal simulator bug and abort. */
-[[noreturn]] inline void
-panic(const std::string &msg)
-{
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
-}
+/**
+ * Replace the log sink (nullptr restores the default stderr sink).
+ * The sink receives the level, the calling thread's job tag (empty
+ * when none), and the message; it is invoked under the logging mutex,
+ * so it need not be thread-safe itself. Returns the previous sink.
+ */
+using LogSink =
+    std::function<void(LogLevel, const std::string &, const std::string &)>;
+LogSink setLogSink(LogSink sink);
 
-/** Report an unrecoverable user-level error. */
-[[noreturn]] inline void
-fatal(const std::string &msg)
+/**
+ * Tag every warn()/inform() from the current thread with a job id for
+ * the duration of the scope (SimDriver workers wrap each job in one).
+ */
+class LogJobScope
 {
-    throw FatalError(msg);
-}
+  public:
+    explicit LogJobScope(const std::string &tag);
+    ~LogJobScope();
+
+    LogJobScope(const LogJobScope &) = delete;
+    LogJobScope &operator=(const LogJobScope &) = delete;
+
+  private:
+    std::string previous_;
+};
+
+/** Report an internal simulator bug (throws InvariantError). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user-level error (code Unknown). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an unrecoverable user-level error with a taxonomy code. */
+[[noreturn]] void fatal(ErrCode code, const std::string &msg,
+                        ErrContext context = ErrContext{});
 
 /** Report a suspicious-but-survivable condition. */
-inline void
-warn(const std::string &msg)
-{
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
-}
+void warn(const std::string &msg);
 
 /** Report normal operating status. */
-inline void
-inform(const std::string &msg)
-{
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
-}
+void inform(const std::string &msg);
 
 } // namespace mtfpu
 

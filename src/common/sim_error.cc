@@ -1,0 +1,84 @@
+#include "common/sim_error.hh"
+
+#include <cstdio>
+
+namespace mtfpu
+{
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::Unknown: return "unknown";
+      case ErrCode::BadEncoding: return "bad-encoding";
+      case ErrCode::BadOperand: return "bad-operand";
+      case ErrCode::RegFileRange: return "regfile-range";
+      case ErrCode::MemRange: return "mem-range";
+      case ErrCode::MemAlign: return "mem-align";
+      case ErrCode::HazardViolation: return "hazard-violation";
+      case ErrCode::BranchDelay: return "branch-delay";
+      case ErrCode::PcRunaway: return "pc-runaway";
+      case ErrCode::NoProgram: return "no-program";
+      case ErrCode::CycleGuard: return "cycle-guard";
+      case ErrCode::Watchdog: return "watchdog";
+      case ErrCode::LockstepDivergence: return "lockstep-divergence";
+      case ErrCode::AssemblerError: return "assembler-error";
+      case ErrCode::InvariantViolation: return "invariant-violation";
+    }
+    return "unknown";
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+contextField(int64_t value)
+{
+    return value < 0 ? "null" : std::to_string(value);
+}
+
+} // anonymous namespace
+
+std::string
+SimError::to_json() const
+{
+    std::string json = "{\"code\":\"";
+    json += errCodeName(code_);
+    json += "\",\"message\":\"";
+    json += jsonEscape(what());
+    json += "\",\"cycle\":";
+    json += contextField(context_.cycle);
+    json += ",\"pc\":";
+    json += contextField(context_.pc);
+    json += ",\"instr\":";
+    json += contextField(context_.instr);
+    json += "}";
+    return json;
+}
+
+} // namespace mtfpu

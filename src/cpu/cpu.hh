@@ -39,7 +39,8 @@ class Cpu
     readReg(unsigned reg) const
     {
         if (reg >= isa::kNumIntRegs)
-            fatal("Cpu: read of r" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "Cpu: read of r" + std::to_string(reg));
         return reg == 0 ? 0 : regs_[reg];
     }
 
@@ -48,7 +49,8 @@ class Cpu
     writeReg(unsigned reg, uint64_t value)
     {
         if (reg >= isa::kNumIntRegs)
-            fatal("Cpu: write of r" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "Cpu: write of r" + std::to_string(reg));
         if (reg != 0)
             regs_[reg] = value;
     }

@@ -56,8 +56,17 @@ Fpu::tryIssueElementSlow()
     const uint64_t a = regs_.read(element.ra);
     const uint64_t b = regs_.read(element.rb);
     softfp::Flags flags;
-    const uint64_t value =
-        exec::evalFpOp(element.op, a, b, flags, backend_);
+    uint64_t value = exec::evalFpOp(element.op, a, b, flags, backend_);
+
+    if (corruptArmed_) {
+        value ^= corruptResultXor_;
+        flags.overflow ^= (corruptFlagXor_ & 0x01) != 0;
+        flags.underflow ^= (corruptFlagXor_ & 0x02) != 0;
+        flags.inexact ^= (corruptFlagXor_ & 0x04) != 0;
+        flags.invalid ^= (corruptFlagXor_ & 0x08) != 0;
+        flags.divByZero ^= (corruptFlagXor_ & 0x10) != 0;
+        corruptArmed_ = false;
+    }
 
     sb_.reserve(element.rr);
     units_.issue(element.op, element.rr, value, flags, seq);
@@ -139,6 +148,9 @@ Fpu::reset()
     stats_ = FpuStats{};
     nextSeq_ = 1;
     elementIssuedThisCycle_ = false;
+    corruptArmed_ = false;
+    corruptResultXor_ = 0;
+    corruptFlagXor_ = 0;
 }
 
 } // namespace mtfpu::fpu

@@ -146,6 +146,25 @@ class Fpu
     unsigned latency() const { return units_.latency(); }
     softfp::Backend backend() const { return backend_; }
 
+    /**
+     * Fault-injection hook: corrupt the *next* ALU element to issue.
+     * @p result_xor is XORed into the element's 64-bit result;
+     * @p flag_xor toggles its IEEE flags (bit 0 overflow, 1 underflow,
+     * 2 inexact, 3 invalid, 4 divide-by-zero). One-shot: disarmed as
+     * it fires. The disarmed check is a single bool test on the
+     * element-issue slow path, so uninjected runs pay nothing.
+     */
+    void
+    armElementCorruption(uint64_t result_xor, uint8_t flag_xor)
+    {
+        corruptResultXor_ = result_xor;
+        corruptFlagXor_ = flag_xor;
+        corruptArmed_ = true;
+    }
+
+    /** True while an armed element corruption has not yet fired. */
+    bool elementCorruptionArmed() const { return corruptArmed_; }
+
     /** Full reset (registers, pipelines, PSW, statistics). */
     void reset();
 
@@ -166,6 +185,11 @@ class Fpu
     softfp::Backend backend_;
     uint64_t nextSeq_ = 1;
     bool elementIssuedThisCycle_ = false;
+
+    // One-shot element corruption (armElementCorruption).
+    bool corruptArmed_ = false;
+    uint64_t corruptResultXor_ = 0;
+    uint8_t corruptFlagXor_ = 0;
 };
 
 } // namespace mtfpu::fpu

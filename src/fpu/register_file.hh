@@ -32,7 +32,8 @@ class RegisterFile
     read(unsigned reg) const
     {
         if (reg >= isa::kNumFpuRegs)
-            fatal("RegisterFile: read of f" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "RegisterFile: read of f" + std::to_string(reg));
         return regs_[reg];
     }
 
@@ -41,7 +42,8 @@ class RegisterFile
     write(unsigned reg, uint64_t value)
     {
         if (reg >= isa::kNumFpuRegs)
-            fatal("RegisterFile: write of f" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "RegisterFile: write of f" + std::to_string(reg));
         regs_[reg] = value;
     }
 

@@ -31,7 +31,10 @@ class Scoreboard
     reserve(unsigned reg)
     {
         if (reg >= isa::kNumFpuRegs)
-            fatal("Scoreboard: reserve of f" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "Scoreboard: reserve of f" + std::to_string(reg) +
+                      " (register file holds f0..f" +
+                      std::to_string(isa::kNumFpuRegs - 1) + ")");
         if (bits_[reg])
             panic("Scoreboard: double reservation of f" +
                   std::to_string(reg));
@@ -43,7 +46,10 @@ class Scoreboard
     release(unsigned reg)
     {
         if (reg >= isa::kNumFpuRegs)
-            fatal("Scoreboard: release of f" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "Scoreboard: release of f" + std::to_string(reg) +
+                      " (register file holds f0..f" +
+                      std::to_string(isa::kNumFpuRegs - 1) + ")");
         if (!bits_[reg])
             panic("Scoreboard: release of unreserved f" +
                   std::to_string(reg));
@@ -55,7 +61,10 @@ class Scoreboard
     reserved(unsigned reg) const
     {
         if (reg >= isa::kNumFpuRegs)
-            fatal("Scoreboard: probe of f" + std::to_string(reg));
+            fatal(ErrCode::RegFileRange,
+                  "Scoreboard: probe of f" + std::to_string(reg) +
+                      " (register file holds f0..f" +
+                      std::to_string(isa::kNumFpuRegs - 1) + ")");
         return bits_[reg];
     }
 

@@ -1,5 +1,7 @@
 #include "isa/cpu_instr.hh"
 
+#include <cstdio>
+
 #include "common/bitfield.hh"
 #include "common/log.hh"
 
@@ -21,14 +23,29 @@ void
 checkReg(unsigned r, unsigned limit, const char *what)
 {
     if (r >= limit)
-        fatal(std::string("bad register specifier for ") + what);
+        fatal(ErrCode::BadOperand,
+              std::string("bad register specifier ") +
+                  std::to_string(r) + " for " + what + " (limit " +
+                  std::to_string(limit) + ")");
 }
 
 void
 checkImm(int64_t v, int width, const char *what)
 {
     if (!fitsSigned(v, width))
-        fatal(std::string("immediate out of range for ") + what);
+        fatal(ErrCode::BadOperand,
+              std::string("immediate ") + std::to_string(v) +
+                  " out of range for " + what + " (" +
+                  std::to_string(width) + "-bit signed field)");
+}
+
+/** Render an instruction word for decode diagnostics. */
+std::string
+wordHex(uint32_t word)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", word);
+    return buf;
 }
 
 } // anonymous namespace
@@ -147,7 +164,12 @@ Instr::decode(uint32_t word)
       case Major::Halt:
         break;
       default:
-        fatal("Instr::decode: unknown major opcode");
+        fatal(ErrCode::BadEncoding,
+              "Instr::decode: unknown major opcode " +
+                  std::to_string(static_cast<unsigned>(i.major)) +
+                  " in word " + wordHex(word),
+              ErrContext{ErrContext::kUnknown, ErrContext::kUnknown,
+                         static_cast<int64_t>(word)});
     }
     return i;
 }
@@ -243,15 +265,23 @@ Instr::fpAlu(FpOp op, unsigned rr, unsigned ra, unsigned rb, unsigned vl,
              bool sra, bool srb)
 {
     if (vl < 1 || vl > kMaxVectorLength)
-        fatal("fpAlu: vector length must be 1..16");
+        fatal(ErrCode::BadOperand,
+              "fpAlu: vector length " + std::to_string(vl) +
+                  " must be 1..16");
     // The last element written is rr + vl - 1; all element specifiers
     // must stay inside the register file.
     if (rr + vl > kNumFpuRegs)
-        fatal("fpAlu: result vector exceeds register file");
+        fatal(ErrCode::BadOperand,
+              "fpAlu: result vector f" + std::to_string(rr) + "+vl=" +
+                  std::to_string(vl) + " exceeds register file");
     if (ra + (sra ? vl : 1) > kNumFpuRegs)
-        fatal("fpAlu: source A vector exceeds register file");
+        fatal(ErrCode::BadOperand,
+              "fpAlu: source A vector f" + std::to_string(ra) +
+                  " exceeds register file");
     if (rb + (srb ? vl : 1) > kNumFpuRegs)
-        fatal("fpAlu: source B vector exceeds register file");
+        fatal(ErrCode::BadOperand,
+              "fpAlu: source B vector f" + std::to_string(rb) +
+                  " exceeds register file");
     Instr i;
     i.major = Major::FpAlu;
     i.fp.op = op;
@@ -332,7 +362,10 @@ Instr::lui(unsigned rd, int imm)
 {
     checkReg(rd, kNumIntRegs, "lui");
     if (imm < 0 || imm >= (1 << kLuiImmBits))
-        fatal("lui: immediate out of range");
+        fatal(ErrCode::BadOperand,
+              "lui: immediate " + std::to_string(imm) +
+                  " out of range (0.." +
+                  std::to_string((1 << kLuiImmBits) - 1) + ")");
     Instr i;
     i.major = Major::Lui;
     i.rd = static_cast<uint8_t>(rd);

@@ -61,7 +61,10 @@ fpOpFromFields(unsigned unit, unsigned func)
         if (kOpFields[i].unit == unit && kOpFields[i].func == func)
             return static_cast<FpOp>(i);
     }
-    fatal("fpOpFromFields: reserved unit/func encoding");
+    fatal(ErrCode::BadEncoding,
+          "fpOpFromFields: reserved unit/func encoding (unit=" +
+              std::to_string(unit) + ", func=" + std::to_string(func) +
+              ")");
 }
 
 const char *
@@ -90,7 +93,11 @@ FpuAluInstr
 FpuAluInstr::decode(uint32_t word)
 {
     if (bits(word, 28, 4) != kFpAluMajor)
-        fatal("FpuAluInstr::decode: not an FPU ALU word");
+        fatal(ErrCode::BadEncoding,
+              "FpuAluInstr::decode: not an FPU ALU word (major=" +
+                  std::to_string(bits(word, 28, 4)) + ")",
+              ErrContext{ErrContext::kUnknown, ErrContext::kUnknown,
+                         static_cast<int64_t>(word)});
     FpuAluInstr instr;
     instr.rr = static_cast<uint8_t>(bits(word, 22, 6));
     instr.ra = static_cast<uint8_t>(bits(word, 16, 6));

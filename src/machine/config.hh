@@ -63,8 +63,19 @@ struct MachineConfig
     /** Memory hierarchy configuration. */
     memory::MemoryConfig memory{};
 
-    /** Runaway-simulation guard. */
+    /**
+     * Runaway-simulation guard: the run returns partial RunStats
+     * tagged RunStatus::CycleGuard once this many cycles elapse.
+     */
     uint64_t maxCycles = 2'000'000'000;
+
+    /**
+     * Wall-clock watchdog in milliseconds (0 = disabled). Checked
+     * every ~4M simulated cycles; an expired budget ends the run with
+     * partial RunStats tagged RunStatus::Watchdog. Catches jobs that
+     * stop making progress in ways maxCycles is too coarse for.
+     */
+    uint64_t watchdogMs = 0;
 
     /** Field-exact equality (used by the SimDriver job memoizer). */
     bool operator==(const MachineConfig &) const = default;

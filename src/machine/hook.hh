@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The machine cycle-hook interface — an ExecObserver-adjacent surface
+ * for agents that must *mutate* the machine mid-run (fault injectors,
+ * interactive debuggers) rather than just watch the event stream.
+ * ExecObserver callbacks receive immutable events; a MachineHook is
+ * handed the Machine itself at the top of every active cycle, before
+ * retirements and issue.
+ *
+ * A Machine holds at most one hook (setHook), checked by a single
+ * pointer test per cycle, so the unhooked fast path stays free.
+ */
+
+#ifndef MTFPU_MACHINE_HOOK_HH
+#define MTFPU_MACHINE_HOOK_HH
+
+#include <cstdint>
+
+namespace mtfpu::machine
+{
+
+class Machine;
+
+/** Mutating per-cycle hook; see file comment. */
+class MachineHook
+{
+  public:
+    virtual ~MachineHook() = default;
+
+    /**
+     * Called at the start of every active cycle with the cycle number
+     * about to execute, after observers were notified of the cycle
+     * boundary (so differential checkers snapshot clean state before
+     * any mutation) but before retirements and issue. During a bulk
+     * stall fast-forward the machine may skip cycle numbers; a hook
+     * scheduling work by cycle must treat @p cycle as "at least this
+     * far" and fire everything due.
+     */
+    virtual void onCycleStart(uint64_t cycle, Machine &machine) = 0;
+};
+
+} // namespace mtfpu::machine
+
+#endif // MTFPU_MACHINE_HOOK_HH

@@ -22,6 +22,29 @@ hex(uint64_t v)
 
 } // anonymous namespace
 
+std::string
+DivergenceReport::to_json() const
+{
+    std::string json = "{\"where\":\"" + jsonEscape(where) +
+                       "\",\"cycle\":" + std::to_string(cycle) +
+                       ",\"instructions\":" + std::to_string(instructions);
+    if (where == "issue-pc") {
+        json += ",\"machine_pc\":" + std::to_string(machinePc) +
+                ",\"interp_pc\":" + std::to_string(interpPc) +
+                ",\"disasm\":\"" + jsonEscape(disasm) + "\"";
+    }
+    json += ",\"deltas\":[";
+    for (size_t i = 0; i < deltas.size(); ++i) {
+        if (i)
+            json += ",";
+        json += "{\"what\":\"" + jsonEscape(deltas[i].what) +
+                "\",\"machine\":\"" + hex(deltas[i].machine) +
+                "\",\"interp\":\"" + hex(deltas[i].interp) + "\"}";
+    }
+    json += "],\"deltas_dropped\":" + std::to_string(deltasDropped) + "}";
+    return json;
+}
+
 LockstepChecker::LockstepChecker(Machine &machine)
     : machine_(machine), interp_(machine.mem().size())
 {
@@ -47,6 +70,34 @@ LockstepChecker::arm()
         interp_.setFpReg(r, machine_.fpu().regs().read(r));
     issues_ = 0;
     armed_ = true;
+    diverged_ = false;
+    report_ = DivergenceReport{};
+}
+
+void
+LockstepChecker::diverge(DivergenceReport report)
+{
+    diverged_ = true;
+    report_ = std::move(report);
+    std::string what = "lockstep divergence (" + report_.where +
+                       ") at cycle " + std::to_string(report_.cycle) +
+                       " after " + std::to_string(report_.instructions) +
+                       " instructions";
+    if (report_.where == "issue-pc") {
+        what += ": machine issued pc=" + std::to_string(report_.machinePc) +
+                " (" + report_.disasm + ") but the interpreter is at pc=" +
+                std::to_string(report_.interpPc);
+    } else if (!report_.deltas.empty()) {
+        const DivergenceReport::Delta &d = report_.deltas.front();
+        what += ": first delta " + d.what + " machine=" + hex(d.machine) +
+                " interpreter=" + hex(d.interp) + " (" +
+                std::to_string(report_.deltas.size() +
+                               report_.deltasDropped) +
+                " total)";
+    }
+    ErrContext context;
+    context.cycle = static_cast<int64_t>(report_.cycle);
+    throw SimError(ErrCode::LockstepDivergence, what, context);
 }
 
 void
@@ -64,14 +115,16 @@ void
 LockstepChecker::onIssue(const exec::IssueEvent &event)
 {
     if (!armed_)
-        fatal("LockstepChecker: issue before the run started");
+        panic("LockstepChecker: issue before the run started");
     if (event.pc != interp_.pc()) {
-        fatal("lockstep divergence at cycle " +
-              std::to_string(event.cycle) + ": machine issued pc=" +
-              std::to_string(event.pc) + " (" +
-              isa::disassemble(*event.instr) +
-              ") but the interpreter is at pc=" +
-              std::to_string(interp_.pc()));
+        DivergenceReport report;
+        report.where = "issue-pc";
+        report.cycle = event.cycle;
+        report.instructions = issues_;
+        report.machinePc = event.pc;
+        report.interpPc = interp_.pc();
+        report.disasm = isa::disassemble(*event.instr);
+        diverge(std::move(report));
     }
     interp_.step();
     ++issues_;
@@ -90,50 +143,49 @@ LockstepChecker::onRunEnd(uint64_t cycles)
 void
 LockstepChecker::compareFinalState(uint64_t cycles)
 {
-    auto diverged = [&](const std::string &what) {
-        fatal("lockstep divergence after " + std::to_string(cycles) +
-              " cycles, " + std::to_string(issues_) + " instructions: " +
-              what);
+    DivergenceReport report;
+    report.where = "final-state";
+    report.cycle = cycles;
+    report.instructions = issues_;
+    auto add = [&](const std::string &what, uint64_t have, uint64_t want) {
+        if (report.deltas.size() < DivergenceReport::kMaxDeltas)
+            report.deltas.push_back({what, have, want});
+        else
+            ++report.deltasDropped;
     };
 
     if (!interp_.halted())
-        diverged("machine halted but the interpreter has not");
+        add("halted", 1, 0);
 
     for (unsigned r = 1; r < isa::kNumIntRegs; ++r) {
         const uint64_t have = machine_.cpu().readReg(r);
         const uint64_t want = interp_.intReg(r);
-        if (have != want) {
-            diverged("r" + std::to_string(r) + " machine=" + hex(have) +
-                     " interpreter=" + hex(want));
-        }
+        if (have != want)
+            add("r" + std::to_string(r), have, want);
     }
 
     for (unsigned r = 0; r < isa::kNumFpuRegs; ++r) {
         const uint64_t have = machine_.fpu().regs().read(r);
         const uint64_t want = interp_.fpReg(r);
-        if (have != want) {
-            diverged("f" + std::to_string(r) + " machine=" + hex(have) +
-                     " interpreter=" + hex(want));
-        }
+        if (have != want)
+            add("f" + std::to_string(r), have, want);
     }
 
     const uint64_t have_elems = machine_.fpu().stats().elementsIssued;
-    if (have_elems != interp_.fpElements()) {
-        diverged("FPU element count machine=" +
-                 std::to_string(have_elems) + " interpreter=" +
-                 std::to_string(interp_.fpElements()));
-    }
+    if (have_elems != interp_.fpElements())
+        add("fp-element-count", have_elems, interp_.fpElements());
 
     memory::MainMemory &a = machine_.mem();
     memory::MainMemory &b = interp_.mem();
     for (uint64_t addr = 0; addr < a.size(); addr += 8) {
         const uint64_t have = a.read64(addr);
         const uint64_t want = b.read64(addr);
-        if (have != want) {
-            diverged("mem[0x" + hex(addr) + "] machine=" + hex(have) +
-                     " interpreter=" + hex(want));
-        }
+        if (have != want)
+            add("mem[0x" + hex(addr) + "]", have, want);
     }
+
+    if (!report.deltas.empty() || report.deltasDropped)
+        diverge(std::move(report));
 }
 
 } // namespace mtfpu::machine

@@ -27,6 +27,8 @@
 #define MTFPU_MACHINE_LOCKSTEP_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "exec/observer.hh"
 #include "machine/interpreter.hh"
@@ -34,6 +36,43 @@
 
 namespace mtfpu::machine
 {
+
+/**
+ * Structured record of the *first* divergence between the cycle model
+ * and the shadow interpreter — the unit of triage for fault campaigns
+ * and for debugging genuine model bugs.
+ */
+struct DivergenceReport
+{
+    /** One differing piece of architectural state. */
+    struct Delta
+    {
+        std::string what;    // e.g. "r5", "f17", "mem[0x10040]"
+        uint64_t machine = 0;
+        uint64_t interp = 0;
+    };
+
+    /** Cycle count when the divergence was detected. */
+    uint64_t cycle = 0;
+    /** Instructions cross-checked before the divergence. */
+    uint64_t instructions = 0;
+    /** Detection site: "issue-pc" (mid-run) or "final-state". */
+    std::string where;
+    /** Machine/interpreter PCs at an issue-pc divergence. */
+    uint64_t machinePc = 0;
+    uint64_t interpPc = 0;
+    /** Disassembly of the diverging instruction (issue-pc only). */
+    std::string disasm;
+    /** State deltas (final-state only), capped at kMaxDeltas. */
+    std::vector<Delta> deltas;
+    /** Deltas seen beyond the cap (0 when the list is complete). */
+    uint64_t deltasDropped = 0;
+
+    static constexpr size_t kMaxDeltas = 64;
+
+    /** One-object JSON form for crash reports and campaign logs. */
+    std::string to_json() const;
+};
 
 /** Observer that shadow-executes the Interpreter under a Machine. */
 class LockstepChecker : public exec::ExecObserver
@@ -60,11 +99,25 @@ class LockstepChecker : public exec::ExecObserver
     /** The shadow interpreter (for test introspection). */
     const Interpreter &interpreter() const { return interp_; }
 
+    /** Whether the current/last run diverged. */
+    bool diverged() const { return diverged_; }
+
+    /**
+     * The first-divergence report of the last run. Valid only when
+     * diverged() — the checker throws SimError(LockstepDivergence)
+     * at the point of divergence, so callers read this from the
+     * catch site.
+     */
+    const DivergenceReport &report() const { return report_; }
+
   private:
     /** Snapshot the machine's program and memory into the shadow. */
     void arm();
 
-    /** Full architectural-state comparison; fatal() on divergence. */
+    /** Record @p report and throw SimError(LockstepDivergence). */
+    [[noreturn]] void diverge(DivergenceReport report);
+
+    /** Full architectural-state comparison; throws on divergence. */
     void compareFinalState(uint64_t cycles);
 
     Machine &machine_;
@@ -72,6 +125,8 @@ class LockstepChecker : public exec::ExecObserver
     uint64_t issues_ = 0;
     uint64_t runsVerified_ = 0;
     bool armed_ = false;
+    bool diverged_ = false;
+    DivergenceReport report_;
 };
 
 } // namespace mtfpu::machine

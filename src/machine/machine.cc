@@ -1,6 +1,7 @@
 #include "machine/machine.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.hh"
 #include "exec/semantics.hh"
@@ -191,15 +192,78 @@ RunStats
 Machine::run()
 {
     if (code_.empty())
-        fatal("Machine::run: no program loaded");
+        fatal(ErrCode::NoProgram, "Machine::run: no program loaded");
+    return runLoop();
+}
+
+void
+Machine::stampErrContext(SimError &err, uint64_t cycle) const
+{
+    // Stamp the context an inner throw site (register file,
+    // scoreboard, memory, decode) couldn't know: the cycle and PC of
+    // death plus the faulting instruction word. Only fields the site
+    // left unknown are filled.
+    ErrContext context;
+    context.cycle = static_cast<int64_t>(cycle);
+    if (cpu_.pc < code_.size()) {
+        context.pc = static_cast<int64_t>(cpu_.pc);
+        context.instr = static_cast<int64_t>(code_[cpu_.pc].raw->encode());
+    }
+    err.supplyContext(context);
+}
+
+RunStats
+Machine::finishRun(uint64_t cycle, RunStatus status)
+{
+    stats_.cycles = cycle > 0 ? cycle - 1 : 0;
+    collector_.fill(stats_);
+    stats_.fpu = fpu_.stats();
+    stats_.dataCache = memsys_.dataStats();
+    stats_.instrBuffer = memsys_.instrBufferStats();
+    stats_.instrCache = memsys_.instrCacheStats();
+    stats_.status = status;
+    // onRunEnd's contract is "halted and drained"; a guarded partial
+    // run never reached that state, so observers (in particular the
+    // lockstep final-state comparison) must not fire on it.
+    if (status == RunStatus::Ok)
+        notifyRunEnd(stats_.cycles);
+    return stats_;
+}
+
+RunStats
+Machine::runLoop()
+{
+    // The cycle counter stays a plain local (not a by-reference out
+    // parameter) so the optimizer can keep it in a register across
+    // the loop; the catch below still sees the current value for
+    // context stamping because it is in the same frame.
+    uint64_t cycle = 0;
 
     // Loop-invariant limits, hoisted out of the per-cycle path.
     const uint64_t max_cycles = config_.maxCycles;
 
-    uint64_t cycle = 0;
+    // Wall-clock watchdog: sample the clock every kWatchdogStride
+    // cycles. Disabled, it degrades to one always-false compare
+    // against UINT64_MAX per cycle.
+    constexpr uint64_t kWatchdogStride = 1ull << 22;
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point watchdog_deadline{};
+    uint64_t watchdog_check_at = UINT64_MAX;
+    if (config_.watchdogMs > 0) {
+        watchdog_deadline =
+            Clock::now() + std::chrono::milliseconds(config_.watchdogMs);
+        watchdog_check_at = kWatchdogStride;
+    }
+
+    try {
     for (;;) {
         if (cycle >= max_cycles)
-            fatal("Machine::run: exceeded maxCycles");
+            return finishRun(cycle, RunStatus::CycleGuard);
+        if (cycle >= watchdog_check_at) {
+            watchdog_check_at = cycle + kWatchdogStride;
+            if (Clock::now() >= watchdog_deadline)
+                return finishRun(cycle, RunStatus::Watchdog);
+        }
 
         // Lock-step global stall: every pipeline is frozen. With no
         // observers attached nothing can watch the intermediate
@@ -223,6 +287,15 @@ Machine::run()
             break;
 
         notifyCycle(cycle);
+
+        // The mutating hook (fault injection) runs after observers
+        // have seen the cycle boundary — a lockstep checker snapshots
+        // its shadow state at the first cycle event, so even a cycle-0
+        // fault strikes *after* the clean-state snapshot and stays
+        // detectable — but before any issue or retirement, so the
+        // corruption is architecturally visible within this cycle.
+        if (hook_)
+            hook_->onCycleStart(cycle, *this);
 
         // Retirements first: results written back this cycle are
         // architecturally visible to everything issued below.
@@ -252,15 +325,12 @@ Machine::run()
 
         ++cycle;
     }
+    } catch (SimError &err) {
+        stampErrContext(err, cycle);
+        throw;
+    }
 
-    stats_.cycles = cycle > 0 ? cycle - 1 : 0;
-    collector_.fill(stats_);
-    stats_.fpu = fpu_.stats();
-    stats_.dataCache = memsys_.dataStats();
-    stats_.instrBuffer = memsys_.instrBufferStats();
-    stats_.instrCache = memsys_.instrCacheStats();
-    notifyRunEnd(stats_.cycles);
-    return stats_;
+    return finishRun(cycle, RunStatus::Ok);
 }
 
 void
@@ -293,10 +363,15 @@ Machine::handleHazard(uint64_t cycle, unsigned reg, bool include_sources)
         return true;
     switch (config_.hazardPolicy) {
       case HazardPolicy::Fatal:
-        fatal("load/store of f" + std::to_string(reg) +
-              " races with an unissued vector element (pc=" +
-              std::to_string(cpu_.pc) + "); the compiler must break "
-              "the vector (paper §2.3.2)");
+        fatal(ErrCode::HazardViolation,
+              "load/store of f" + std::to_string(reg) +
+                  " races with an unissued vector element (pc=" +
+                  std::to_string(cpu_.pc) + ", cycle=" +
+                  std::to_string(cycle) + "); the compiler must break "
+                  "the vector (paper §2.3.2)",
+              ErrContext{static_cast<int64_t>(cycle),
+                         static_cast<int64_t>(cpu_.pc),
+                         ErrContext::kUnknown});
       case HazardPolicy::Stall:
         stallCpu(cycle);
         return false;
@@ -310,8 +385,12 @@ bool
 Machine::tryCpuIssue(uint64_t cycle)
 {
     if (cpu_.pc >= code_.size())
-        fatal("Machine: PC ran past the end of the program (missing "
-              "halt?)");
+        fatal(ErrCode::PcRunaway,
+              "Machine: PC " + std::to_string(cpu_.pc) +
+                  " ran past the end of the program (missing halt?)",
+              ErrContext{static_cast<int64_t>(cycle),
+                         static_cast<int64_t>(cpu_.pc),
+                         ErrContext::kUnknown});
 
     // Single-issue ablation: nothing issues while the IR is busy.
     if (!config_.overlapWithVector && fpu_.aluIrBusy())
@@ -439,8 +518,9 @@ Machine::tryCpuIssue(uint64_t cycle)
         if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2))
             return stallCpu(cycle);
         if (cpu_.redirect)
-            fatal("branch in a branch delay slot (pc=" +
-                  std::to_string(cpu_.pc) + ")");
+            fatal(ErrCode::BranchDelay,
+                  "branch in a branch delay slot (pc=" +
+                      std::to_string(cpu_.pc) + ")");
         if (exec::evalBranch(in.cond, cpu_.readReg(in.rs1),
                              cpu_.readReg(in.rs2))) {
             branch_taken = true;
@@ -450,8 +530,9 @@ Machine::tryCpuIssue(uint64_t cycle)
       }
       case Major::Jump: {
         if (cpu_.redirect)
-            fatal("jump in a branch delay slot (pc=" +
-                  std::to_string(cpu_.pc) + ")");
+            fatal(ErrCode::BranchDelay,
+                  "jump in a branch delay slot (pc=" +
+                      std::to_string(cpu_.pc) + ")");
         // Same effect as exec::evalJump, from predecoded fields.
         switch (in.jkind) {
           case isa::JumpKind::J:
@@ -493,7 +574,8 @@ Machine::tryCpuIssue(uint64_t cycle)
         notifyIssue(exec::IssueEvent{cycle, cpu_.pc, in.raw, false});
         return true;
       default:
-        fatal("Machine: unknown opcode at pc=" + std::to_string(cpu_.pc));
+        fatal(ErrCode::BadEncoding,
+              "Machine: unknown opcode at pc=" + std::to_string(cpu_.pc));
     }
 
     notifyIssue(exec::IssueEvent{cycle, cpu_.pc, in.raw, branch_taken});

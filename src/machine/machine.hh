@@ -38,6 +38,7 @@
 #include "exec/observer.hh"
 #include "fpu/fpu.hh"
 #include "machine/config.hh"
+#include "machine/hook.hh"
 #include "machine/observers.hh"
 #include "machine/stats.hh"
 #include "machine/tracer.hh"
@@ -81,6 +82,16 @@ class Machine
      * to add/removeObserver on the Tracer.
      */
     void attachTracer(Tracer *tracer);
+
+    /**
+     * Install the mutating per-cycle hook (nullptr detaches). Unlike
+     * observers the hook may change machine state — fault injectors
+     * use it to flip register/memory/cache bits at scheduled cycles.
+     * The pointer must stay valid while installed; the unhooked fast
+     * path costs one pointer test per cycle.
+     */
+    void setHook(MachineHook *hook) { hook_ = hook; }
+    MachineHook *hook() const { return hook_; }
 
     /**
      * Model an interrupt (paper §2.3.1): from @p cycle, the CPU stops
@@ -171,10 +182,20 @@ class Machine
     cpu::Cpu cpu_;
     assembler::Program program_;
     std::vector<IssueSlot> code_; // predecoded program_ image
+    /** The run loop body; catches SimError to stamp its context. */
+    RunStats runLoop();
+
+    /** Fill @p err's unknown context fields (cycle/pc/instr). */
+    void stampErrContext(SimError &err, uint64_t cycle) const;
+
+    /** Finalize stats for a run that ended at @p cycle. */
+    RunStats finishRun(uint64_t cycle, RunStatus status);
+
     StatsCollector collector_;
     std::vector<exec::ExecObserver *> observers_;
     bool hasObservers_ = false; // cached !observers_.empty()
     Tracer *tracer_ = nullptr;  // attachTracer bookkeeping only
+    MachineHook *hook_ = nullptr;
 
     // Per-run microarchitectural state.
     uint64_t memPortFreeAt_ = 0;

@@ -1,12 +1,15 @@
 #include "machine/sim_driver.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <thread>
 #include <unordered_map>
 
 #include "common/log.hh"
+#include "isa/disasm.hh"
 
 namespace mtfpu::machine
 {
@@ -61,7 +64,25 @@ hashJob(const SimJob &job)
     h = fnv1a(h, m.memBytes);
     h = fnv1a(h, static_cast<uint64_t>(m.modelCaches));
     h = fnv1a(h, c.maxCycles);
+    h = fnv1a(h, c.watchdogMs);
     return h;
+}
+
+/** Flatten a job name into a safe artifact file name. */
+std::string
+artifactName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                          c == '.';
+        out.push_back(keep ? c : '_');
+    }
+    if (out.empty())
+        out = "job";
+    return out;
 }
 
 /** Exact content equality (names excluded — they don't affect stats). */
@@ -120,7 +141,7 @@ SimDriver::uniqueJobs(const std::vector<SimJob> &jobs)
 }
 
 SimJobResult
-SimDriver::runOne(const SimJob &job)
+SimDriver::attemptOne(const SimJob &job)
 {
     SimJobResult result;
     result.name = job.name;
@@ -131,13 +152,127 @@ SimDriver::runOne(const SimJob &job)
             machine.mem().write64(addr, word);
         if (job.setup)
             job.setup(machine);
+        std::shared_ptr<MachineHook> hook;
+        if (job.hookFactory) {
+            hook = job.hookFactory(machine);
+            machine.setHook(hook.get());
+        }
         result.stats = job.body ? job.body(machine) : machine.run();
-        result.ok = true;
+        result.status = result.stats.status;
+        // A guarded partial run keeps its stats but does not count as
+        // a successful simulation of the program.
+        result.ok = result.status == RunStatus::Ok;
+        if (!result.ok) {
+            result.errorCode = runStatusName(result.status);
+            result.error = std::string("run ended by ") + result.errorCode +
+                           " guard after " +
+                           std::to_string(result.stats.cycles) + " cycles";
+            SimError guard(result.status == RunStatus::CycleGuard
+                               ? ErrCode::CycleGuard
+                               : ErrCode::Watchdog,
+                           result.error,
+                           ErrContext{
+                               static_cast<int64_t>(result.stats.cycles),
+                               ErrContext::kUnknown, ErrContext::kUnknown});
+            result.errorJson = guard.to_json();
+        }
+    } catch (const SimError &err) {
+        result.ok = false;
+        result.error = err.what();
+        result.errorCode = errCodeName(err.code());
+        result.errorJson = err.to_json();
     } catch (const std::exception &err) {
         result.ok = false;
         result.error = err.what();
+        result.errorCode = errCodeName(ErrCode::Unknown);
+        result.errorJson =
+            SimError(ErrCode::Unknown, err.what()).to_json();
     }
     return result;
+}
+
+SimJobResult
+SimDriver::runOne(const SimJob &job) const
+{
+    LogJobScope scope(job.name);
+    SimJobResult result = attemptOne(job);
+    result.attempts = 1;
+    if (result.ok || job.faultExpected)
+        return result;
+
+    // Guard statuses are deterministic timeouts — the retry would
+    // burn the same cycle/wall-clock budget to learn nothing.
+    const bool guarded = result.status != RunStatus::Ok;
+    if (!guarded) {
+        warn("job failed (" + result.errorCode + "), retrying once: " +
+             result.error);
+        SimJobResult retry = attemptOne(job);
+        retry.attempts = 2;
+        if (retry.ok) {
+            warn("job succeeded on retry — nondeterministic failure?");
+            return retry;
+        }
+        result = std::move(retry);
+        result.quarantined = true;
+    } else {
+        result.quarantined = true;
+    }
+    writeCrashReport(job, result);
+    return result;
+}
+
+void
+SimDriver::writeCrashReport(const SimJob &job,
+                            const SimJobResult &result) const
+{
+    if (crashReportDir_.empty())
+        return;
+    try {
+        std::filesystem::create_directories(crashReportDir_);
+        const std::string path = crashReportDir_ + "/" +
+                                 artifactName(job.name) + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("cannot write crash report " + path);
+            return;
+        }
+        const MachineConfig &c = job.config;
+        std::string json = "{\n  \"job\": \"" + jsonEscape(job.name) +
+                           "\",\n  \"attempts\": " +
+                           std::to_string(result.attempts) +
+                           ",\n  \"error\": " +
+                           (result.errorJson.empty() ? "null"
+                                                     : result.errorJson) +
+                           ",\n  \"config\": {\"fpu_latency\": " +
+                           std::to_string(c.fpuLatency) +
+                           ", \"store_cycles\": " +
+                           std::to_string(c.storeCycles) +
+                           ", \"overlap_with_vector\": " +
+                           (c.overlapWithVector ? "true" : "false") +
+                           ", \"hazard_policy\": " +
+                           std::to_string(static_cast<int>(c.hazardPolicy)) +
+                           ", \"fp_backend\": " +
+                           std::to_string(static_cast<int>(c.fpBackend)) +
+                           ", \"model_caches\": " +
+                           (c.memory.modelCaches ? "true" : "false") +
+                           ", \"max_cycles\": " +
+                           std::to_string(c.maxCycles) +
+                           ", \"watchdog_ms\": " +
+                           std::to_string(c.watchdogMs) +
+                           "},\n  \"mem_init_words\": " +
+                           std::to_string(job.memInit.size()) +
+                           ",\n  \"cycle_of_death\": " +
+                           std::to_string(result.stats.cycles) +
+                           ",\n  \"program\": \"" +
+                           jsonEscape(isa::disassembleProgram(job.program)) +
+                           "\"\n}\n";
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        inform("crash report written to " + path);
+    } catch (const std::exception &err) {
+        // Artifact writing must never fail the batch.
+        warn(std::string("crash report failed: ") + err.what());
+    }
 }
 
 std::vector<SimJobResult>

@@ -23,7 +23,13 @@
  *
  * Error containment: a job that fatal()s (bad program, hazard-policy
  * violation, runaway cycle guard) fails alone; its SimJobResult
- * carries the message and the remaining jobs still run.
+ * carries the structured SimError and the remaining jobs still run.
+ * Failure triage distinguishes *expected* failures (fault-injection
+ * jobs, flagged faultExpected) from surprises: a deterministic job
+ * that throws is retried once — a Machine is a closed system, so a
+ * genuine simulator error reproduces exactly — and a twice-failing
+ * job is quarantined and dumped as a crash-report artifact
+ * (setCrashReportDir) for offline reproduction.
  */
 
 #ifndef MTFPU_MACHINE_SIM_DRIVER_HH
@@ -31,12 +37,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "assembler/assembler.hh"
 #include "machine/config.hh"
+#include "machine/hook.hh"
 #include "machine/machine.hh"
 #include "machine/stats.hh"
 
@@ -77,6 +85,25 @@ struct SimJob
      * threading rules as setup; also disqualifies memoization.
      */
     std::function<RunStats(Machine &)> body;
+
+    /**
+     * Optional per-cycle mutating hook factory (fault injection).
+     * Called on the worker thread after setup and before the run; the
+     * returned hook is installed with Machine::setHook and kept alive
+     * for the duration of the job. Disqualifies memoization — and,
+     * because the hook mutates state, also marks attempts as
+     * non-deterministic for retry purposes unless faultExpected says
+     * otherwise. Use faults::attachPlan() to populate this from a
+     * FaultPlan.
+     */
+    std::function<std::shared_ptr<MachineHook>(Machine &)> hookFactory;
+
+    /**
+     * This job deliberately injects faults and is *expected* to fail:
+     * a failure is a normal campaign outcome — single attempt, no
+     * retry, no quarantine, no crash-report artifact.
+     */
+    bool faultExpected = false;
 };
 
 /** Outcome of one job. */
@@ -85,7 +112,27 @@ struct SimJobResult
     std::string name;
     RunStats stats{};
     bool ok = false;
-    std::string error; // fatal() message when !ok
+
+    /**
+     * Run outcome tag. Mirrors stats.status; a guarded run
+     * (CycleGuard/Watchdog) reports ok == false with its partial
+     * stats preserved here.
+     */
+    RunStatus status = RunStatus::Ok;
+
+    /** Simulation attempts consumed (2 = failed once, retried). */
+    unsigned attempts = 0;
+
+    /**
+     * A deterministic (non-faultExpected) job failed twice in a row:
+     * the failure reproduces and needs human triage. A crash report
+     * was written if a report directory is configured.
+     */
+    bool quarantined = false;
+
+    std::string error;     // error message when !ok
+    std::string errorCode; // taxonomy name, e.g. "hazard-violation"
+    std::string errorJson; // SimError::to_json() when !ok
 };
 
 /** The batch runner. */
@@ -110,6 +157,15 @@ class SimDriver
     bool memoize() const { return memoize_; }
 
     /**
+     * Directory for crash-report artifacts (one JSON file per
+     * quarantined or guard-failed job: config, program disassembly,
+     * cycle of death, structured error). Created on first use; empty
+     * (the default) disables artifact writing.
+     */
+    void setCrashReportDir(std::string dir) { crashReportDir_ = std::move(dir); }
+    const std::string &crashReportDir() const { return crashReportDir_; }
+
+    /**
      * Run every job; returns results in job order. Unique jobs are
      * handed to workers through an atomic cursor, so completion order
      * is arbitrary but the result vector is not. With memoization on,
@@ -127,19 +183,27 @@ class SimDriver
      */
     static std::vector<size_t> uniqueJobs(const std::vector<SimJob> &jobs);
 
-    /** Memoizable: carries no setup/body closure. */
+    /** Memoizable: carries no setup/body/hook closure. */
     static bool
     isPure(const SimJob &job)
     {
-        return !job.setup && !job.body;
+        return !job.setup && !job.body && !job.hookFactory;
     }
 
   private:
-    /** Run one job on a freshly constructed Machine. */
-    static SimJobResult runOne(const SimJob &job);
+    /** One simulation attempt on a freshly constructed Machine. */
+    static SimJobResult attemptOne(const SimJob &job);
+
+    /** Run one job with the retry/quarantine/crash-report policy. */
+    SimJobResult runOne(const SimJob &job) const;
+
+    /** Write the crash-report artifact for a quarantined job. */
+    void writeCrashReport(const SimJob &job,
+                          const SimJobResult &result) const;
 
     unsigned threads_;
     bool memoize_;
+    std::string crashReportDir_;
 };
 
 } // namespace mtfpu::machine

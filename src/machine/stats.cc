@@ -5,12 +5,24 @@
 namespace mtfpu::machine
 {
 
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::CycleGuard: return "cycle-guard";
+      case RunStatus::Watchdog: return "watchdog";
+    }
+    return "unknown";
+}
+
 std::string
 RunStats::summary() const
 {
     char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
+        "status:            %s\n"
         "cycles:            %llu\n"
         "instructions:      %llu\n"
         "  loads/stores:    %llu / %llu (fp: %llu / %llu)\n"
@@ -21,6 +33,7 @@ RunStats::summary() const
         "dual-issue cycles: %llu\n"
         "dcache:            %llu hits / %llu misses\n"
         "ibuffer:           %llu hits / %llu misses\n",
+        runStatusName(status),
         static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(instructionsIssued),
         static_cast<unsigned long long>(loads),

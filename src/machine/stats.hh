@@ -17,9 +17,27 @@
 namespace mtfpu::machine
 {
 
+/** How a run ended. */
+enum class RunStatus : uint8_t
+{
+    Ok,         // halted and drained normally
+    CycleGuard, // maxCycles exceeded; stats are the partial run
+    Watchdog,   // wall-clock watchdog expired; stats are partial
+};
+
+/** Short stable name of a status ("ok" / "cycle-guard" / "watchdog"). */
+const char *runStatusName(RunStatus status);
+
 /** Everything a run produces besides architectural state. */
 struct RunStats
 {
+    /**
+     * Outcome tag. A guarded run (CycleGuard/Watchdog) still returns
+     * with every counter reflecting the cycles actually simulated, so
+     * a triage pass can see how far it got instead of losing the run.
+     */
+    RunStatus status = RunStatus::Ok;
+
     /** Index of the last active cycle (paper-figure convention). */
     uint64_t cycles = 0;
 

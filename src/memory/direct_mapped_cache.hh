@@ -99,6 +99,26 @@ class DirectMappedCache
     /** Invalidate all lines (cold-start). */
     void flush();
 
+    /** Number of lines in the tag array. */
+    uint64_t numLines() const { return lines_.size(); }
+
+    /**
+     * Fault-injection hook: XOR @p tag_xor into a line's stored tag
+     * and optionally toggle its valid bit. The cache is a timing/tag
+     * model, so a corrupted line perturbs hit/miss behavior (and thus
+     * cycle counts) but can never corrupt data — the fault-campaign
+     * harness relies on that distinction when classifying outcomes.
+     * No-op on the access fast path: only an injector calls this.
+     */
+    void
+    corruptLine(uint64_t index, uint64_t tag_xor, bool flip_valid)
+    {
+        Line &line = lines_[index % lines_.size()];
+        line.tag ^= tag_xor;
+        if (flip_valid)
+            line.valid = !line.valid;
+    }
+
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
     const CacheConfig &config() const { return config_; }

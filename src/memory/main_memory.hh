@@ -61,11 +61,14 @@ class MainMemory
     check(uint64_t addr) const
     {
         if (addr % 8 != 0)
-            fatal("MainMemory: unaligned 64-bit access at " +
-                  std::to_string(addr));
+            fatal(ErrCode::MemAlign,
+                  "MainMemory: unaligned 64-bit access at " +
+                      std::to_string(addr));
         if (addr / 8 >= data_.size())
-            fatal("MainMemory: access past end of memory at " +
-                  std::to_string(addr));
+            fatal(ErrCode::MemRange,
+                  "MainMemory: access past end of memory at " +
+                      std::to_string(addr) + " (size " +
+                      std::to_string(data_.size() * 8) + ")");
     }
 
     std::vector<uint64_t> data_; // word-granular backing store

@@ -64,6 +64,9 @@ class MemorySystem
     MainMemory &mem() { return mem_; }
     const MainMemory &mem() const { return mem_; }
 
+    /** The data-cache tag model (fault-injection site). */
+    DirectMappedCache &dataCache() { return dcache_; }
+
     const CacheStats &dataStats() const { return dcache_.stats(); }
     const CacheStats &instrBufferStats() const { return ibuf_.stats(); }
     const CacheStats &instrCacheStats() const { return icache_.stats(); }

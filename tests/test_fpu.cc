@@ -297,7 +297,7 @@ TEST(Fpu, LoadAgainstReservedRegisterPanics)
     // The Machine must check transferStall first; issuing anyway is a
     // model bug.
     EXPECT_TRUE(fpu.transferStall(8));
-    EXPECT_DEATH(fpu.issueLoad(8, 0), "reserved");
+    EXPECT_THROW(fpu.issueLoad(8, 0), InvariantError);
 }
 
 TEST(Fpu, OverflowSquashesRemainingElementsAtRetire)
