@@ -9,12 +9,21 @@
  *   fault_campaign [--kernels=lfk01,lfk03,lfk12] [--faults=N]
  *                  [--seed=S] [--no-lockstep] [--threads=N]
  *                  [--guard-factor=G] [--report-dir=DIR]
+ *                  [--journal=FILE] [--resume] [--fork]
  *                  [--assert-no-sdc]
  *
  * --assert-no-sdc exits nonzero if any trial classifies as silent
  * data corruption; with the lockstep checker attached (the default)
  * SDC is structurally impossible, which is what the CI smoke job
  * asserts.
+ *
+ * --journal=FILE appends each finished trial to FILE as one JSON line.
+ * By default an existing journal is truncated (fresh campaign); with
+ * --resume its recorded trials are kept and skipped, so a SIGKILLed
+ * campaign rerun with the same parameters completes the remainder and
+ * reports identical classification counts. --fork snapshot-forks each
+ * kernel's shared golden prefix instead of re-simulating it per trial
+ * (bit-identical classification, see src/faults/campaign.hh).
  */
 
 #include <cstdio>
@@ -68,6 +77,7 @@ main(int argc, char **argv)
     cfg.faultsPerKernel = 34;
     cfg.machine = bench::idealMemoryConfig();
     bool assert_no_sdc = false;
+    bool resume = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string value;
@@ -85,6 +95,12 @@ main(int argc, char **argv)
             cfg.guardFactor = std::strtoull(value.c_str(), nullptr, 10);
         } else if (flagValue(argv[i], "--report-dir", value)) {
             cfg.reportDir = value;
+        } else if (flagValue(argv[i], "--journal", value)) {
+            cfg.journalPath = value;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            resume = true;
+        } else if (std::strcmp(argv[i], "--fork") == 0) {
+            cfg.fork = true;
         } else if (std::strcmp(argv[i], "--no-lockstep") == 0) {
             cfg.lockstep = false;
         } else if (std::strcmp(argv[i], "--assert-no-sdc") == 0) {
@@ -113,6 +129,11 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    // Without --resume a pre-existing journal belongs to some earlier
+    // campaign; start it over rather than silently skipping trials.
+    if (!cfg.journalPath.empty() && !resume)
+        std::remove(cfg.journalPath.c_str());
 
     bench::banner("Fault-injection campaign: " +
                   std::to_string(cfg.faultsPerKernel) +

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "faults/campaign.hh"
 #include "kernels/livermore/livermore.hh"
 #include "kernels/runner.hh"
 #include "softfp/backend.hh"
@@ -175,6 +176,48 @@ BENCHMARK(BM_MemoizedDuplicateSweep)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->ArgName("memoize");
+
+/**
+ * Fault-campaign throughput with and without snapshot-forking the
+ * shared golden prefix (arg 0 toggles fork). Trials classify
+ * identically either way (asserted by the snapshot test suite); the
+ * fork variant replaces each trial's fault-free prefix simulation
+ * with a snapshot restore, so the rate gap is the campaign speedup
+ * recorded in the baseline. Restore costs O(machine state) per trial
+ * regardless of the prefix length, so the win needs golden runs long
+ * enough to dominate it — lfk21 (~1M cycles) is the representative
+ * long-campaign workload; sub-50k-cycle kernels come out behind.
+ */
+void
+BM_FaultCampaignFork(benchmark::State &state)
+{
+    const bool fork = state.range(0) != 0;
+    const std::vector<kernels::Kernel> suite = {
+        kernels::livermore::make(21, false),
+    };
+    faults::CampaignConfig cfg;
+    cfg.faultsPerKernel = 25;
+    cfg.seed = 5;
+    cfg.threads = 1;
+    cfg.fork = fork;
+
+    faults::CampaignResult result;
+    for (auto _ : state) {
+        result = faults::runCampaign(suite, cfg);
+        benchmark::DoNotOptimize(result);
+    }
+    if (result.trials.size() != suite.size() * cfg.faultsPerKernel)
+        fatal("campaign dropped trials");
+    state.counters["trials/s"] = benchmark::Counter(
+        static_cast<double>(result.trials.size()) * state.iterations(),
+        benchmark::Counter::kIsRate);
+    state.SetLabel(fork ? "snapshot-fork" : "from-scratch");
+}
+BENCHMARK(BM_FaultCampaignFork)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("fork");
 
 void
 BM_SoftFpAdd(benchmark::State &state)

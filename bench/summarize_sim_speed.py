@@ -68,6 +68,21 @@ def summarize(raw):
             if host_t:
                 speedups[base] = round(soft_t / host_t, 3)
 
+    # Derived: snapshot-fork vs from-scratch fault-campaign speedup
+    # (the /fork:N argument of BM_FaultCampaignFork).
+    fork_pair = {}
+    for b in benchmarks:
+        if "/fork:0" in b["name"]:
+            fork_pair["scratch"] = b
+        elif "/fork:1" in b["name"]:
+            fork_pair["fork"] = b
+    fork_speedup = None
+    if "scratch" in fork_pair and "fork" in fork_pair:
+        fork_t = fork_pair["fork"]["real_time_ns"]
+        if fork_t:
+            fork_speedup = round(
+                fork_pair["scratch"]["real_time_ns"] / fork_t, 3)
+
     return {
         "schema": "mtfpu-sim-speed-summary-v1",
         "context": {
@@ -79,6 +94,7 @@ def summarize(raw):
         },
         "benchmarks": benchmarks,
         "host_fast_speedup": speedups,
+        "snapshot_fork_speedup": fork_speedup,
     }
 
 

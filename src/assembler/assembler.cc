@@ -11,7 +11,7 @@ Program::labelAddr(const std::string &name) const
 {
     auto it = labels.find(name);
     if (it == labels.end())
-        fatal("undefined label '" + name + "'");
+        fatal(ErrCode::AssemblerError, "undefined label '" + name + "'");
     return it->second;
 }
 
@@ -30,8 +30,9 @@ assemble(const std::string &source)
         if (stmt.ref == RefKind::Relative) {
             auto it = parsed.labels.find(stmt.label);
             if (it == parsed.labels.end())
-                fatal("line " + std::to_string(stmt.line) +
-                      ": undefined label '" + stmt.label + "'");
+                fatal(ErrCode::AssemblerError,
+                      "line " + std::to_string(stmt.line) +
+                          ": undefined label '" + stmt.label + "'");
             const int64_t disp =
                 static_cast<int64_t>(it->second) -
                 static_cast<int64_t>(pc);
@@ -39,8 +40,9 @@ assemble(const std::string &source)
                                   ? isa::kBranchDispBits
                                   : isa::kJumpDispBits;
             if (!isa::fitsSigned(disp, width))
-                fatal("line " + std::to_string(stmt.line) +
-                      ": branch target out of range");
+                fatal(ErrCode::AssemblerError,
+                      "line " + std::to_string(stmt.line) +
+                          ": branch target out of range");
             instr.imm = static_cast<int32_t>(disp);
         }
         prog.code.push_back(instr);

@@ -14,7 +14,8 @@ namespace
 [[noreturn]] void
 lexError(int line, const std::string &msg)
 {
-    fatal("line " + std::to_string(line) + ": " + msg);
+    fatal(ErrCode::AssemblerError,
+          "line " + std::to_string(line) + ": " + msg);
 }
 
 } // anonymous namespace

@@ -55,7 +55,8 @@ class Cursor
     [[noreturn]] void
     error(const std::string &msg) const
     {
-        fatal("line " + std::to_string(peek().line) + ": " + msg);
+        fatal(ErrCode::AssemblerError,
+              "line " + std::to_string(peek().line) + ": " + msg);
     }
 
     const Token &

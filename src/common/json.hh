@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A minimal JSON reader for the simulator's own artifacts: crash
+ * reports, campaign journals, and snapshot manifests are all written
+ * by this codebase, read back by the replay CLI and the campaign
+ * --resume path. The parser accepts standard JSON (objects, arrays,
+ * strings with the escapes jsonEscape() emits, numbers, booleans,
+ * null) and throws SimError(ErrCode::BadOperand) on malformed input,
+ * so a truncated journal line — the expected artifact of a SIGKILLed
+ * campaign — fails cleanly and recoverably.
+ *
+ * This is a reader for trusted, self-produced input, not a general
+ * JSON library: numbers are doubles (with an exact-integer accessor),
+ * and there is no writer (artifacts are written with hand-built
+ * strings like the rest of the codebase).
+ */
+
+#ifndef MTFPU_COMMON_JSON_HH
+#define MTFPU_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mtfpu::json
+{
+
+/** One parsed JSON value. */
+class Value
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Typed accessors; throw SimError(BadOperand) on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /**
+     * The number as an integer. Plain integer tokens are re-read from
+     * their source text, so the full int64/uint64 range round-trips
+     * exactly — campaign journal seeds are raw 64-bit values, which a
+     * double-only path would corrupt above 2^53.
+     */
+    int64_t asInt() const;
+    uint64_t asUint() const;
+    const std::string &asString() const;
+    const std::vector<Value> &asArray() const;
+
+    /** True if the object has member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Object member access; throws if absent or not an object. */
+    const Value &at(const std::string &key) const;
+
+  private:
+    friend Value parse(const std::string &text);
+    friend class Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string numToken_; // source text of a Number (exact integers)
+    std::string str_;
+    std::vector<Value> arr_;
+    std::map<std::string, Value> obj_;
+};
+
+/** Parse one JSON document; throws SimError(BadOperand) on errors. */
+Value parse(const std::string &text);
+
+} // namespace mtfpu::json
+
+#endif // MTFPU_COMMON_JSON_HH

@@ -24,6 +24,8 @@ errCodeName(ErrCode code)
       case ErrCode::LockstepDivergence: return "lockstep-divergence";
       case ErrCode::AssemblerError: return "assembler-error";
       case ErrCode::InvariantViolation: return "invariant-violation";
+      case ErrCode::BadProgram: return "bad-program";
+      case ErrCode::BadSnapshot: return "bad-snapshot";
     }
     return "unknown";
 }

@@ -50,6 +50,8 @@ enum class ErrCode : uint8_t
     LockstepDivergence, // differential check against the interpreter
     AssemblerError,     // source-level assembly failure
     InvariantViolation, // internal simulator invariant (panic)
+    BadProgram,         // malformed program image (decode validation)
+    BadSnapshot,        // truncated/corrupt/incompatible snapshot
 };
 
 /** Short stable name of a code, e.g. "hazard-violation". */

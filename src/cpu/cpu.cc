@@ -26,4 +26,44 @@ Cpu::reset()
     halted = false;
 }
 
+void
+Cpu::saveState(ByteWriter &out) const
+{
+    for (const uint64_t r : regs_)
+        out.u64(r);
+    out.u32(static_cast<uint32_t>(pending_.size()));
+    for (const Pending &p : pending_) {
+        out.u32(p.remaining);
+        out.u8(p.reg);
+        out.u64(p.value);
+    }
+    out.u32(pc);
+    out.b(redirect.has_value());
+    out.u32(redirect.value_or(0));
+    out.b(halted);
+}
+
+void
+Cpu::restoreState(ByteReader &in)
+{
+    for (uint64_t &r : regs_)
+        r = in.u64();
+    pending_.clear();
+    const uint32_t n = in.u32();
+    pending_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        Pending p;
+        p.remaining = in.u32();
+        p.reg = in.u8();
+        p.value = in.u64();
+        pending_.push_back(p);
+    }
+    pc = in.u32();
+    const bool hasRedirect = in.b();
+    const uint32_t target = in.u32();
+    redirect = hasRedirect ? std::optional<uint32_t>(target)
+                           : std::nullopt;
+    halted = in.b();
+}
+
 } // namespace mtfpu::cpu

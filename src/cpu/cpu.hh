@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "common/log.hh"
 #include "isa/cpu_instr.hh"
 
@@ -107,6 +108,12 @@ class Cpu
 
     /** Full reset. */
     void reset();
+
+    /** Serialize all state (registers, pending writes, PC, redirect). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(ByteReader &in);
 
   private:
     struct Pending

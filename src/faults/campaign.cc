@@ -3,13 +3,19 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "faults/fault_injector.hh"
 #include "kernels/runner.hh"
 #include "machine/lockstep.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtfpu::faults
 {
@@ -55,6 +61,142 @@ trialSeed(uint64_t base, size_t kernel, unsigned trial)
     s ^= (kernel + 1) * 0x9e3779b97f4a7c15ull;
     s ^= (static_cast<uint64_t>(trial) + 1) * 0xc2b2ae3d27d4eb4full;
     return s;
+}
+
+/** Journal/resume identity of a trial. */
+std::string
+trialKey(const std::string &kernel, uint64_t seed)
+{
+    return kernel + "\x1f" + std::to_string(seed);
+}
+
+/** Inverse of faultOutcomeName(); throws SimError on unknown names. */
+FaultOutcome
+faultOutcomeFromName(const std::string &name)
+{
+    for (FaultOutcome o :
+         {FaultOutcome::DetectedHardware, FaultOutcome::DetectedLockstep,
+          FaultOutcome::Masked, FaultOutcome::Sdc}) {
+        if (name == faultOutcomeName(o))
+            return o;
+    }
+    fatal(ErrCode::BadOperand, "unknown fault outcome: " + name);
+}
+
+/**
+ * Load the completed trials recorded in a journal. Each line is one
+ * JSON object written by FaultTrial::to_json(); a line that fails to
+ * parse — the torn final line of a killed campaign — is skipped.
+ */
+std::unordered_map<std::string, FaultTrial>
+readJournal(const std::string &path)
+{
+    std::unordered_map<std::string, FaultTrial> done;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return done;
+    std::string text;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    size_t start = 0;
+    unsigned torn = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        try {
+            const json::Value v = json::parse(line);
+            FaultTrial trial;
+            trial.kernel = v.at("kernel").asString();
+            trial.seed = v.at("seed").asUint();
+            trial.outcome = faultOutcomeFromName(v.at("outcome").asString());
+            trial.errorCode = v.at("error_code").asString();
+            trial.cycles = v.at("cycles").asUint();
+            done[trialKey(trial.kernel, trial.seed)] = std::move(trial);
+        } catch (const SimError &) {
+            ++torn;
+        }
+    }
+    if (torn)
+        warn("journal " + path + ": skipped " + std::to_string(torn) +
+             " unparseable line(s) (torn write from a killed run)");
+    return done;
+}
+
+/** Classify one finished trial against its golden checksum. */
+void
+classifyTrial(FaultTrial &trial, const machine::SimJobResult &r,
+              double sum, double golden_sum)
+{
+    trial.cycles = r.stats.cycles;
+    trial.errorCode = r.errorCode;
+    if (r.ok) {
+        trial.outcome = bitEqual(sum, golden_sum) ? FaultOutcome::Masked
+                                                  : FaultOutcome::Sdc;
+    } else if (r.errorCode == errCodeName(ErrCode::LockstepDivergence)) {
+        trial.outcome = FaultOutcome::DetectedLockstep;
+    } else {
+        trial.outcome = FaultOutcome::DetectedHardware;
+    }
+}
+
+/** A paused reference run at one injection cycle: the machine state
+ *  plus the lockstep checker's own stream (empty if lockstep is off). */
+struct ForkPoint
+{
+    snapshot::MachineSnapshot machine;
+    std::vector<uint8_t> checker;
+};
+
+/**
+ * Run one reference machine to each distinct injection cycle of a
+ * kernel's trial sweep and capture a fork point at each pause. The
+ * reference runs under the *trial* configuration (snapshot restore
+ * requires config equality) with the same lockstep shadow the trials
+ * use, so a restored trial is indistinguishable from one that
+ * simulated the prefix itself.
+ */
+std::shared_ptr<std::map<uint64_t, ForkPoint>>
+captureForkPoints(const kernels::Kernel &kernel,
+                  const machine::MachineConfig &trial_cfg,
+                  const std::vector<std::pair<uint64_t, uint64_t>> &image,
+                  const std::set<uint64_t> &cycles, bool lockstep)
+{
+    auto forks = std::make_shared<std::map<uint64_t, ForkPoint>>();
+    machine::Machine ref(trial_cfg);
+    ref.loadProgram(kernel.program);
+    for (const auto &[addr, word] : image)
+        ref.mem().write64(addr, word);
+    std::unique_ptr<machine::LockstepChecker> checker;
+    if (lockstep) {
+        checker = std::make_unique<machine::LockstepChecker>(ref);
+        ref.addObserver(checker.get());
+    }
+    for (const uint64_t c : cycles) { // std::set iterates ascending
+        const machine::RunStats st = ref.runUntil(c);
+        if (st.status != machine::RunStatus::Paused) {
+            fatal("fault campaign: reference run of " + kernel.name +
+                  " ended (" + machine::runStatusName(st.status) +
+                  ") before injection cycle " + std::to_string(c));
+        }
+        ForkPoint fp;
+        fp.machine = snapshot::capture(ref);
+        if (checker) {
+            ByteWriter out;
+            checker->saveState(out);
+            fp.checker = out.take();
+        }
+        (*forks)[c] = std::move(fp);
+    }
+    return forks;
 }
 
 } // anonymous namespace
@@ -214,13 +356,39 @@ runCampaign(const std::vector<kernels::Kernel> &kernel_list,
         }
     }
 
+    // Optional journal: trials recorded by a previous (killed) run
+    // are loaded up front and skipped; new results append as workers
+    // finish them.
+    std::unordered_map<std::string, FaultTrial> already;
+    std::FILE *journal = nullptr;
+    if (!config.journalPath.empty()) {
+        already = readJournal(config.journalPath);
+        if (!already.empty())
+            inform("journal holds " + std::to_string(already.size()) +
+                   " completed trial(s); resuming");
+        journal = std::fopen(config.journalPath.c_str(), "a");
+        if (!journal) {
+            warn("cannot open journal " + config.journalPath);
+        } else if (std::fseek(journal, 0, SEEK_END) == 0 &&
+                   std::ftell(journal) > 0) {
+            // A SIGKILLed run may have died mid-line; appending onto
+            // that torn tail would merge the first new record into it.
+            // An unconditional newline keeps every new record on its
+            // own line (readJournal skips blank lines).
+            std::fputc('\n', journal);
+        }
+    }
+
     // Phase 2: the seeded trial sweep, one single-fault plan per
-    // (kernel, trial) pair, all across the driver pool.
+    // (kernel, trial) pair, all across the driver pool. Trials found
+    // in the journal keep their recorded outcome and do not simulate.
     std::vector<machine::SimJob> jobs;
     std::vector<FaultTrial> trials;
+    std::vector<size_t> jobTrial; // batch index -> trial index
     const size_t total = nk * config.faultsPerKernel;
     jobs.reserve(total);
     trials.reserve(total);
+    jobTrial.reserve(total);
     std::vector<double> sums(total, 0.0);
     for (size_t k = 0; k < nk; ++k) {
         const kernels::Kernel &kernel = kernel_list[k];
@@ -229,6 +397,16 @@ runCampaign(const std::vector<kernels::Kernel> &kernel_list,
         machine::MachineConfig trial_cfg = config.machine;
         trial_cfg.maxCycles =
             result.goldenCycles[k] * config.guardFactor + 10000;
+
+        // Gather this kernel's pending trials first: fork mode needs
+        // the set of injection cycles before any job can be built.
+        struct Pending
+        {
+            size_t trial;
+            FaultPlan plan;
+        };
+        std::vector<Pending> pending;
+        std::set<uint64_t> forkCycles;
         for (unsigned i = 0; i < config.faultsPerKernel; ++i) {
             const uint64_t seed = trialSeed(config.seed, k, i);
             FaultPlan plan =
@@ -238,10 +416,30 @@ runCampaign(const std::vector<kernels::Kernel> &kernel_list,
             trial.kernel = kernel.name;
             trial.seed = seed;
             trial.plan = plan;
-            trials.push_back(trial);
 
+            const auto it = already.find(trialKey(kernel.name, seed));
+            if (it != already.end()) {
+                trial.outcome = it->second.outcome;
+                trial.errorCode = it->second.errorCode;
+                trial.cycles = it->second.cycles;
+                trials.push_back(std::move(trial));
+                continue;
+            }
+            trials.push_back(std::move(trial));
+            if (config.fork && !plan.empty())
+                forkCycles.insert(plan.faults().front().cycle);
+            pending.push_back({trials.size() - 1, std::move(plan)});
+        }
+
+        std::shared_ptr<std::map<uint64_t, ForkPoint>> forks;
+        if (config.fork && !forkCycles.empty())
+            forks = captureForkPoints(kernel, trial_cfg, image, forkCycles,
+                                      config.lockstep);
+
+        for (Pending &p : pending) {
+            const FaultTrial &trial = trials[p.trial];
             machine::SimJob job;
-            job.name = kernel.name + "-fault-" + std::to_string(seed);
+            job.name = kernel.name + "-fault-" + std::to_string(trial.seed);
             job.program = kernel.program;
             job.config = trial_cfg;
             job.memInit = image;
@@ -252,28 +450,62 @@ runCampaign(const std::vector<kernels::Kernel> &kernel_list,
                 *slot = checksum(m.mem());
                 return stats;
             };
-            attachPlan(job, std::move(plan), config.lockstep);
+            if (forks && !p.plan.empty()) {
+                // Fork mode: restore the paired machine + checker
+                // snapshot instead of simulating the prefix. setup
+                // runs before hookFactory on the worker, so the
+                // program is in place when the checker reloads it.
+                const uint64_t at = p.plan.faults().front().cycle;
+                job.faultExpected = true;
+                job.setup = [forks, at](machine::Machine &m) {
+                    snapshot::restore(m, forks->at(at).machine);
+                };
+                job.hookFactory = [plan = std::move(p.plan), forks, at,
+                                   lockstep =
+                                       config.lockstep](machine::Machine &m) {
+                    auto hook = std::make_shared<PlanHook>(std::move(plan));
+                    if (lockstep) {
+                        hook->checker =
+                            std::make_unique<machine::LockstepChecker>(m);
+                        ByteReader in(forks->at(at).checker);
+                        hook->checker->restoreState(in);
+                        m.addObserver(hook->checker.get());
+                    }
+                    return std::shared_ptr<machine::MachineHook>(
+                        std::move(hook));
+                };
+            } else {
+                attachPlan(job, std::move(p.plan), config.lockstep);
+            }
+            jobTrial.push_back(p.trial);
             jobs.push_back(std::move(job));
         }
     }
 
+    // Journal lines are written from worker threads the moment a
+    // trial finishes; the mutex keeps lines whole and the flush
+    // bounds what a SIGKILL can lose to the line in flight.
+    std::mutex journalMutex;
+    if (journal) {
+        driver.setResultCallback(
+            [&](size_t j, const machine::SimJobResult &r) {
+                FaultTrial trial = trials[jobTrial[j]];
+                const size_t k = jobTrial[j] / config.faultsPerKernel;
+                classifyTrial(trial, r, sums[j], result.goldenChecksums[k]);
+                const std::string line = trial.to_json() + "\n";
+                std::lock_guard<std::mutex> lock(journalMutex);
+                std::fwrite(line.data(), 1, line.size(), journal);
+                std::fflush(journal);
+            });
+    }
+
     const std::vector<machine::SimJobResult> res = driver.run(jobs);
-    for (size_t i = 0; i < res.size(); ++i) {
-        FaultTrial &trial = trials[i];
-        const machine::SimJobResult &r = res[i];
-        trial.cycles = r.stats.cycles;
-        trial.errorCode = r.errorCode;
-        const size_t k = i / config.faultsPerKernel;
-        if (r.ok) {
-            trial.outcome = bitEqual(sums[i], result.goldenChecksums[k])
-                                ? FaultOutcome::Masked
-                                : FaultOutcome::Sdc;
-        } else if (r.errorCode ==
-                   errCodeName(ErrCode::LockstepDivergence)) {
-            trial.outcome = FaultOutcome::DetectedLockstep;
-        } else {
-            trial.outcome = FaultOutcome::DetectedHardware;
-        }
+    if (journal)
+        std::fclose(journal);
+    for (size_t j = 0; j < res.size(); ++j) {
+        const size_t k = jobTrial[j] / config.faultsPerKernel;
+        classifyTrial(trials[jobTrial[j]], res[j], sums[j],
+                      result.goldenChecksums[k]);
     }
     result.trials = std::move(trials);
 

@@ -99,6 +99,34 @@ struct CampaignConfig
 
     /** Directory for campaign.json (empty = don't write). */
     std::string reportDir;
+
+    /**
+     * Trial journal for resumable campaigns. When non-empty, every
+     * finished trial is appended to this file as one JSON line the
+     * moment its worker classifies it (fflush'd, so a SIGKILL loses at
+     * most the line being written), and a campaign started over an
+     * existing journal skips every (kernel, seed) trial already
+     * recorded — rerunning a killed campaign with the same parameters
+     * and journal completes the remaining trials and reports the same
+     * classification counts as an uninterrupted run. A torn final
+     * line is detected by its failed JSON parse and ignored. The
+     * journal assumes the campaign parameters (kernels, seed, machine
+     * config) are unchanged between runs; it records outcomes, not
+     * configuration.
+     */
+    std::string journalPath;
+
+    /**
+     * Snapshot-fork the shared golden prefix: one reference machine
+     * per kernel runs under the trial configuration (lockstep shadow
+     * attached), pausing at each distinct injection cycle to capture
+     * a paired machine + checker snapshot; each trial then restores
+     * its fork point and simulates only from its injection cycle
+     * onward. Classification is bit-identical to the from-scratch
+     * sweep — the injector is stateless before its fault fires, so
+     * the forked prefix and the full run agree exactly.
+     */
+    bool fork = false;
 };
 
 /** Everything a campaign produces. */

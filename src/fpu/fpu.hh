@@ -168,6 +168,13 @@ class Fpu
     /** Full reset (registers, pipelines, PSW, statistics). */
     void reset();
 
+    /** Serialize all FPU state (registers, scoreboard, pipelines,
+     *  PSW, statistics, fault-injection arm state). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(ByteReader &in);
+
   private:
     /** Out-of-line tail of beginCycle(): PSW merge + overflow squash. */
     void retirePswState(const std::vector<PendingOp> &retired);

@@ -40,4 +40,37 @@ FunctionalUnits::advanceSlow(RegisterFile &regs, Scoreboard &sb)
     return retired_;
 }
 
+void
+FunctionalUnits::saveState(ByteWriter &out) const
+{
+    out.u32(static_cast<uint32_t>(inflight_.size()));
+    for (const PendingOp &op : inflight_) {
+        out.u32(op.remaining);
+        out.u8(op.reg);
+        out.u64(op.value);
+        out.u8(op.flags.toBits());
+        out.u8(static_cast<uint8_t>(op.op));
+        out.u64(op.seq);
+    }
+}
+
+void
+FunctionalUnits::restoreState(ByteReader &in)
+{
+    inflight_.clear();
+    retired_.clear();
+    const uint32_t n = in.u32();
+    inflight_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        PendingOp op;
+        op.remaining = in.u32();
+        op.reg = in.u8();
+        op.value = in.u64();
+        op.flags = softfp::Flags::fromBits(in.u8());
+        op.op = static_cast<isa::FpOp>(in.u8());
+        op.seq = in.u64();
+        inflight_.push_back(op);
+    }
+}
+
 } // namespace mtfpu::fpu

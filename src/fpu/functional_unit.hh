@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "isa/fpu_instr.hh"
 #include "softfp/fp64.hh"
 
@@ -88,6 +89,12 @@ class FunctionalUnits
         inflight_.clear();
         retired_.clear();
     }
+
+    /** Serialize the in-flight queue (latency is configuration). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(); retired_ is transient. */
+    void restoreState(ByteReader &in);
 
   private:
     /** Out-of-line tail of advance(): retire elapsed operations. */

@@ -24,6 +24,32 @@ LoadStoreUnit::advanceSlow(RegisterFile &regs)
                   [](const PendingLoad &l) { return l.remaining == 0; });
 }
 
+void
+LoadStoreUnit::saveState(ByteWriter &out) const
+{
+    out.u32(static_cast<uint32_t>(pending_.size()));
+    for (const PendingLoad &l : pending_) {
+        out.u32(l.remaining);
+        out.u8(l.reg);
+        out.u64(l.value);
+    }
+}
+
+void
+LoadStoreUnit::restoreState(ByteReader &in)
+{
+    pending_.clear();
+    const uint32_t n = in.u32();
+    pending_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        PendingLoad l;
+        l.remaining = in.u32();
+        l.reg = in.u8();
+        l.value = in.u64();
+        pending_.push_back(l);
+    }
+}
+
 bool
 LoadStoreUnit::pendingTo(unsigned reg) const
 {

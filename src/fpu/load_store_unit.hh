@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytestream.hh"
+
 namespace mtfpu::fpu
 {
 
@@ -47,6 +49,12 @@ class LoadStoreUnit
 
     /** Drop all in-flight state (reset). */
     void clear() { pending_.clear(); }
+
+    /** Serialize the in-flight load writes. */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(ByteReader &in);
 
   private:
     struct PendingLoad

@@ -68,4 +68,40 @@ AluInstructionRegister::remainingElements() const
     return current_ ? current_->vl + 1u : 0u;
 }
 
+void
+AluInstructionRegister::saveState(ByteWriter &out) const
+{
+    out.b(current_.has_value());
+    if (!current_)
+        return;
+    const Live &live = *current_;
+    out.u8(static_cast<uint8_t>(live.op));
+    out.u8(live.rr);
+    out.u8(live.ra);
+    out.u8(live.rb);
+    out.u8(live.vl);
+    out.b(live.sra);
+    out.b(live.srb);
+    out.u64(live.seq);
+}
+
+void
+AluInstructionRegister::restoreState(ByteReader &in)
+{
+    if (!in.b()) {
+        current_.reset();
+        return;
+    }
+    Live live;
+    live.op = static_cast<isa::FpOp>(in.u8());
+    live.rr = in.u8();
+    live.ra = in.u8();
+    live.rb = in.u8();
+    live.vl = in.u8();
+    live.sra = in.b();
+    live.srb = in.b();
+    live.seq = in.u64();
+    current_ = live;
+}
+
 } // namespace mtfpu::fpu

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/bytestream.hh"
 #include "common/log.hh"
 #include "exec/semantics.hh"
 #include "fpu/scoreboard.hh"
@@ -145,6 +146,12 @@ class AluInstructionRegister
 
     /** Reset to empty. */
     void clear() { current_.reset(); }
+
+    /** Serialize the occupying instruction (or its absence). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(ByteReader &in);
 
   private:
     /** The live IR fields (mutated between elements). */

@@ -48,6 +48,23 @@ wordHex(uint32_t word)
     return buf;
 }
 
+/**
+ * Decode-side field validation: a fetched word whose field holds a
+ * value no builder can produce is a malformed program image (garbage
+ * bytes, a corrupted snapshot), reported as ErrCode::BadProgram — not
+ * UB in a downstream switch or register-file index.
+ */
+void
+checkDecoded(bool ok, const char *what, uint64_t value, uint32_t word)
+{
+    if (!ok)
+        fatal(ErrCode::BadProgram,
+              std::string("Instr::decode: invalid ") + what + " " +
+                  std::to_string(value) + " in word " + wordHex(word),
+              ErrContext{ErrContext::kUnknown, ErrContext::kUnknown,
+                         static_cast<int64_t>(word)});
+}
+
 } // anonymous namespace
 
 uint32_t
@@ -118,11 +135,17 @@ Instr::decode(uint32_t word)
         i.rd = static_cast<uint8_t>(bits(word, 23, 5));
         i.rs1 = static_cast<uint8_t>(bits(word, 18, 5));
         i.rs2 = static_cast<uint8_t>(bits(word, 13, 5));
+        checkDecoded(bits(word, 9, 4) <=
+                         static_cast<uint64_t>(AluFunc::Mul),
+                     "alu function", bits(word, 9, 4), word);
         i.func = static_cast<AluFunc>(bits(word, 9, 4));
         break;
       case Major::AluImm:
         i.rd = static_cast<uint8_t>(bits(word, 23, 5));
         i.rs1 = static_cast<uint8_t>(bits(word, 18, 5));
+        checkDecoded(bits(word, 14, 4) <=
+                         static_cast<uint64_t>(AluFunc::Mul),
+                     "alu function", bits(word, 14, 4), word);
         i.func = static_cast<AluFunc>(bits(word, 14, 4));
         i.imm = static_cast<int32_t>(sext(word, 14));
         break;
@@ -134,6 +157,8 @@ Instr::decode(uint32_t word)
         break;
       case Major::Ldf:
       case Major::Stf:
+        checkDecoded(bits(word, 22, 6) < kNumFpuRegs, "fpu register",
+                     bits(word, 22, 6), word);
         i.fr = static_cast<uint8_t>(bits(word, 22, 6));
         i.rs1 = static_cast<uint8_t>(bits(word, 17, 5));
         i.imm = static_cast<int32_t>(sext(word, 17));
@@ -142,6 +167,9 @@ Instr::decode(uint32_t word)
         i.fp = FpuAluInstr::decode(word);
         break;
       case Major::Branch:
+        checkDecoded(bits(word, 25, 3) <=
+                         static_cast<uint64_t>(BranchCond::Geu),
+                     "branch condition", bits(word, 25, 3), word);
         i.cond = static_cast<BranchCond>(bits(word, 25, 3));
         i.rs1 = static_cast<uint8_t>(bits(word, 20, 5));
         i.rs2 = static_cast<uint8_t>(bits(word, 15, 5));
@@ -159,6 +187,8 @@ Instr::decode(uint32_t word)
         break;
       case Major::Mvfc:
         i.rd = static_cast<uint8_t>(bits(word, 23, 5));
+        checkDecoded(bits(word, 17, 6) < kNumFpuRegs, "fpu register",
+                     bits(word, 17, 6), word);
         i.fr = static_cast<uint8_t>(bits(word, 17, 6));
         break;
       case Major::Halt:

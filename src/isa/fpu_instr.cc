@@ -107,6 +107,25 @@ FpuAluInstr::decode(uint32_t word)
     instr.vlm1 = static_cast<uint8_t>(bits(word, 2, 4));
     instr.sra = bits(word, 1, 1) != 0;
     instr.srb = bits(word, 0, 1) != 0;
+
+    // Mirror the Instr::fpAlu builder's range rules: the 6-bit
+    // register fields can name f52..f63, and a striding vector can
+    // run past the 52-entry file — either is a malformed word, not
+    // a register-file index to fault on mid-run.
+    const unsigned vl = instr.vlm1 + 1u;
+    auto check = [&](const char *what, unsigned base, unsigned span) {
+        if (base + span > kNumFpuRegs)
+            fatal(ErrCode::BadProgram,
+                  std::string("FpuAluInstr::decode: ") + what +
+                      " vector f" + std::to_string(base) + "+" +
+                      std::to_string(span) +
+                      " exceeds the register file",
+                  ErrContext{ErrContext::kUnknown, ErrContext::kUnknown,
+                             static_cast<int64_t>(word)});
+    };
+    check("result", instr.rr, vl);
+    check("source A", instr.ra, instr.sra ? vl : 1);
+    check("source B", instr.rb, instr.srb ? vl : 1);
     return instr;
 }
 

@@ -133,4 +133,36 @@ Interpreter::step()
     pc_ = redirect_now ? target : pc_ + 1;
 }
 
+void
+Interpreter::saveState(ByteWriter &out) const
+{
+    for (const uint64_t r : iregs_)
+        out.u64(r);
+    for (const uint64_t r : fregs_)
+        out.u64(r);
+    out.u32(pc_);
+    out.b(halted_);
+    out.b(redirectPending_);
+    out.u32(redirectTarget_);
+    out.u64(fpElements_);
+    out.u8(static_cast<uint8_t>(backend_));
+    mem_.saveState(out);
+}
+
+void
+Interpreter::restoreState(ByteReader &in)
+{
+    for (uint64_t &r : iregs_)
+        r = in.u64();
+    for (uint64_t &r : fregs_)
+        r = in.u64();
+    pc_ = in.u32();
+    halted_ = in.b();
+    redirectPending_ = in.b();
+    redirectTarget_ = in.u32();
+    fpElements_ = in.u64();
+    backend_ = static_cast<softfp::Backend>(in.u8());
+    mem_.restoreState(in);
+}
+
 } // namespace mtfpu::machine

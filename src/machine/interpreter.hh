@@ -54,6 +54,8 @@ class Interpreter
     void step();
 
     memory::MainMemory &mem() { return mem_; }
+    const memory::MainMemory &mem() const { return mem_; }
+    const assembler::Program &program() const { return program_; }
     uint64_t intReg(unsigned r) const { return r == 0 ? 0 : iregs_[r]; }
     uint64_t fpReg(unsigned r) const { return fregs_[r]; }
 
@@ -71,6 +73,14 @@ class Interpreter
 
     /** Count of FPU ALU elements executed (for cross-checking). */
     uint64_t fpElements() const { return fpElements_; }
+
+    /** Serialize functional state (registers, PC, memory, counters).
+     *  The program is NOT included; callers reload it separately. */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(); the same program must
+     *  already be loaded. */
+    void restoreState(ByteReader &in);
 
   private:
     assembler::Program program_;

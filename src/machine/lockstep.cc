@@ -141,6 +141,32 @@ LockstepChecker::onRunEnd(uint64_t cycles)
 }
 
 void
+LockstepChecker::saveState(ByteWriter &out) const
+{
+    out.b(armed_);
+    out.u64(issues_);
+    out.u64(runsVerified_);
+    if (armed_)
+        interp_.saveState(out);
+}
+
+void
+LockstepChecker::restoreState(ByteReader &in)
+{
+    armed_ = in.b();
+    issues_ = in.u64();
+    runsVerified_ = in.u64();
+    diverged_ = false;
+    report_ = DivergenceReport{};
+    if (armed_) {
+        // The shadow's program is not serialized; reload it from the
+        // bound machine before restoring functional state over it.
+        interp_.loadProgram(machine_.program());
+        interp_.restoreState(in);
+    }
+}
+
+void
 LockstepChecker::compareFinalState(uint64_t cycles)
 {
     DivergenceReport report;

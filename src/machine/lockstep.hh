@@ -110,6 +110,19 @@ class LockstepChecker : public exec::ExecObserver
      */
     const DivergenceReport &report() const { return report_; }
 
+    /**
+     * Serialize the checker's mid-run state (shadow interpreter,
+     * armed flag, counters). Paired with the bound Machine's
+     * saveState() this makes a paused lockstep run fully resumable —
+     * a forked trial restores both sides and continues checking
+     * exactly where the prefix run paused.
+     */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(); the bound Machine must
+     *  have the same program loaded (the shadow reloads it). */
+    void restoreState(ByteReader &in);
+
   private:
     /** Snapshot the machine's program and memory into the shadow. */
     void arm();

@@ -33,6 +33,25 @@ Machine::predecode()
     code_.reserve(program_.code.size());
     for (uint32_t pc = 0; pc < program_.code.size(); ++pc) {
         const Instr &in = program_.code[pc];
+
+        // Static control-flow validation: a pc-relative target outside
+        // the program can only ever fault (PC runaway), so reject the
+        // image at load time with a structured error instead.
+        if (in.major == Major::Branch ||
+            (in.major == Major::Jump && (in.jkind == isa::JumpKind::J ||
+                                         in.jkind == isa::JumpKind::Jal))) {
+            const int64_t target = static_cast<int64_t>(pc) + in.imm;
+            if (target < 0 ||
+                target >= static_cast<int64_t>(program_.code.size())) {
+                fatal(ErrCode::BadProgram,
+                      "Machine: control transfer at pc=" +
+                          std::to_string(pc) + " targets " +
+                          std::to_string(target) +
+                          ", outside the program (size " +
+                          std::to_string(program_.code.size()) + ")");
+            }
+        }
+
         IssueSlot slot;
         slot.major = in.major;
         slot.func = in.func;
@@ -65,6 +84,7 @@ Machine::resetForRun(bool flush_caches)
     globalStall_ = 0;
     interruptAt_ = UINT64_MAX;
     interruptLen_ = 0;
+    nextCycle_ = 0;
     stats_ = RunStats{};
     collector_.reset();
     memsys_.resetStats();
@@ -193,7 +213,15 @@ Machine::run()
 {
     if (code_.empty())
         fatal(ErrCode::NoProgram, "Machine::run: no program loaded");
-    return runLoop();
+    return runLoop(UINT64_MAX);
+}
+
+RunStats
+Machine::runUntil(uint64_t stop_cycle)
+{
+    if (code_.empty())
+        fatal(ErrCode::NoProgram, "Machine::runUntil: no program loaded");
+    return runLoop(stop_cycle);
 }
 
 void
@@ -215,6 +243,7 @@ Machine::stampErrContext(SimError &err, uint64_t cycle) const
 RunStats
 Machine::finishRun(uint64_t cycle, RunStatus status)
 {
+    nextCycle_ = cycle;
     stats_.cycles = cycle > 0 ? cycle - 1 : 0;
     collector_.fill(stats_);
     stats_.fpu = fpu_.stats();
@@ -231,16 +260,19 @@ Machine::finishRun(uint64_t cycle, RunStatus status)
 }
 
 RunStats
-Machine::runLoop()
+Machine::runLoop(uint64_t stop_cycle)
 {
     // The cycle counter stays a plain local (not a by-reference out
     // parameter) so the optimizer can keep it in a register across
     // the loop; the catch below still sees the current value for
-    // context stamping because it is in the same frame.
-    uint64_t cycle = 0;
+    // context stamping because it is in the same frame. Resumes where
+    // the previous run()/runUntil() on this program left off.
+    uint64_t cycle = nextCycle_;
 
-    // Loop-invariant limits, hoisted out of the per-cycle path.
+    // Loop-invariant limits, hoisted out of the per-cycle path. The
+    // maxCycles guard takes priority over a runUntil() pause.
     const uint64_t max_cycles = config_.maxCycles;
+    const uint64_t limit = std::min(max_cycles, stop_cycle);
 
     // Wall-clock watchdog: sample the clock every kWatchdogStride
     // cycles. Disabled, it degrades to one always-false compare
@@ -252,13 +284,15 @@ Machine::runLoop()
     if (config_.watchdogMs > 0) {
         watchdog_deadline =
             Clock::now() + std::chrono::milliseconds(config_.watchdogMs);
-        watchdog_check_at = kWatchdogStride;
+        watchdog_check_at = cycle + kWatchdogStride;
     }
 
     try {
     for (;;) {
         if (cycle >= max_cycles)
             return finishRun(cycle, RunStatus::CycleGuard);
+        if (cycle >= stop_cycle)
+            return finishRun(cycle, RunStatus::Paused);
         if (cycle >= watchdog_check_at) {
             watchdog_check_at = cycle + kWatchdogStride;
             if (Clock::now() >= watchdog_deadline)
@@ -267,13 +301,17 @@ Machine::runLoop()
 
         // Lock-step global stall: every pipeline is frozen. With no
         // observers attached nothing can watch the intermediate
-        // cycles, so the whole stall is burned in one step; with
-        // observers the per-cycle stall events are replayed exactly.
+        // cycles, so the whole stall is burned in one step — capped at
+        // the guard/pause limit, preserving the remainder so a paused
+        // machine resumes mid-stall bit-identically; with observers
+        // the per-cycle stall events are replayed exactly.
         if (globalStall_ > 0) {
             if (!hasObservers_) {
-                collector_.addMemoryStalls(globalStall_);
-                cycle += globalStall_;
-                globalStall_ = 0;
+                const uint64_t burn =
+                    std::min(globalStall_, limit - cycle);
+                collector_.addMemoryStalls(burn);
+                cycle += burn;
+                globalStall_ -= burn;
                 continue;
             }
             --globalStall_;
@@ -581,6 +619,39 @@ Machine::tryCpuIssue(uint64_t cycle)
     notifyIssue(exec::IssueEvent{cycle, cpu_.pc, in.raw, branch_taken});
     finishIssue(redirect_pending);
     return true;
+}
+
+void
+Machine::saveState(ByteWriter &out) const
+{
+    cpu_.saveState(out);
+    fpu_.saveState(out);
+    memsys_.saveState(out);
+    collector_.saveState(out);
+    out.u64(memPortFreeAt_);
+    out.i64(fetchedPc_);
+    out.u64(globalStall_);
+    out.u64(interruptAt_);
+    out.u64(interruptLen_);
+    out.u64(nextCycle_);
+}
+
+void
+Machine::restoreState(ByteReader &in)
+{
+    cpu_.restoreState(in);
+    fpu_.restoreState(in);
+    memsys_.restoreState(in);
+    collector_.restoreState(in);
+    memPortFreeAt_ = in.u64();
+    fetchedPc_ = in.i64();
+    globalStall_ = in.u64();
+    interruptAt_ = in.u64();
+    interruptLen_ = in.u64();
+    nextCycle_ = in.u64();
+    // stats_ is not serialized: finishRun() recomputes every field
+    // from the collector and subsystem counters restored above.
+    stats_ = RunStats{};
 }
 
 } // namespace mtfpu::machine

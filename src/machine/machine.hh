@@ -60,6 +60,36 @@ class Machine
     RunStats run();
 
     /**
+     * Run until the machine would simulate cycle @p stop_cycle, then
+     * pause (status RunStatus::Paused) with every pipeline and counter
+     * snapshot-consistent: a following run()/runUntil() — or a
+     * saveState()/restoreState() round trip — continues bit-identically
+     * to an uninterrupted run. Completes normally (status Ok, or a
+     * guard status) if the program ends first; the maxCycles guard
+     * takes priority over the pause.
+     */
+    RunStats runUntil(uint64_t stop_cycle);
+
+    /** Cycle the next run()/runUntil() call will simulate first. */
+    uint64_t nextCycle() const { return nextCycle_; }
+
+    /**
+     * Serialize the complete per-run machine state — architectural
+     * (registers, PC, PSW, memory) and microarchitectural (scoreboard,
+     * in-flight pipeline entries, cache tags, stall/port bookkeeping,
+     * statistics counters). The program image and configuration are
+     * NOT included; snapshot::MachineSnapshot carries those.
+     */
+    void saveState(ByteWriter &out) const;
+
+    /**
+     * Restore state saved by saveState(). The same program must
+     * already be loaded (restore does not touch the predecoded code)
+     * and the configuration must match the saving machine's.
+     */
+    void restoreState(ByteReader &in);
+
+    /**
      * Reset architectural and statistics state for another run of the
      * same program. Keeping the caches warm models the paper's
      * "run the loops twice" warm-cache methodology.
@@ -182,8 +212,9 @@ class Machine
     cpu::Cpu cpu_;
     assembler::Program program_;
     std::vector<IssueSlot> code_; // predecoded program_ image
-    /** The run loop body; catches SimError to stamp its context. */
-    RunStats runLoop();
+    /** The run loop body; catches SimError to stamp its context.
+     *  Pauses before simulating @p stop_cycle (UINT64_MAX = never). */
+    RunStats runLoop(uint64_t stop_cycle);
 
     /** Fill @p err's unknown context fields (cycle/pc/instr). */
     void stampErrContext(SimError &err, uint64_t cycle) const;
@@ -203,6 +234,7 @@ class Machine
     uint64_t globalStall_ = 0;
     uint64_t interruptAt_ = UINT64_MAX;
     uint64_t interruptLen_ = 0;
+    uint64_t nextCycle_ = 0; // where the next run()/runUntil() resumes
     RunStats stats_;
 };
 

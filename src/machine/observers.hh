@@ -116,6 +116,24 @@ class StatsCollector : public exec::ExecObserver
         issueSeen_ = false;
     }
 
+    /** Serialize counters and intra-cycle pairing state. */
+    void
+    saveState(ByteWriter &out) const
+    {
+        counts_.saveState(out);
+        out.b(elementBeforeIssue_);
+        out.b(issueSeen_);
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    restoreState(ByteReader &in)
+    {
+        counts_.restoreState(in);
+        elementBeforeIssue_ = in.b();
+        issueSeen_ = in.b();
+    }
+
   private:
     RunStats counts_;
     // Per-cycle dual-issue pairing state (reset by onCycle).

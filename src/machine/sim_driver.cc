@@ -10,6 +10,7 @@
 
 #include "common/log.hh"
 #include "isa/disasm.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtfpu::machine
 {
@@ -85,6 +86,16 @@ artifactName(const std::string &name)
     return out;
 }
 
+/** Checkpoint file name for a job: its content hash in hex. */
+std::string
+checkpointName(const SimJob &job)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ck-%016llx.snap",
+                  static_cast<unsigned long long>(hashJob(job)));
+    return buf;
+}
+
 /** Exact content equality (names excluded — they don't affect stats). */
 bool
 sameContent(const SimJob &a, const SimJob &b)
@@ -140,8 +151,63 @@ SimDriver::uniqueJobs(const std::vector<SimJob> &jobs)
     return leader;
 }
 
+std::string
+SimDriver::checkpointFileName(const SimJob &job)
+{
+    return checkpointName(job);
+}
+
+RunStats
+SimDriver::runCheckpointed(const SimJob &job, Machine &machine) const
+{
+    std::filesystem::create_directories(checkpointDir_);
+    const std::string path = checkpointDir_ + "/" + checkpointName(job);
+
+    // Resume from an existing checkpoint when one decodes cleanly and
+    // matches this job exactly; anything else (torn write, stale hash
+    // collision, format drift) falls back to a fresh start.
+    if (std::filesystem::exists(path)) {
+        try {
+            const snapshot::MachineSnapshot snap = snapshot::readFile(path);
+            if (snap.kind == snapshot::SnapshotKind::Machine &&
+                snap.config == job.config &&
+                snap.program.code == job.program.code) {
+                snapshot::restore(machine, snap);
+                inform("resuming from checkpoint " + path + " at cycle " +
+                       std::to_string(machine.nextCycle()));
+            } else {
+                warn("checkpoint " + path + " does not match job, ignoring");
+            }
+        } catch (const SimError &err) {
+            // A failed restore may leave partial state; rebuild the
+            // initial image (the job is pure, so this is complete).
+            warn(std::string("checkpoint unusable, starting fresh: ") +
+                 err.what());
+            machine.loadProgram(job.program);
+            for (const auto &[addr, word] : job.memInit)
+                machine.mem().write64(addr, word);
+        }
+    }
+
+    RunStats stats;
+    for (;;) {
+        stats = machine.runUntil(machine.nextCycle() + checkpointInterval_);
+        if (stats.status != RunStatus::Paused)
+            break;
+        try {
+            snapshot::writeFile(path, snapshot::capture(machine));
+        } catch (const SimError &err) {
+            // A checkpoint that cannot be written only costs resume
+            // coverage — the run itself must not fail.
+            warn(std::string("checkpoint write failed: ") + err.what());
+        }
+    }
+    std::remove(path.c_str());
+    return stats;
+}
+
 SimJobResult
-SimDriver::attemptOne(const SimJob &job)
+SimDriver::attemptOne(const SimJob &job) const
 {
     SimJobResult result;
     result.name = job.name;
@@ -157,7 +223,11 @@ SimDriver::attemptOne(const SimJob &job)
             hook = job.hookFactory(machine);
             machine.setHook(hook.get());
         }
-        result.stats = job.body ? job.body(machine) : machine.run();
+        const bool checkpoint = !checkpointDir_.empty() &&
+                                checkpointInterval_ > 0 && isPure(job);
+        result.stats = job.body     ? job.body(machine)
+                       : checkpoint ? runCheckpointed(job, machine)
+                                    : machine.run();
         result.status = result.stats.status;
         // A guarded partial run keeps its stats but does not count as
         // a successful simulation of the program.
@@ -229,8 +299,27 @@ SimDriver::writeCrashReport(const SimJob &job,
         return;
     try {
         std::filesystem::create_directories(crashReportDir_);
-        const std::string path = crashReportDir_ + "/" +
-                                 artifactName(job.name) + ".json";
+        const std::string base = crashReportDir_ + "/" +
+                                 artifactName(job.name);
+        const std::string path = base + ".json";
+
+        // Sibling snapshot of the post-setup, pre-run state: a replay
+        // tool restores it and re-executes the failure under a tracer
+        // without re-deriving the initial image from closures.
+        std::string snapName;
+        try {
+            Machine machine(job.config);
+            machine.loadProgram(job.program);
+            for (const auto &[addr, word] : job.memInit)
+                machine.mem().write64(addr, word);
+            if (job.setup)
+                job.setup(machine);
+            snapshot::writeFile(base + ".snap", snapshot::capture(machine));
+            snapName = artifactName(job.name) + ".snap";
+        } catch (const std::exception &err) {
+            warn(std::string("crash-report snapshot failed: ") + err.what());
+        }
+
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f) {
             warn("cannot write crash report " + path);
@@ -240,6 +329,12 @@ SimDriver::writeCrashReport(const SimJob &job,
         std::string json = "{\n  \"job\": \"" + jsonEscape(job.name) +
                            "\",\n  \"attempts\": " +
                            std::to_string(result.attempts) +
+                           ",\n  \"snapshot\": " +
+                           (snapName.empty()
+                                ? "null"
+                                : "\"" + jsonEscape(snapName) + "\"") +
+                           ",\n  \"hook\": " +
+                           (job.hookFactory ? "true" : "false") +
                            ",\n  \"error\": " +
                            (result.errorJson.empty() ? "null"
                                                      : result.errorJson) +
@@ -298,8 +393,11 @@ SimDriver::run(const std::vector<SimJob> &jobs) const
 
     const unsigned workers = threadsFor(work.size());
     if (workers <= 1) {
-        for (size_t i : work)
+        for (size_t i : work) {
             results[i] = runOne(jobs[i]);
+            if (resultCallback_)
+                resultCallback_(i, results[i]);
+        }
     } else {
         // Work stealing through an atomic cursor: each worker claims
         // the next unstarted job. Every result slot is written by
@@ -312,6 +410,8 @@ SimDriver::run(const std::vector<SimJob> &jobs) const
                 if (w >= work.size())
                     return;
                 results[work[w]] = runOne(jobs[work[w]]);
+                if (resultCallback_)
+                    resultCallback_(work[w], results[work[w]]);
             }
         };
         std::vector<std::thread> pool;

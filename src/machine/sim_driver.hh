@@ -166,6 +166,39 @@ class SimDriver
     const std::string &crashReportDir() const { return crashReportDir_; }
 
     /**
+     * Enable periodic checkpointing of pure jobs. Every
+     * @p interval_cycles simulated cycles the worker pauses the run
+     * and writes an atomic snapshot ck-<contenthash>.snap under
+     * @p dir; a later batch containing the same job (identical
+     * program, memInit, and config — the memoization identity) picks
+     * the file up and resumes from the last checkpoint, producing
+     * bit-identical final RunStats. A stale, torn, or mismatched
+     * checkpoint is discarded and the job starts fresh; the file is
+     * removed once its job completes. Jobs carrying setup/body/hook
+     * closures never checkpoint — a closure cannot be re-applied from
+     * a file. Pass an empty dir or 0 interval to disable.
+     */
+    void setCheckpoint(std::string dir, uint64_t interval_cycles)
+    {
+        checkpointDir_ = std::move(dir);
+        checkpointInterval_ = interval_cycles;
+    }
+    const std::string &checkpointDir() const { return checkpointDir_; }
+
+    /**
+     * Per-result callback, fired on the worker thread right after each
+     * *simulated* job finishes (memoized duplicates are excluded —
+     * they never run). Receives the job's index in the batch and its
+     * result; used for incremental journaling (campaign resume). Must
+     * be thread-safe: workers invoke it concurrently.
+     */
+    using ResultCallback = std::function<void(size_t, const SimJobResult &)>;
+    void setResultCallback(ResultCallback cb)
+    {
+        resultCallback_ = std::move(cb);
+    }
+
+    /**
      * Run every job; returns results in job order. Unique jobs are
      * handed to workers through an atomic cursor, so completion order
      * is arbitrary but the result vector is not. With memoization on,
@@ -183,6 +216,13 @@ class SimDriver
      */
     static std::vector<size_t> uniqueJobs(const std::vector<SimJob> &jobs);
 
+    /**
+     * File name (relative to the checkpoint dir) a pure job's
+     * checkpoint is stored under: "ck-<contenthash>.snap". Exposed so
+     * tests and tooling can seed or inspect a job's checkpoint.
+     */
+    static std::string checkpointFileName(const SimJob &job);
+
     /** Memoizable: carries no setup/body/hook closure. */
     static bool
     isPure(const SimJob &job)
@@ -192,7 +232,14 @@ class SimDriver
 
   private:
     /** One simulation attempt on a freshly constructed Machine. */
-    static SimJobResult attemptOne(const SimJob &job);
+    SimJobResult attemptOne(const SimJob &job) const;
+
+    /**
+     * Checkpointed run body for a pure job: resume from the job's
+     * checkpoint file if a valid one exists, then run in
+     * checkpointInterval_-cycle slices, snapshotting after each pause.
+     */
+    RunStats runCheckpointed(const SimJob &job, Machine &machine) const;
 
     /** Run one job with the retry/quarantine/crash-report policy. */
     SimJobResult runOne(const SimJob &job) const;
@@ -204,6 +251,9 @@ class SimDriver
     unsigned threads_;
     bool memoize_;
     std::string crashReportDir_;
+    std::string checkpointDir_;
+    uint64_t checkpointInterval_ = 0;
+    ResultCallback resultCallback_;
 };
 
 } // namespace mtfpu::machine

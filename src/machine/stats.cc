@@ -12,6 +12,7 @@ runStatusName(RunStatus status)
       case RunStatus::Ok: return "ok";
       case RunStatus::CycleGuard: return "cycle-guard";
       case RunStatus::Watchdog: return "watchdog";
+      case RunStatus::Paused: return "paused";
     }
     return "unknown";
 }
@@ -55,6 +56,68 @@ RunStats::summary() const
         static_cast<unsigned long long>(instrBuffer.hits),
         static_cast<unsigned long long>(instrBuffer.misses));
     return buf;
+}
+
+void
+RunStats::saveState(ByteWriter &out) const
+{
+    out.u8(static_cast<uint8_t>(status));
+    out.u64(cycles);
+    out.u64(instructionsIssued);
+    out.u64(loads);
+    out.u64(stores);
+    out.u64(fpLoads);
+    out.u64(fpStores);
+    out.u64(fpAluTransfers);
+    out.u64(branches);
+    out.u64(takenBranches);
+    out.u64(memoryStallCycles);
+    out.u64(cpuStallCycles);
+    out.u64(dualIssueCycles);
+    out.u64(fpu.elementsIssued);
+    out.u64(fpu.vectorInstructions);
+    out.u64(fpu.scalarInstructions);
+    out.u64(fpu.sourceStallCycles);
+    out.u64(fpu.destStallCycles);
+    out.u64(fpu.squashedElements);
+    for (const uint64_t c : fpu.opCounts)
+        out.u64(c);
+    for (const memory::CacheStats *cs :
+         {&dataCache, &instrBuffer, &instrCache}) {
+        out.u64(cs->hits);
+        out.u64(cs->misses);
+    }
+}
+
+void
+RunStats::restoreState(ByteReader &in)
+{
+    status = static_cast<RunStatus>(in.u8());
+    cycles = in.u64();
+    instructionsIssued = in.u64();
+    loads = in.u64();
+    stores = in.u64();
+    fpLoads = in.u64();
+    fpStores = in.u64();
+    fpAluTransfers = in.u64();
+    branches = in.u64();
+    takenBranches = in.u64();
+    memoryStallCycles = in.u64();
+    cpuStallCycles = in.u64();
+    dualIssueCycles = in.u64();
+    fpu.elementsIssued = in.u64();
+    fpu.vectorInstructions = in.u64();
+    fpu.scalarInstructions = in.u64();
+    fpu.sourceStallCycles = in.u64();
+    fpu.destStallCycles = in.u64();
+    fpu.squashedElements = in.u64();
+    for (uint64_t &c : fpu.opCounts)
+        c = in.u64();
+    for (memory::CacheStats *cs :
+         {&dataCache, &instrBuffer, &instrCache}) {
+        cs->hits = in.u64();
+        cs->misses = in.u64();
+    }
 }
 
 } // namespace mtfpu::machine

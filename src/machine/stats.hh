@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bytestream.hh"
 #include "fpu/fpu.hh"
 #include "memory/direct_mapped_cache.hh"
 
@@ -23,9 +24,13 @@ enum class RunStatus : uint8_t
     Ok,         // halted and drained normally
     CycleGuard, // maxCycles exceeded; stats are the partial run
     Watchdog,   // wall-clock watchdog expired; stats are partial
+    Paused,     // runUntil() stop cycle reached; run() resumes it
 };
 
-/** Short stable name of a status ("ok" / "cycle-guard" / "watchdog"). */
+/**
+ * Short stable name of a status
+ * ("ok" / "cycle-guard" / "watchdog" / "paused").
+ */
 const char *runStatusName(RunStatus status);
 
 /** Everything a run produces besides architectural state. */
@@ -83,6 +88,12 @@ struct RunStats
 
     /** Multi-line human-readable summary. */
     std::string summary() const;
+
+    /** Serialize every counter (snapshot support). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore counters saved by saveState(). */
+    void restoreState(ByteReader &in);
 };
 
 } // namespace mtfpu::machine

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytestream.hh"
+
 namespace mtfpu::memory
 {
 
@@ -122,6 +124,12 @@ class DirectMappedCache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
     const CacheConfig &config() const { return config_; }
+
+    /** Serialize valid lines (sparsely) and the statistics. */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(ByteReader &in);
 
   private:
     struct Line

@@ -34,4 +34,44 @@ MainMemory::clear()
     std::fill(data_.begin(), data_.end(), 0);
 }
 
+void
+MainMemory::saveState(ByteWriter &out) const
+{
+    out.u64(data_.size());
+    uint64_t nonzero = 0;
+    for (const uint64_t w : data_) {
+        if (w != 0)
+            ++nonzero;
+    }
+    out.u64(nonzero);
+    for (uint64_t i = 0; i < data_.size(); ++i) {
+        if (data_[i] != 0) {
+            out.u64(i);
+            out.u64(data_[i]);
+        }
+    }
+}
+
+void
+MainMemory::restoreState(ByteReader &in)
+{
+    const uint64_t words = in.u64();
+    if (words != data_.size()) {
+        fatal(ErrCode::BadSnapshot,
+              "MainMemory: snapshot holds " + std::to_string(words * 8) +
+                  " bytes, machine has " +
+                  std::to_string(data_.size() * 8));
+    }
+    std::fill(data_.begin(), data_.end(), 0);
+    const uint64_t nonzero = in.u64();
+    for (uint64_t i = 0; i < nonzero; ++i) {
+        const uint64_t index = in.u64();
+        const uint64_t value = in.u64();
+        if (index >= data_.size())
+            fatal(ErrCode::BadSnapshot,
+                  "MainMemory: snapshot word index out of range");
+        data_[index] = value;
+    }
+}
+
 } // namespace mtfpu::memory

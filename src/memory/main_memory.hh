@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "common/log.hh"
 
 namespace mtfpu::memory
@@ -55,6 +56,12 @@ class MainMemory
 
     /** Zero all of memory. */
     void clear();
+
+    /** Serialize contents sparsely (only nonzero words are stored). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(); sizes must match. */
+    void restoreState(ByteReader &in);
 
   private:
     void

@@ -50,4 +50,22 @@ MemorySystem::resetStats()
     icache_.resetStats();
 }
 
+void
+MemorySystem::saveState(ByteWriter &out) const
+{
+    mem_.saveState(out);
+    dcache_.saveState(out);
+    ibuf_.saveState(out);
+    icache_.saveState(out);
+}
+
+void
+MemorySystem::restoreState(ByteReader &in)
+{
+    mem_.restoreState(in);
+    dcache_.restoreState(in);
+    ibuf_.restoreState(in);
+    icache_.restoreState(in);
+}
+
 } // namespace mtfpu::memory

@@ -73,6 +73,12 @@ class MemorySystem
 
     const MemoryConfig &config() const { return config_; }
 
+    /** Serialize memory contents and every cache's tag state. */
+    void saveState(ByteWriter &out) const;
+
+    /** Restore state saved by saveState(); config must match. */
+    void restoreState(ByteReader &in);
+
   private:
     MemoryConfig config_;
     MainMemory mem_;

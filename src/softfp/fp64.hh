@@ -48,6 +48,29 @@ struct Flags
     {
         return overflow || underflow || inexact || invalid || divByZero;
     }
+
+    /** Pack into the PSW bit layout (bit 0 overflow .. bit 4 divByZero). */
+    uint8_t
+    toBits() const
+    {
+        return static_cast<uint8_t>(
+            (overflow ? 1u : 0u) | (underflow ? 2u : 0u) |
+            (inexact ? 4u : 0u) | (invalid ? 8u : 0u) |
+            (divByZero ? 16u : 0u));
+    }
+
+    /** Inverse of toBits(). */
+    static Flags
+    fromBits(uint8_t bits)
+    {
+        Flags f;
+        f.overflow = bits & 1u;
+        f.underflow = bits & 2u;
+        f.inexact = bits & 4u;
+        f.invalid = bits & 8u;
+        f.divByZero = bits & 16u;
+        return f;
+    }
 };
 
 /** Field layout constants for IEEE-754 binary64. */

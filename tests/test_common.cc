@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bitfield.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -128,6 +129,46 @@ TEST(Table, NumFormatting)
 {
     EXPECT_EQ(TextTable::num(4.25, 1), "4.2");
     EXPECT_EQ(TextTable::num(4.25, 2), "4.25");
+}
+
+TEST(Json, ParsesSelfProducedArtifacts)
+{
+    const json::Value v = json::parse(
+        R"({"name":"a\"b","ok":true,"none":null,)"
+        R"("nums":[1, -2, 3.5],"nested":{"x":7}})");
+    EXPECT_EQ(v.at("name").asString(), "a\"b");
+    EXPECT_TRUE(v.at("ok").asBool());
+    EXPECT_TRUE(v.at("none").isNull());
+    ASSERT_EQ(v.at("nums").asArray().size(), 3u);
+    EXPECT_EQ(v.at("nums").asArray()[1].asInt(), -2);
+    EXPECT_EQ(v.at("nums").asArray()[2].asNumber(), 3.5);
+    EXPECT_EQ(v.at("nested").at("x").asUint(), 7u);
+    EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Json, Exact64BitIntegersRoundTrip)
+{
+    // Campaign journal seeds are raw 64-bit values; a double-only
+    // number path silently rounds anything above 2^53 and rejects
+    // anything above 2^63 as negative.
+    const uint64_t big = 15433680952126389759ull;
+    const json::Value v = json::parse(
+        R"({"seed":15433680952126389759,"neg":-9223372036854775808})");
+    EXPECT_EQ(v.at("seed").asUint(), big);
+    EXPECT_EQ(v.at("neg").asInt(), INT64_MIN);
+    // Out-of-range integers fail loudly instead of wrapping.
+    EXPECT_THROW(json::parse(R"({"x":99999999999999999999999})")
+                     .at("x")
+                     .asUint(),
+                 SimError);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(json::parse("{\"torn\": \"li"), SimError);
+    EXPECT_THROW(json::parse("{\"a\":}"), SimError);
+    EXPECT_THROW(json::parse(""), SimError);
+    EXPECT_THROW(json::parse("{\"a\":1} extra"), SimError);
 }
 
 } // anonymous namespace
