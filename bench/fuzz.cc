@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Coverage-guided differential ISA fuzzing campaign (DESIGN.md §10).
+ * Generates seeded random programs, runs each through the cycle
+ * Machine with the lockstep Interpreter shadow on both softfp
+ * backends, classifies every trial, minimizes failures to replayable
+ * crash bundles, and reports the coverage reached.
+ *
+ * Usage:
+ *   fuzz [--seed=S] [--trials=N | --duration-s=T]
+ *        [--journal=FILE [--resume]] [--crash-dir=DIR]
+ *        [--corpus-dir=DIR] [--mutate=NAME] [--max-cycles=N]
+ *        [--assert-no-divergence] [--min-opvl-coverage=F]
+ *        [--replay-corpus=DIR] [--quiet]
+ *
+ * --seed=S            campaign seed (default 1); identical seeds give
+ *                     identical journals
+ * --trials=N          trial count (default 200)
+ * --duration-s=T      wall-clock budget instead of a trial count
+ * --journal=FILE      one JSON line per trial; deleted and rewritten
+ *                     unless --resume continues over it
+ * --resume            reconstruct coverage from the journal and
+ *                     continue after the last complete trial
+ * --crash-dir=DIR     write minimized crash bundles (.json/.snap/.prog)
+ * --corpus-dir=DIR    write coverage-novel programs (.prog)
+ * --mutate=NAME       install a deliberate shadow-semantics bug
+ *                     (flip-sra, flip-srb, drop-last-element,
+ *                     swap-add-sub) — oracle validation mode
+ * --assert-no-divergence  exit 1 if any trial faulted or diverged
+ * --min-opvl-coverage=F   exit 1 if op x vl coverage ends below F
+ * --replay-corpus=DIR     instead of fuzzing, re-run every .prog in
+ *                         DIR through the lockstep diff (both
+ *                         backends) and report
+ *
+ * Exit status: 0 clean, 1 assertion failed (divergence found or
+ * coverage short), 2 usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/fuzz_engine.hh"
+
+using namespace mtfpu;
+
+namespace
+{
+
+/** --name=value parser; true when @p arg matches @p name. */
+bool
+flagValue(const char *arg, const char *name, std::string &value)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    value = arg + n + 1;
+    return true;
+}
+
+int
+replayCorpus(const std::string &dir, const fuzz::FuzzConfig &config,
+             bool quiet)
+{
+    const std::vector<std::string> paths = fuzz::listCorpus(dir);
+    if (paths.empty()) {
+        std::fprintf(stderr, "no .prog files under %s\n", dir.c_str());
+        return 2;
+    }
+    unsigned failures = 0;
+    for (const std::string &path : paths) {
+        const fuzz::FuzzProgram prog = fuzz::readProgramFile(path);
+        bool failed = false;
+        for (const softfp::Backend backend :
+             {softfp::Backend::Soft, softfp::Backend::HostFast}) {
+            const fuzz::BackendOutcome out = fuzz::runLockstep(
+                prog, backend, config.shadowMutation, config.maxCycles,
+                config.memBytes);
+            if (fuzz::outcomeIsFailure(out.outcome)) {
+                failed = true;
+                std::printf("%s [%s]: %s (%s)\n", path.c_str(),
+                            softfp::backendName(backend),
+                            fuzz::trialOutcomeName(out.outcome),
+                            out.errorCode.c_str());
+            } else if (!quiet) {
+                std::printf("%s [%s]: %s\n", path.c_str(),
+                            softfp::backendName(backend),
+                            fuzz::trialOutcomeName(out.outcome));
+            }
+        }
+        failures += failed;
+    }
+    std::printf("replayed %zu program(s), %u failure(s)\n",
+                paths.size(), failures);
+    return failures ? 1 : 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::FuzzConfig config;
+    config.trials = 200;
+    bool assertNoDivergence = false;
+    double minOpVlCoverage = -1;
+    std::string replayDir;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        if (flagValue(argv[i], "--seed", value)) {
+            config.seed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (flagValue(argv[i], "--trials", value)) {
+            config.trials = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (flagValue(argv[i], "--duration-s", value)) {
+            config.durationSec = std::strtod(value.c_str(), nullptr);
+        } else if (flagValue(argv[i], "--journal", value)) {
+            config.journalPath = value;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            config.resume = true;
+        } else if (flagValue(argv[i], "--crash-dir", value)) {
+            config.crashDir = value;
+        } else if (flagValue(argv[i], "--corpus-dir", value)) {
+            config.corpusDir = value;
+        } else if (flagValue(argv[i], "--mutate", value)) {
+            try {
+                config.shadowMutation = machine::mutationFromName(value);
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (flagValue(argv[i], "--max-cycles", value)) {
+            config.maxCycles = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (std::strcmp(argv[i], "--assert-no-divergence") == 0) {
+            assertNoDivergence = true;
+        } else if (flagValue(argv[i], "--min-opvl-coverage", value)) {
+            minOpVlCoverage = std::strtod(value.c_str(), nullptr);
+        } else if (flagValue(argv[i], "--replay-corpus", value)) {
+            replayDir = value;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    try {
+        if (!replayDir.empty())
+            return replayCorpus(replayDir, config, quiet);
+
+        fuzz::FuzzEngine engine(config);
+        const fuzz::FuzzResult result =
+            engine.run([&](const fuzz::TrialResult &trial) {
+                if (quiet)
+                    return;
+                if (fuzz::outcomeIsFailure(trial.worst())) {
+                    std::printf(
+                        "trial %llu: %s (minimized to %u instrs)%s%s\n",
+                        static_cast<unsigned long long>(trial.trial),
+                        fuzz::trialOutcomeName(trial.worst()),
+                        trial.minimizedSize,
+                        trial.bundlePath.empty() ? "" : " -> ",
+                        trial.bundlePath.c_str());
+                }
+            });
+
+        std::printf("%s", result.table().c_str());
+        int status = 0;
+        if (assertNoDivergence && !result.clean()) {
+            std::printf("FAIL: unexplained failures found\n");
+            status = 1;
+        }
+        if (minOpVlCoverage >= 0 &&
+            result.opVlCoverage < minOpVlCoverage) {
+            std::printf("FAIL: op x vl coverage %.3f below %.3f\n",
+                        result.opVlCoverage, minOpVlCoverage);
+            status = 1;
+        }
+        return status;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "fuzz: %s\n", err.what());
+        return 2;
+    }
+}

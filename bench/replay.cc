@@ -29,6 +29,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "machine/lockstep.hh"
 #include "machine/machine.hh"
 #include "machine/stats.hh"
 #include "machine/tracer.hh"
@@ -110,10 +111,21 @@ main(int argc, char **argv)
     int64_t wantCycle = -1;
     std::string snapPath;
     bool hadHook = false;
+    bool lockstep = false;
+    machine::SemanticsMutation mutation =
+        machine::SemanticsMutation::None;
     std::string jobName;
     try {
         const json::Value report = json::parse(readTextFile(reportPath));
         jobName = report.at("job").asString();
+        // Fuzzer crash bundles fail inside the lockstep diff; the
+        // replay must re-attach the shadow (and any deliberate
+        // shadow mutation) or the error cannot reproduce.
+        lockstep = report.has("lockstep") &&
+                   report.at("lockstep").asBool();
+        if (report.has("mutation"))
+            mutation = machine::mutationFromName(
+                report.at("mutation").asString());
         if (!report.has("snapshot") || report.at("snapshot").isNull()) {
             std::fprintf(stderr,
                          "%s records no snapshot — written by an older "
@@ -156,6 +168,18 @@ main(int argc, char **argv)
             snapshot::readFile(snapPath);
         machine::Machine m(snap.config);
         snapshot::restore(m, snap);
+        machine::LockstepChecker checker(m);
+        if (lockstep) {
+            checker.interpreter().setMutation(mutation);
+            m.addObserver(&checker);
+            std::printf("  lockstep shadow attached%s%s\n",
+                        mutation == machine::SemanticsMutation::None
+                            ? ""
+                            : ", shadow mutation: ",
+                        mutation == machine::SemanticsMutation::None
+                            ? ""
+                            : machine::mutationName(mutation));
+        }
         machine::Tracer tracer;
         m.addObserver(&tracer);
         try {

@@ -7,9 +7,10 @@
  *
  * Note on the load interlock: the real MultiTitan exposes the load
  * delay slot architecturally (the compiler schedules around it). This
- * model instead stalls a reader of an in-flight load result, which is
- * timing-identical for correctly scheduled code and avoids silent
- * corruption for unscheduled code (see DESIGN.md).
+ * model instead stalls a reader — or a writer, for WAW ordering — of
+ * an in-flight load result, which is timing-identical for correctly
+ * scheduled code and avoids silent corruption for unscheduled code
+ * (see DESIGN.md).
  */
 
 #ifndef MTFPU_CPU_CPU_HH

@@ -1,0 +1,71 @@
+#include "fuzz/coverage.hh"
+
+namespace mtfpu::fuzz
+{
+
+std::vector<unsigned>
+CoverageMap::commit(const std::vector<unsigned> &cells)
+{
+    std::vector<unsigned> fresh;
+    for (const unsigned cell : cells) {
+        if (counts_[cell]++ == 0)
+            fresh.push_back(cell);
+    }
+    return fresh;
+}
+
+double
+CoverageMap::opVlCoverage() const
+{
+    return static_cast<double>(coveredIn(kOpVlBase, kOpVlCells)) /
+           kOpVlCells;
+}
+
+unsigned
+CoverageMap::coveredIn(unsigned base, unsigned n) const
+{
+    unsigned covered = 0;
+    for (unsigned i = 0; i < n; ++i)
+        covered += counts_[base + i] != 0;
+    return covered;
+}
+
+std::vector<unsigned>
+CoverageMap::uncoveredOpVl() const
+{
+    std::vector<unsigned> cells;
+    for (unsigned i = kOpVlBase; i < kOpVlBase + kOpVlCells; ++i) {
+        if (counts_[i] == 0)
+            cells.push_back(i);
+    }
+    return cells;
+}
+
+void
+CoverageObserver::onIssue(const exec::IssueEvent &event)
+{
+    const isa::Instr &in = *event.instr;
+    add(majorCell(in.major));
+    if (in.major == isa::Major::FpAlu) {
+        add(opVlCell(in.fp.op, in.fp.length()));
+        add(opStrideCell(in.fp.op, in.fp.sra, in.fp.srb));
+    }
+}
+
+void
+CoverageObserver::add(unsigned cell)
+{
+    if (!seen_[cell]) {
+        seen_[cell] = true;
+        cells_.push_back(cell);
+    }
+}
+
+void
+CoverageObserver::reset()
+{
+    seen_.fill(false);
+    cells_.clear();
+}
+
+} // namespace mtfpu::fuzz

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The fuzzer's lightweight coverage map (DESIGN.md §10). Behavior is
+ * abstracted into a small flat cell space — cheap enough to consult
+ * on every generated program, expressive enough to steer generation:
+ *
+ *   [0,128)    FPU op × vector length        (8 ops × 16 lengths)
+ *   [128,160)  FPU op × stride combination   (8 ops × {srb,sra} bits)
+ *   [160,176)  CPU major opcode              (16 majors)
+ *   [176,184)  trial outcome kind            (8 reserved slots)
+ *
+ * A CoverageObserver plugs into the Machine's ExecObserver stream and
+ * records the cells one run touches; the engine commits them into the
+ * campaign-wide CoverageMap, and "did this trial light a new cell?"
+ * is the corpus-retention signal. The acceptance bar for a seeded
+ * campaign is opVlCoverage() ≥ 0.9 — the op × vector-length plane is
+ * the cross-product the hand-written tests never swept.
+ */
+
+#ifndef MTFPU_FUZZ_COVERAGE_HH
+#define MTFPU_FUZZ_COVERAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "exec/observer.hh"
+
+namespace mtfpu::fuzz
+{
+
+/** Cell-space geometry. */
+constexpr unsigned kNumFpOps = 8;
+constexpr unsigned kOpVlBase = 0;
+constexpr unsigned kOpVlCells = kNumFpOps * isa::kMaxVectorLength;
+constexpr unsigned kOpStrideBase = kOpVlBase + kOpVlCells;
+constexpr unsigned kOpStrideCells = kNumFpOps * 4;
+constexpr unsigned kMajorBase = kOpStrideBase + kOpStrideCells;
+constexpr unsigned kMajorCells = 16;
+constexpr unsigned kOutcomeBase = kMajorBase + kMajorCells;
+constexpr unsigned kOutcomeCells = 8;
+constexpr unsigned kNumCells = kOutcomeBase + kOutcomeCells;
+
+/** Cell index helpers. */
+inline unsigned
+opVlCell(isa::FpOp op, unsigned vl)
+{
+    return kOpVlBase + static_cast<unsigned>(op) * isa::kMaxVectorLength +
+           (vl - 1);
+}
+
+inline unsigned
+opStrideCell(isa::FpOp op, bool sra, bool srb)
+{
+    return kOpStrideBase + static_cast<unsigned>(op) * 4 +
+           (sra ? 2u : 0u) + (srb ? 1u : 0u);
+}
+
+inline unsigned
+majorCell(isa::Major major)
+{
+    return kMajorBase + static_cast<unsigned>(major);
+}
+
+inline unsigned
+outcomeCell(unsigned kind)
+{
+    return kOutcomeBase + (kind < kOutcomeCells ? kind : kOutcomeCells - 1);
+}
+
+/** Campaign-wide hit counts over the cell space. */
+class CoverageMap
+{
+  public:
+    /** Times @p cell has been committed. */
+    uint32_t count(unsigned cell) const { return counts_[cell]; }
+
+    /** True once @p cell has been committed at least once. */
+    bool covered(unsigned cell) const { return counts_[cell] != 0; }
+
+    /**
+     * Fold one run's touched cells in; returns the cells that were
+     * new (count 0 → 1), the corpus-retention signal.
+     */
+    std::vector<unsigned> commit(const std::vector<unsigned> &cells);
+
+    /** Covered fraction of the op × vector-length plane. */
+    double opVlCoverage() const;
+
+    /** Covered cells in [base, base+n). */
+    unsigned coveredIn(unsigned base, unsigned n) const;
+
+    /**
+     * The uncovered op × vector-length cells, in index order — the
+     * generator's bias targets. Empty once the plane is swept.
+     */
+    std::vector<unsigned> uncoveredOpVl() const;
+
+  private:
+    std::array<uint32_t, kNumCells> counts_{};
+};
+
+/**
+ * ExecObserver recording the cells one run touches. Attach to the
+ * Machine for a run, then hand touched() to CoverageMap::commit and
+ * reset() before the next run.
+ */
+class CoverageObserver : public exec::ExecObserver
+{
+  public:
+    void onIssue(const exec::IssueEvent &event) override;
+
+    /** Touched cells, deduplicated, in first-touch order. */
+    const std::vector<unsigned> &touched() const { return cells_; }
+
+    /** Record an engine-side cell (e.g. the trial outcome). */
+    void add(unsigned cell);
+
+    /** Clear for the next run. */
+    void reset();
+
+  private:
+    std::array<bool, kNumCells> seen_{};
+    std::vector<unsigned> cells_;
+};
+
+} // namespace mtfpu::fuzz
+
+#endif // MTFPU_FUZZ_COVERAGE_HH

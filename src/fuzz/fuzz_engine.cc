@@ -1,0 +1,414 @@
+#include "fuzz/fuzz_engine.hh"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/minimizer.hh"
+#include "machine/machine.hh"
+
+namespace mtfpu::fuzz
+{
+
+namespace
+{
+
+constexpr const char *kOutcomeNames[kNumOutcomes] = {
+    "pass",           "overflow-squash", "hazard-detected",
+    "cycle-guard",    "fault",           "divergence",
+};
+
+TrialOutcome
+outcomeFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < kNumOutcomes; ++i) {
+        if (name == kOutcomeNames[i])
+            return static_cast<TrialOutcome>(i);
+    }
+    fatal(ErrCode::BadOperand, "unknown trial outcome '" + name + "'");
+}
+
+/** Build the Machine for one trial's lockstep run. */
+machine::MachineConfig
+trialConfig(softfp::Backend backend, uint64_t max_cycles,
+            size_t mem_bytes)
+{
+    machine::MachineConfig config;
+    config.fpBackend = backend;
+    config.maxCycles = max_cycles;
+    config.memory.memBytes = mem_bytes;
+    return config;
+}
+
+} // anonymous namespace
+
+const char *
+trialOutcomeName(TrialOutcome outcome)
+{
+    return kOutcomeNames[static_cast<unsigned>(outcome)];
+}
+
+TrialOutcome
+TrialResult::worst() const
+{
+    return soft.outcome > host.outcome ? soft.outcome : host.outcome;
+}
+
+std::string
+TrialResult::to_json() const
+{
+    const BackendOutcome &w =
+        soft.outcome >= host.outcome ? soft : host;
+    std::string json = "{\"trial\":" + std::to_string(trial) +
+                       ",\"seed\":" + std::to_string(seed) +
+                       ",\"soft\":\"" + trialOutcomeName(soft.outcome) +
+                       "\",\"host\":\"" + trialOutcomeName(host.outcome) +
+                       "\",\"error\":\"" + jsonEscape(w.errorCode) +
+                       "\",\"cycles\":" + std::to_string(w.cycles) +
+                       ",\"new_cells\":[";
+    for (size_t i = 0; i < newCells.size(); ++i) {
+        if (i)
+            json += ",";
+        json += std::to_string(newCells[i]);
+    }
+    json += "],\"kept\":";
+    json += kept ? "true" : "false";
+    json += ",\"minimized\":" + std::to_string(minimizedSize) +
+            ",\"bundle\":\"" + jsonEscape(bundlePath) + "\"}";
+    return json;
+}
+
+bool
+FuzzResult::clean() const
+{
+    return counts[static_cast<unsigned>(TrialOutcome::Fault)] == 0 &&
+           counts[static_cast<unsigned>(TrialOutcome::Divergence)] == 0;
+}
+
+std::string
+FuzzResult::table() const
+{
+    std::string text = "trials: " + std::to_string(trials) + "\n";
+    for (unsigned i = 0; i < kNumOutcomes; ++i) {
+        text += "  ";
+        text += kOutcomeNames[i];
+        text.append(18 - std::strlen(kOutcomeNames[i]), ' ');
+        text += std::to_string(counts[i]) + "\n";
+    }
+    char cov[64];
+    std::snprintf(cov, sizeof cov, "  op x vl coverage  %.1f%%\n",
+                  opVlCoverage * 100.0);
+    text += cov;
+    return text;
+}
+
+BackendOutcome
+runLockstep(const FuzzProgram &prog, softfp::Backend backend,
+            machine::SemanticsMutation shadow_mutation,
+            uint64_t max_cycles, size_t mem_bytes, CoverageObserver *cov,
+            snapshot::MachineSnapshot *pre)
+{
+    machine::Machine m(trialConfig(backend, max_cycles, mem_bytes));
+    m.loadProgram(assembler::Program{prog.code, {}});
+    for (const auto &[addr, word] : prog.memInit)
+        m.mem().write64(addr, word);
+
+    // The crash-bundle snapshot is post-setup, pre-run, pre-observer:
+    // exactly the state bench/replay restores before re-running.
+    if (pre)
+        *pre = snapshot::capture(m);
+
+    machine::LockstepChecker checker(m);
+    checker.interpreter().setMutation(shadow_mutation);
+    m.addObserver(&checker);
+    if (cov)
+        m.addObserver(cov);
+
+    BackendOutcome out;
+    try {
+        const machine::RunStats stats = m.run();
+        out.cycles = stats.cycles;
+        if (stats.status == machine::RunStatus::Ok) {
+            out.outcome = TrialOutcome::Pass;
+        } else {
+            // Guarded runs never reach the final-state compare
+            // (notifyRunEnd fires only for Ok), so they are neither
+            // verified nor diverged — just out of budget.
+            out.outcome = TrialOutcome::CycleGuard;
+            out.errorCode = machine::runStatusName(stats.status);
+        }
+    } catch (const SimError &err) {
+        out.errorCode = errCodeName(err.code());
+        if (err.context().cycle >= 0)
+            out.cycles = static_cast<uint64_t>(err.context().cycle);
+        switch (err.code()) {
+          case ErrCode::LockstepDivergence:
+            // §2.3.1: the Machine squashes the rest of an overflowing
+            // vector while the shadow executes every element — a
+            // documented, explained divergence class.
+            if (m.fpu().psw().overflowValid ||
+                m.fpu().stats().squashedElements > 0) {
+                out.outcome = TrialOutcome::OverflowSquash;
+            } else {
+                out.outcome = TrialOutcome::Divergence;
+                out.divergence = checker.report();
+            }
+            break;
+          case ErrCode::HazardViolation:
+            out.outcome = TrialOutcome::HazardDetected;
+            break;
+          default:
+            out.outcome = TrialOutcome::Fault;
+            break;
+        }
+    }
+    return out;
+}
+
+uint64_t
+trialSeed(uint64_t campaign_seed, uint64_t trial)
+{
+    // One splitmix64 step at stream offset `trial`: decorrelates the
+    // per-trial seeds even for adjacent campaign seeds.
+    Rng rng(campaign_seed + trial);
+    return rng.next();
+}
+
+FuzzEngine::FuzzEngine(FuzzConfig config) : config_(std::move(config)) {}
+
+FuzzEngine::~FuzzEngine()
+{
+    if (journal_)
+        std::fclose(journal_);
+}
+
+TrialResult
+FuzzEngine::runTrial(uint64_t trial)
+{
+    TrialResult res;
+    res.trial = trial;
+    res.seed = trialSeed(config_.seed, trial);
+    const FuzzProgram prog = gen_.generate(res.seed, &coverage_);
+
+    CoverageObserver cov;
+    res.soft = runLockstep(prog, softfp::Backend::Soft,
+                           config_.shadowMutation, config_.maxCycles,
+                           config_.memBytes, &cov);
+    res.host = runLockstep(prog, softfp::Backend::HostFast,
+                           config_.shadowMutation, config_.maxCycles,
+                           config_.memBytes);
+    cov.add(outcomeCell(static_cast<unsigned>(res.worst())));
+    res.newCells = coverage_.commit(cov.touched());
+    res.kept = !res.newCells.empty();
+
+    if (res.kept && !config_.corpusDir.empty()) {
+        std::filesystem::create_directories(config_.corpusDir);
+        char name[64];
+        std::snprintf(name, sizeof name, "/trial-%06llu.prog",
+                      static_cast<unsigned long long>(trial));
+        writeProgramFile(config_.corpusDir + name, prog);
+    }
+    if (outcomeIsFailure(res.worst()))
+        bundleFailure(prog, res);
+    return res;
+}
+
+void
+FuzzEngine::bundleFailure(const FuzzProgram &prog, TrialResult &result)
+{
+    // Signature oracle: the failing backend must fail the same way
+    // (outcome class + error code) for a reduction to be accepted.
+    const bool softFails = outcomeIsFailure(result.soft.outcome);
+    const softfp::Backend backend =
+        softFails ? softfp::Backend::Soft : softfp::Backend::HostFast;
+    const BackendOutcome &want = softFails ? result.soft : result.host;
+
+    const auto sameSignature = [&](const FuzzProgram &candidate) {
+        try {
+            const BackendOutcome got =
+                runLockstep(candidate, backend, config_.shadowMutation,
+                            config_.maxCycles, config_.memBytes);
+            return got.outcome == want.outcome &&
+                   got.errorCode == want.errorCode;
+        } catch (const FatalError &) {
+            // Generator invariants don't hold for arbitrary subsets
+            // (e.g. a load drifted out of memory during setup); such
+            // candidates simply aren't reductions.
+            return false;
+        }
+    };
+
+    FuzzProgram minimized = prog;
+    if (config_.minimize)
+        minimized = minimize(prog, sameSignature);
+    result.minimizedSize = static_cast<unsigned>(minimized.code.size());
+
+    if (config_.crashDir.empty())
+        return;
+    std::filesystem::create_directories(config_.crashDir);
+    char stem[64];
+    std::snprintf(stem, sizeof stem, "trial-%06llu",
+                  static_cast<unsigned long long>(result.trial));
+    const std::string base = config_.crashDir + "/" + stem;
+
+    // Re-run the minimized program to capture its own pre-run snapshot
+    // and its own faulting cycle — the pair the replay contract checks.
+    snapshot::MachineSnapshot pre;
+    const BackendOutcome minOut =
+        runLockstep(minimized, backend, config_.shadowMutation,
+                    config_.maxCycles, config_.memBytes, nullptr, &pre);
+
+    writeProgramFile(base + ".prog", minimized);
+    writeProgramFile(base + ".orig.prog", prog);
+    snapshot::writeFile(base + ".snap", pre);
+
+    std::string json = "{\"job\":\"fuzz-" + std::string(stem) +
+                       "\",\"snapshot\":\"" + stem +
+                       ".snap\",\"lockstep\":true";
+    if (config_.shadowMutation != machine::SemanticsMutation::None) {
+        json += ",\"mutation\":\"";
+        json += machine::mutationName(config_.shadowMutation);
+        json += "\"";
+    }
+    json += ",\"backend\":\"";
+    json += softfp::backendName(backend);
+    json += "\",\"seed\":" + std::to_string(result.seed);
+    json += ",\"error\":{\"code\":\"" + jsonEscape(minOut.errorCode) +
+            "\",\"cycle\":" + std::to_string(minOut.cycles) + "}";
+    if (minOut.outcome == TrialOutcome::Divergence)
+        json += ",\"divergence\":" + minOut.divergence.to_json();
+    json += "}\n";
+
+    std::FILE *f = std::fopen((base + ".json").c_str(), "w");
+    if (!f) {
+        warn("fuzz: cannot write crash bundle " + base + ".json");
+        return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    result.bundlePath = base + ".json";
+}
+
+uint64_t
+FuzzEngine::resumeFromJournal(FuzzResult &result)
+{
+    std::FILE *f = std::fopen(config_.journalPath.c_str(), "rb");
+    if (!f)
+        return 0; // nothing to resume
+    std::string text;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    uint64_t next = 0;
+    uint64_t torn = 0;
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        try {
+            const json::Value rec = json::parse(line);
+            // Records replay in trial order; a duplicate index is the
+            // re-run of a trial whose original line was torn.
+            if (rec.at("trial").asUint() != next) {
+                ++torn;
+                continue;
+            }
+            std::vector<unsigned> cells;
+            for (const json::Value &cell :
+                 rec.at("new_cells").asArray())
+                cells.push_back(
+                    static_cast<unsigned>(cell.asUint()));
+            coverage_.commit(cells);
+            const TrialOutcome soft =
+                outcomeFromName(rec.at("soft").asString());
+            const TrialOutcome host =
+                outcomeFromName(rec.at("host").asString());
+            const TrialOutcome worst = soft > host ? soft : host;
+            ++result.trials;
+            ++result.counts[static_cast<unsigned>(worst)];
+            ++next;
+        } catch (const FatalError &) {
+            ++torn; // torn tail of a killed campaign
+        }
+    }
+    if (torn)
+        warn("fuzz journal " + config_.journalPath + ": skipped " +
+             std::to_string(torn) + " torn/duplicate line(s)");
+    return next;
+}
+
+void
+FuzzEngine::openJournal(bool append)
+{
+    journal_ = std::fopen(config_.journalPath.c_str(),
+                          append ? "ab" : "wb");
+    if (!journal_) {
+        warn("fuzz: cannot open journal " + config_.journalPath);
+        return;
+    }
+    if (append && std::fseek(journal_, 0, SEEK_END) == 0 &&
+        std::ftell(journal_) > 0) {
+        // An unconditional newline keeps every new record on its own
+        // line even after a torn final write.
+        std::fputc('\n', journal_);
+    }
+}
+
+void
+FuzzEngine::appendJournal(const TrialResult &result)
+{
+    if (!journal_)
+        return;
+    const std::string line = result.to_json() + "\n";
+    std::fwrite(line.data(), 1, line.size(), journal_);
+    std::fflush(journal_);
+}
+
+FuzzResult
+FuzzEngine::run(const std::function<void(const TrialResult &)> &on_trial)
+{
+    FuzzResult result;
+    uint64_t first = 0;
+    if (!config_.journalPath.empty()) {
+        if (config_.resume)
+            first = resumeFromJournal(result);
+        openJournal(config_.resume);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t trial = first;; ++trial) {
+        if (config_.durationSec > 0) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (elapsed >= config_.durationSec)
+                break;
+        } else if (trial >= config_.trials) {
+            break;
+        }
+        const TrialResult res = runTrial(trial);
+        ++result.trials;
+        ++result.counts[static_cast<unsigned>(res.worst())];
+        if (outcomeIsFailure(res.worst()))
+            result.failures.push_back(res);
+        appendJournal(res);
+        if (on_trial)
+            on_trial(res);
+    }
+    result.opVlCoverage = coverage_.opVlCoverage();
+    return result;
+}
+
+} // namespace mtfpu::fuzz

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Delta-debugging reduction of failing fuzz programs (DESIGN.md §10).
+ * Classic ddmin over the instruction list (then the memory image),
+ * followed by a nop-substitution pass that neutralizes instructions
+ * whose *presence* matters for layout (branch displacements) but
+ * whose effect does not.
+ *
+ * The oracle is outcome-signature equality, not "still fails
+ * somehow": a candidate that fails differently — e.g. removing an
+ * instruction broke a branch target and the run now dies with
+ * PcRunaway instead of the original divergence — is rejected, so the
+ * minimizer cannot wander onto a different bug while shrinking this
+ * one. Candidates always keep the original final instruction (the
+ * halt), so every probe is a terminating program.
+ */
+
+#ifndef MTFPU_FUZZ_MINIMIZER_HH
+#define MTFPU_FUZZ_MINIMIZER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/program_gen.hh"
+
+namespace mtfpu::fuzz
+{
+
+/** ddmin parameters and bookkeeping. */
+struct MinimizeStats
+{
+    unsigned probes = 0;   // oracle invocations spent
+    unsigned kept = 0;     // reductions accepted
+};
+
+/**
+ * Shrink @p failing to a (locally) minimal program for which
+ * @p still_fails stays true. @p still_fails must be true for
+ * @p failing itself; the function never returns a program for which
+ * it is false. At most @p budget oracle probes are spent; the best
+ * reduction found within the budget is returned.
+ */
+FuzzProgram minimize(const FuzzProgram &failing,
+                     const std::function<bool(const FuzzProgram &)>
+                         &still_fails,
+                     unsigned budget = 2000,
+                     MinimizeStats *stats = nullptr);
+
+} // namespace mtfpu::fuzz
+
+#endif // MTFPU_FUZZ_MINIMIZER_HH

@@ -102,8 +102,19 @@ FpuAluInstr::decode(uint32_t word)
     instr.rr = static_cast<uint8_t>(bits(word, 22, 6));
     instr.ra = static_cast<uint8_t>(bits(word, 16, 6));
     instr.rb = static_cast<uint8_t>(bits(word, 10, 6));
-    instr.op = fpOpFromFields(static_cast<unsigned>(bits(word, 8, 2)),
-                              static_cast<unsigned>(bits(word, 6, 2)));
+    const unsigned unit = static_cast<unsigned>(bits(word, 8, 2));
+    const unsigned func = static_cast<unsigned>(bits(word, 6, 2));
+    // Reject reserved unit/func combinations here, where the faulting
+    // word is known — fpOpFromFields() cannot attach it to the error
+    // context, and a fuzzed image must triage by instruction word.
+    if (fpOpReserved(unit, func))
+        fatal(ErrCode::BadEncoding,
+              "FpuAluInstr::decode: reserved unit/func encoding (unit=" +
+                  std::to_string(unit) + ", func=" + std::to_string(func) +
+                  ")",
+              ErrContext{ErrContext::kUnknown, ErrContext::kUnknown,
+                         static_cast<int64_t>(word)});
+    instr.op = fpOpFromFields(unit, func);
     instr.vlm1 = static_cast<uint8_t>(bits(word, 2, 4));
     instr.sra = bits(word, 1, 1) != 0;
     instr.srb = bits(word, 0, 1) != 0;

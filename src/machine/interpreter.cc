@@ -11,6 +11,62 @@ namespace mtfpu::machine
 using isa::Instr;
 using isa::Major;
 
+namespace
+{
+
+constexpr const char *kMutationNames[] = {
+    "none", "flip-sra", "flip-srb", "drop-last-element", "swap-add-sub",
+};
+
+/**
+ * Apply a semantics mutation to a copy of the decoded FPU word. A
+ * stride flip that would run a source specifier past the register
+ * file is left unapplied — the mutated shadow must stay a well-formed
+ * program, just a wrong one.
+ */
+isa::FpuAluInstr
+mutateFpInstr(isa::FpuAluInstr fp, SemanticsMutation mutation)
+{
+    switch (mutation) {
+      case SemanticsMutation::FlipSra:
+        if (fp.sra || fp.ra + fp.length() <= isa::kNumFpuRegs)
+            fp.sra = !fp.sra;
+        break;
+      case SemanticsMutation::FlipSrb:
+        if (fp.srb || fp.rb + fp.length() <= isa::kNumFpuRegs)
+            fp.srb = !fp.srb;
+        break;
+      case SemanticsMutation::SwapAddSub:
+        if (fp.op == isa::FpOp::Add)
+            fp.op = isa::FpOp::Sub;
+        else if (fp.op == isa::FpOp::Sub)
+            fp.op = isa::FpOp::Add;
+        break;
+      case SemanticsMutation::None:
+      case SemanticsMutation::DropLastElement: // handled at execution
+        break;
+    }
+    return fp;
+}
+
+} // anonymous namespace
+
+const char *
+mutationName(SemanticsMutation mutation)
+{
+    return kMutationNames[static_cast<unsigned>(mutation)];
+}
+
+SemanticsMutation
+mutationFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < 5; ++i) {
+        if (name == kMutationNames[i])
+            return static_cast<SemanticsMutation>(i);
+    }
+    fatal(ErrCode::BadOperand, "unknown semantics mutation: " + name);
+}
+
 Interpreter::Interpreter(size_t mem_bytes)
     : mem_(mem_bytes)
 {
@@ -96,15 +152,24 @@ Interpreter::step()
         mem_.write64(exec::effectiveAddress(intReg(in.rs1), in.imm),
                      fregs_[in.fr]);
         break;
-      case Major::FpAlu:
-        exec::forEachElement(in.fp, [&](unsigned rr, unsigned ra,
-                                        unsigned rb) {
+      case Major::FpAlu: {
+        const isa::FpuAluInstr fp =
+            mutation_ == SemanticsMutation::None
+                ? in.fp
+                : mutateFpInstr(in.fp, mutation_);
+        const unsigned n = fp.length();
+        unsigned e = 0;
+        exec::forEachElement(fp, [&](unsigned rr, unsigned ra,
+                                     unsigned rb) {
+            if (++e == n && mutation_ == SemanticsMutation::DropLastElement)
+                return;
             softfp::Flags flags;
-            fregs_[rr] = exec::evalFpOp(in.fp.op, fregs_[ra], fregs_[rb],
+            fregs_[rr] = exec::evalFpOp(fp.op, fregs_[ra], fregs_[rb],
                                         flags, backend_);
             ++fpElements_;
         });
         break;
+      }
       case Major::Branch:
         if (exec::evalBranch(in.cond, intReg(in.rs1), intReg(in.rs2))) {
             redirectPending_ = true;

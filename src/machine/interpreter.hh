@@ -23,6 +23,28 @@
 namespace mtfpu::machine
 {
 
+/**
+ * Deliberate semantics bugs for mutation-testing the differential
+ * oracle (DESIGN.md §10): the fuzzer's acceptance property is that a
+ * lockstep campaign against a mutated shadow finds and minimizes the
+ * injected bug. Mutations apply to FPU ALU execution only and survive
+ * loadProgram(), so a checker re-arming between runs keeps the bug.
+ */
+enum class SemanticsMutation : uint8_t
+{
+    None,            // faithful semantics (the default)
+    FlipSra,         // invert the Ra stride bit (when still in range)
+    FlipSrb,         // invert the Rb stride bit (when still in range)
+    DropLastElement, // skip the final element of every vector
+    SwapAddSub,      // execute fadd as fsub and vice versa
+};
+
+/** Short stable name, e.g. "flip-sra". */
+const char *mutationName(SemanticsMutation mutation);
+
+/** Parse a mutationName(); fatal(ErrCode::BadOperand) on garbage. */
+SemanticsMutation mutationFromName(const std::string &name);
+
 /** The untimed reference interpreter. */
 class Interpreter
 {
@@ -36,6 +58,10 @@ class Interpreter
      */
     void setBackend(softfp::Backend backend) { backend_ = backend; }
     softfp::Backend backend() const { return backend_; }
+
+    /** Install a deliberate semantics bug (mutation testing). */
+    void setMutation(SemanticsMutation mutation) { mutation_ = mutation; }
+    SemanticsMutation mutation() const { return mutation_; }
 
     /** Load a program and reset registers (memory is preserved). */
     void loadProgram(assembler::Program program);
@@ -93,6 +119,7 @@ class Interpreter
     uint32_t redirectTarget_ = 0;
     uint64_t fpElements_ = 0;
     softfp::Backend backend_ = softfp::Backend::Soft;
+    SemanticsMutation mutation_ = SemanticsMutation::None;
 };
 
 } // namespace mtfpu::machine

@@ -99,6 +99,15 @@ class LockstepChecker : public exec::ExecObserver
     /** The shadow interpreter (for test introspection). */
     const Interpreter &interpreter() const { return interp_; }
 
+    /**
+     * Mutable shadow access, used to install a SemanticsMutation
+     * before the run — the fuzzer's oracle-validation mode checks
+     * that a campaign against a deliberately wrong shadow reports
+     * the divergence. Mutating any other shadow state mid-run makes
+     * divergence reports meaningless; don't.
+     */
+    Interpreter &interpreter() { return interp_; }
+
     /** Whether the current/last run diverged. */
     bool diverged() const { return diverged_; }
 

@@ -459,24 +459,31 @@ Machine::tryCpuIssue(uint64_t cycle)
 
     switch (in.major) {
       case Major::Alu: {
-        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2))
+        // regReady on the destination is the WAW interlock: a delayed
+        // load/mvfc writeback still in flight would otherwise land
+        // after this result and silently clobber it.
+        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rs2) ||
+            !cpu_.regReady(in.rd))
             return stallCpu(cycle);
         cpu_.writeReg(in.rd, exec::evalAlu(in.func, cpu_.readReg(in.rs1),
                                            cpu_.readReg(in.rs2)));
         break;
       }
       case Major::AluImm: {
-        if (!cpu_.regReady(in.rs1))
+        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rd))
             return stallCpu(cycle);
         cpu_.writeReg(in.rd, exec::evalAlu(in.func, cpu_.readReg(in.rs1),
                                            in.imm64));
         break;
       }
       case Major::Lui:
+        if (!cpu_.regReady(in.rd))
+            return stallCpu(cycle);
         cpu_.writeReg(in.rd, in.imm64);
         break;
       case Major::Ld: {
-        if (!cpu_.regReady(in.rs1) || memPortFreeAt_ > cycle)
+        if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rd) ||
+            memPortFreeAt_ > cycle)
             return stallCpu(cycle);
         const uint64_t addr = cpu_.readReg(in.rs1) + in.imm64;
         const unsigned penalty = memsys_.dataAccess(addr, false);
@@ -577,6 +584,8 @@ Machine::tryCpuIssue(uint64_t cycle)
             cpu_.redirect = in.target;
             break;
           case isa::JumpKind::Jal:
+            if (!cpu_.regReady(in.rd))
+                return stallCpu(cycle);
             cpu_.writeReg(in.rd, in.link);
             cpu_.redirect = in.target;
             break;
@@ -587,7 +596,7 @@ Machine::tryCpuIssue(uint64_t cycle)
                 static_cast<uint32_t>(cpu_.readReg(in.rs1));
             break;
           case isa::JumpKind::Jalr:
-            if (!cpu_.regReady(in.rs1))
+            if (!cpu_.regReady(in.rs1) || !cpu_.regReady(in.rd))
                 return stallCpu(cycle);
             cpu_.redirect =
                 static_cast<uint32_t>(cpu_.readReg(in.rs1));
@@ -598,6 +607,8 @@ Machine::tryCpuIssue(uint64_t cycle)
         break;
       }
       case Major::Mvfc: {
+        if (!cpu_.regReady(in.rd))
+            return stallCpu(cycle);
         if (fpu_.transferStall(in.fr))
             return stallCpu(cycle);
         if (fpu_.currentElementInterlock(in.fr, false))

@@ -26,8 +26,8 @@ class MainMemory
     /** Create a memory of @p size bytes (default 4 MB). */
     explicit MainMemory(size_t size = 4u << 20);
 
-    /** Memory size in bytes. */
-    size_t size() const { return data_.size(); }
+    /** Memory size in bytes (data_ holds 64-bit words). */
+    size_t size() const { return data_.size() * 8; }
 
     // read64/write64 are inline: they run once per simulated load or
     // store, and the bounds check folds into the word-index shift.

@@ -111,7 +111,7 @@ capture(const machine::Interpreter &interp)
 {
     MachineSnapshot snap;
     snap.kind = SnapshotKind::Interpreter;
-    snap.config.memory.memBytes = interp.mem().size() * 8;
+    snap.config.memory.memBytes = interp.mem().size();
     snap.program = interp.program();
     ByteWriter state;
     interp.saveState(state);

@@ -122,6 +122,48 @@ TEST(FpuInstr, VectorLengthRange)
     EXPECT_NO_THROW(Instr::fpAlu(FpOp::Add, 0, 48, 0, 8, false, false));
 }
 
+TEST(FpuInstr, ReservedWordsRaiseStructuredBadEncoding)
+{
+    // Every reserved unit/func pair, embedded in an otherwise valid
+    // Figure-3 word, must raise SimError(BadEncoding) carrying the
+    // faulting word — the fuzzer triages crash bundles by that
+    // context, so an unstructured throw here breaks the pipeline.
+    const uint32_t base =
+        Instr::fpAlu(FpOp::Add, 0, 1, 2, 1).encode() & ~(0xFu << 6);
+    const struct { unsigned unit, func; } reserved[] = {
+        {0, 0}, {0, 1}, {0, 2}, {0, 3}, {2, 3}, {3, 1}, {3, 2}, {3, 3},
+    };
+    for (const auto &r : reserved) {
+        const uint32_t word = base | (r.unit << 8) | (r.func << 6);
+        SCOPED_TRACE("unit=" + std::to_string(r.unit) +
+                     " func=" + std::to_string(r.func));
+        try {
+            Instr::decode(word);
+            FAIL() << "decode accepted a reserved encoding";
+        } catch (const SimError &err) {
+            EXPECT_EQ(err.code(), ErrCode::BadEncoding);
+            EXPECT_EQ(err.context().instr,
+                      static_cast<int64_t>(word));
+        }
+    }
+}
+
+TEST(FpuInstr, OverrunningWordRaisesStructuredBadProgram)
+{
+    // A striding source vector running past f51 is malformed input,
+    // not an internal fault: SimError(BadProgram), word attached.
+    const uint32_t good =
+        Instr::fpAlu(FpOp::Add, 0, 45, 2, 8, false, false).encode();
+    try {
+        Instr::decode(good | 0x2); // set SRa: f45+8 overruns f51
+        FAIL() << "decode accepted an overrunning vector";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.code(), ErrCode::BadProgram);
+        EXPECT_EQ(err.context().instr,
+                  static_cast<int64_t>(good | 0x2));
+    }
+}
+
 TEST(CpuInstr, RoundTripDirected)
 {
     const Instr cases[] = {

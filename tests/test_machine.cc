@@ -108,6 +108,38 @@ TEST(MachineCpu, LoadDelayInterlock)
     EXPECT_GE(stats.cpuStallCycles, 1u);
 }
 
+TEST(MachineCpu, LoadDelayWawInterlock)
+{
+    // Writing a load's destination while the delayed writeback is
+    // still in flight must stall; without the WAW interlock the late
+    // writeback lands after the ALU result and silently clobbers it
+    // (found by the differential fuzzer, DESIGN.md §10).
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+        ld   r1, 0(r0)
+        addi r1, r0, 124
+        halt
+    )"));
+    m.mem().write64(0, 41);
+    const RunStats stats = m.run();
+    EXPECT_EQ(m.cpu().readReg(1), 124u);
+    EXPECT_GE(stats.cpuStallCycles, 1u);
+}
+
+TEST(MachineCpu, MvfcDelayWawInterlock)
+{
+    // Same WAW rule for the other delayed writeback source: mvfc.
+    Machine m(idealMemory());
+    m.loadProgram(assembler::assemble(R"(
+        mvfc r1, f3
+        addi r1, r0, 7
+        halt
+    )"));
+    m.fpu().regs().writeDouble(3, -1.0);
+    m.run();
+    EXPECT_EQ(m.cpu().readReg(1), 7u);
+}
+
 TEST(MachineCpu, ScheduledLoadHasNoStall)
 {
     Machine m(idealMemory());

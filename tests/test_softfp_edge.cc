@@ -6,13 +6,19 @@
  * convergence sweeps.
  */
 
+#include <algorithm>
 #include <cfloat>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <random>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "softfp/backend.hh"
 #include "softfp/fp64.hh"
 #include "softfp/recip.hh"
 
@@ -347,6 +353,107 @@ TEST(RoundPack, OverflowAndUnderflowPaths)
     EXPECT_EQ(roundPack(true, -200, (1ull << 55) | 1, flags), kSignBit);
     EXPECT_TRUE(flags.underflow);
     EXPECT_TRUE(flags.inexact);
+}
+
+// ---------------------------------------------------------------------
+// TestFloat-style conformance vectors (tests/data/softfp_vectors.txt)
+// ---------------------------------------------------------------------
+
+struct Vector
+{
+    std::string op;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t result = 0;
+    uint8_t flags = 0;
+};
+
+std::vector<Vector>
+loadVectors()
+{
+    std::ifstream in(MTFPU_TEST_DATA_DIR "/softfp_vectors.txt");
+    EXPECT_TRUE(in.is_open()) << "missing softfp_vectors.txt";
+    std::vector<Vector> vectors;
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        Vector v;
+        std::string a, b, arrow, result, flags;
+        if (!(fields >> v.op >> a >> b >> arrow >> result >> flags))
+            continue;
+        EXPECT_EQ(arrow, "=>") << "malformed vector line: " << line;
+        v.a = std::stoull(a, nullptr, 16);
+        v.b = std::stoull(b, nullptr, 16);
+        v.result = std::stoull(result, nullptr, 16);
+        v.flags = static_cast<uint8_t>(std::stoul(flags, nullptr, 16));
+        vectors.push_back(v);
+    }
+    return vectors;
+}
+
+/** Map a vector op name onto the Figure-4 unit/func encoding. */
+bool
+opToUnitFunc(const std::string &op, unsigned &unit, unsigned &func)
+{
+    static const struct { const char *name; unsigned unit, func; }
+    kOps[] = {
+        {"add", 1, 0},    {"sub", 1, 1},  {"float", 1, 2},
+        {"trunc", 1, 3},  {"mul", 2, 0},  {"intmul", 2, 1},
+        {"iter", 2, 2},   {"recip", 3, 0},
+    };
+    for (const auto &entry : kOps) {
+        if (op == entry.name) {
+            unit = entry.unit;
+            func = entry.func;
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(ConformanceVectors, BothBackendsMatchPinnedResults)
+{
+    const std::vector<Vector> vectors = loadVectors();
+    ASSERT_GE(vectors.size(), 60u);
+    for (const Backend backend : {Backend::Soft, Backend::HostFast}) {
+        for (const Vector &v : vectors) {
+            SCOPED_TRACE(std::string(backendName(backend)) + " " +
+                         v.op + " " + std::to_string(v.a) + ", " +
+                         std::to_string(v.b));
+            Flags flags;
+            uint64_t result;
+            unsigned unit, func;
+            if (v.op == "div") {
+                // Division is the six-op macro, not a Figure-4 unit;
+                // its recip/iter steps are backend-independent.
+                result = fpDivide(v.a, v.b, flags);
+            } else {
+                ASSERT_TRUE(opToUnitFunc(v.op, unit, func))
+                    << "unknown op " << v.op;
+                result = fpuOperate(backend, unit, func, v.a, v.b,
+                                    flags);
+            }
+            EXPECT_EQ(result, v.result);
+            EXPECT_EQ(flags.toBits(), v.flags);
+        }
+    }
+}
+
+TEST(ConformanceVectors, CoverEveryFigure4Unit)
+{
+    // The vector file must keep exercising every non-reserved
+    // unit/func pair (and the division macro) as it evolves.
+    const std::vector<Vector> vectors = loadVectors();
+    for (const char *op : {"add", "sub", "float", "trunc", "mul",
+                           "intmul", "iter", "recip", "div"}) {
+        const auto hit = std::any_of(
+            vectors.begin(), vectors.end(),
+            [op](const Vector &v) { return v.op == op; });
+        EXPECT_TRUE(hit) << "no vectors for op " << op;
+    }
 }
 
 } // anonymous namespace
