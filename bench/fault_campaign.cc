@@ -10,7 +10,13 @@
  *                  [--seed=S] [--no-lockstep] [--threads=N]
  *                  [--guard-factor=G] [--report-dir=DIR]
  *                  [--journal=FILE] [--resume] [--fork]
- *                  [--assert-no-sdc]
+ *                  [--assert-no-sdc] [--export-specs=FILE]
+ *
+ * --export-specs=FILE runs only the golden prepass, then writes the
+ * campaign's trials as service JobSpecs — one JSON object per line,
+ * kernel reference plus fault-plan text, the exact plans the campaign
+ * derives from --seed — and exits. The file feeds `mtfpu-cli sweep`,
+ * so a fault campaign can run through the simulation daemon.
  *
  * --assert-no-sdc exits nonzero if any trial classifies as silent
  * data corruption; with the lockstep checker attached (the default)
@@ -32,9 +38,14 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
 #include "bench/bench_util.hh"
 #include "faults/campaign.hh"
 #include "kernels/livermore/livermore.hh"
+#include "kernels/runner.hh"
+#include "machine/machine.hh"
+#include "service/job_spec.hh"
 
 using namespace mtfpu;
 
@@ -78,6 +89,7 @@ main(int argc, char **argv)
     cfg.machine = bench::idealMemoryConfig();
     bool assert_no_sdc = false;
     bool resume = false;
+    std::string export_specs;
 
     for (int i = 1; i < argc; ++i) {
         std::string value;
@@ -97,6 +109,8 @@ main(int argc, char **argv)
             cfg.reportDir = value;
         } else if (flagValue(argv[i], "--journal", value)) {
             cfg.journalPath = value;
+        } else if (flagValue(argv[i], "--export-specs", value)) {
+            export_specs = value;
         } else if (std::strcmp(argv[i], "--resume") == 0) {
             resume = true;
         } else if (std::strcmp(argv[i], "--fork") == 0) {
@@ -128,6 +142,49 @@ main(int argc, char **argv)
             std::fprintf(stderr, "unknown kernel: %s\n", name.c_str());
             return 2;
         }
+    }
+
+    if (!export_specs.empty()) {
+        // Golden prepass only: each trial's fault plan is drawn
+        // against the kernel's fault-free cycle count, so run each
+        // kernel once, then emit the derived plans as JobSpec lines.
+        std::FILE *out = std::fopen(export_specs.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         export_specs.c_str());
+            return 2;
+        }
+        for (size_t k = 0; k < selected.size(); ++k) {
+            const kernels::Kernel &kernel = selected[k];
+            machine::Machine golden(cfg.machine);
+            golden.loadProgram(kernel.program);
+            kernel.init(golden.mem());
+            const uint64_t golden_cycles = golden.run().cycles;
+
+            service::JobSpec spec;
+            spec.kind = service::JobKind::Kernel;
+            spec.kernel = kernel.name + ":" + kernel.variant;
+            spec.config = cfg.machine;
+            spec.config.maxCycles =
+                golden_cycles * cfg.guardFactor + 10000;
+            spec.lockstep = cfg.lockstep;
+            for (unsigned i = 0; i < cfg.faultsPerKernel; ++i) {
+                const uint64_t seed =
+                    faults::campaignTrialSeed(cfg.seed, k, i);
+                spec.name = kernel.name + "-fault-" +
+                            std::to_string(seed);
+                spec.faultPlan =
+                    faults::FaultPlan::randomSingle(seed, golden_cycles)
+                        .describe();
+                std::fprintf(out, "%s\n", spec.to_json().c_str());
+            }
+        }
+        std::fclose(out);
+        std::printf("wrote %zu specs (%zu kernels x %u faults) to %s\n",
+                    selected.size() * cfg.faultsPerKernel,
+                    selected.size(), cfg.faultsPerKernel,
+                    export_specs.c_str());
+        return 0;
     }
 
     // Without --resume a pre-existing journal belongs to some earlier

@@ -11,7 +11,15 @@
  *        [--journal=FILE [--resume]] [--crash-dir=DIR]
  *        [--corpus-dir=DIR] [--mutate=NAME] [--max-cycles=N]
  *        [--assert-no-divergence] [--min-opvl-coverage=F]
- *        [--replay-corpus=DIR] [--quiet]
+ *        [--replay-corpus=DIR] [--quiet] [--export-specs=FILE]
+ *
+ * --export-specs=FILE writes the campaign's trials as service
+ * JobSpecs (one JSON object per line, fuzz-shard seeds derived from
+ * --seed exactly as the engine would) and exits without fuzzing. The
+ * file feeds `mtfpu-cli sweep`, sharding a fuzz campaign's program
+ * simulations across the simulation daemon. The exported jobs run
+ * the generated programs on the cycle machine only — the lockstep
+ * differential oracle stays an in-process concern.
  *
  * --seed=S            campaign seed (default 1); identical seeds give
  *                     identical journals
@@ -43,6 +51,7 @@
 #include "common/log.hh"
 #include "fuzz/corpus.hh"
 #include "fuzz/fuzz_engine.hh"
+#include "service/job_spec.hh"
 
 using namespace mtfpu;
 
@@ -107,6 +116,7 @@ main(int argc, char **argv)
     bool assertNoDivergence = false;
     double minOpVlCoverage = -1;
     std::string replayDir;
+    std::string exportSpecs;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -140,6 +150,8 @@ main(int argc, char **argv)
             minOpVlCoverage = std::strtod(value.c_str(), nullptr);
         } else if (flagValue(argv[i], "--replay-corpus", value)) {
             replayDir = value;
+        } else if (flagValue(argv[i], "--export-specs", value)) {
+            exportSpecs = value;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
@@ -151,6 +163,29 @@ main(int argc, char **argv)
     try {
         if (!replayDir.empty())
             return replayCorpus(replayDir, config, quiet);
+
+        if (!exportSpecs.empty()) {
+            std::FILE *out = std::fopen(exportSpecs.c_str(), "w");
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             exportSpecs.c_str());
+                return 2;
+            }
+            service::JobSpec spec;
+            spec.kind = service::JobKind::Fuzz;
+            spec.config.maxCycles = config.maxCycles;
+            spec.config.memory.memBytes = config.memBytes;
+            for (uint64_t t = 0; t < config.trials; ++t) {
+                spec.fuzzSeed = fuzz::trialSeed(config.seed, t);
+                spec.name = "fuzz-" + std::to_string(spec.fuzzSeed);
+                std::fprintf(out, "%s\n", spec.to_json().c_str());
+            }
+            std::fclose(out);
+            std::printf("wrote %llu fuzz specs to %s\n",
+                        static_cast<unsigned long long>(config.trials),
+                        exportSpecs.c_str());
+            return 0;
+        }
 
         fuzz::FuzzEngine engine(config);
         const fuzz::FuzzResult result =

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Command-line front end for the simulation service (DESIGN.md §11):
+ * runs the daemon, submits JobSpecs to it, and drives the inspect
+ * interface — the out-of-process counterpart of calling SimDriver
+ * directly.
+ *
+ * Usage:
+ *   mtfpu-cli serve --socket=PATH [--threads=N] [--cache-dir=DIR]
+ *                   [--crash-dir=DIR] [--no-memoize]
+ *   mtfpu-cli ping --socket=PATH
+ *   mtfpu-cli submit --socket=PATH --spec=FILE [--no-wait]
+ *   mtfpu-cli sweep --socket=PATH --specs=FILE
+ *   mtfpu-cli status --socket=PATH [--id=N]
+ *   mtfpu-cli result --socket=PATH --id=N [--no-wait]
+ *   mtfpu-cli cancel --socket=PATH --id=N
+ *   mtfpu-cli shutdown --socket=PATH
+ *   mtfpu-cli cache-stats --socket=PATH
+ *   mtfpu-cli cache-clear --socket=PATH
+ *   mtfpu-cli inspect --socket=PATH --spec=FILE [--run=CYCLES]
+ *                     [--reg=unit:N,...] [--mem=ADDR[:COUNT]]
+ *
+ * --spec takes one JSON JobSpec ("-" reads stdin); --specs takes a
+ * file with one spec per line (the format `fault_campaign
+ * --export-specs` and `fuzz --export-specs` emit). sweep submits
+ * every spec, waits for all results, and prints one line per job:
+ * name, state, run status, cycles, and whether the result came from
+ * the daemon's persistent cache.
+ *
+ * Exit status: 0 on success; 1 when any swept/submitted job failed
+ * unexpectedly (quarantined, or failed without being a fault-plan
+ * job); 2 on usage or transport errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+
+using namespace mtfpu;
+
+namespace
+{
+
+bool
+flagValue(const char *arg, const char *name, std::string &value)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    value = arg + n + 1;
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mtfpu-cli <serve|ping|submit|sweep|status|result|"
+                 "cancel|shutdown|cache-stats|cache-clear|inspect> "
+                 "--socket=PATH [options]\n");
+    return 2;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream text;
+        text << std::cin.rdbuf();
+        return text.str();
+    }
+    std::ifstream in(path);
+    if (!in)
+        fatal(ErrCode::Io, "cannot read " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** One spec per non-empty line (NDJSON). */
+std::vector<service::JobSpec>
+readSpecLines(const std::string &path)
+{
+    std::vector<service::JobSpec> specs;
+    std::istringstream lines(readWholeFile(path));
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        specs.push_back(service::JobSpec::parse(line));
+    }
+    return specs;
+}
+
+void
+printResult(uint64_t id, const machine::SimJobResult &r)
+{
+    const std::string error = r.ok ? "" : "  error: " + r.error;
+    // A job that threw has no run status; show its error code instead.
+    const std::string status =
+        r.ok || r.status != machine::RunStatus::Ok
+            ? machine::runStatusName(r.status)
+            : (r.errorCode.empty() ? "failed" : r.errorCode);
+    std::printf("job %llu  %-24s %-9s %12llu cycles%s%s%s\n",
+                static_cast<unsigned long long>(id), r.name.c_str(),
+                status.c_str(),
+                static_cast<unsigned long long>(r.stats.cycles),
+                r.fromCache ? "  [cache]" : "",
+                r.quarantined ? "  [quarantined]" : "", error.c_str());
+}
+
+/** A failure is "expected" when the spec carried a fault plan. */
+bool
+unexpectedFailure(const service::JobSpec &spec,
+                  const machine::SimJobResult &r)
+{
+    return (!r.ok && spec.pure()) || r.quarantined;
+}
+
+int
+cmdServe(const std::string &socket, int argc, char **argv)
+{
+    service::ServerConfig config;
+    config.socketPath = socket;
+    std::string value;
+    for (int i = 0; i < argc; ++i) {
+        if (flagValue(argv[i], "--threads", value))
+            config.threads = static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(argv[i], "--cache-dir", value))
+            config.cacheDir = value;
+        else if (flagValue(argv[i], "--crash-dir", value))
+            config.crashDir = value;
+        else if (std::strcmp(argv[i], "--no-memoize") == 0)
+            config.memoize = false;
+        else if (std::strncmp(argv[i], "--socket", 8) != 0)
+            return usage();
+    }
+    service::SimServer server(std::move(config));
+    server.start();
+    server.serve();
+    return 0;
+}
+
+int
+cmdSweep(service::SimClient &client, const std::string &specs_path)
+{
+    const std::vector<service::JobSpec> specs =
+        readSpecLines(specs_path);
+    if (specs.empty()) {
+        std::fprintf(stderr, "no specs in %s\n", specs_path.c_str());
+        return 2;
+    }
+    std::vector<uint64_t> ids;
+    ids.reserve(specs.size());
+    for (const service::JobSpec &spec : specs)
+        ids.push_back(client.submit(spec));
+    int failures = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const machine::SimJobResult r = client.result(ids[i], true);
+        printResult(ids[i], r);
+        if (unexpectedFailure(specs[i], r))
+            ++failures;
+    }
+    std::printf("%zu jobs, %d unexpected failures\n", ids.size(),
+                failures);
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdInspect(service::SimClient &client, const std::string &spec_path,
+           uint64_t run_cycles, const std::string &regs,
+           const std::string &mem)
+{
+    const service::JobSpec spec =
+        service::JobSpec::parse(readWholeFile(spec_path));
+    const uint64_t session = client.inspectOpen(spec);
+    if (run_cycles > 0) {
+        const service::SimClient::InspectRun run =
+            client.inspectRun(session, run_cycles);
+        std::printf("ran to cycle %llu (%s)\n",
+                    static_cast<unsigned long long>(run.cycle),
+                    run.status.c_str());
+    }
+    // --reg=cpu:1,fpu:2 — unit:number pairs, comma-separated.
+    size_t start = 0;
+    while (start < regs.size()) {
+        size_t comma = regs.find(',', start);
+        if (comma == std::string::npos)
+            comma = regs.size();
+        const std::string item = regs.substr(start, comma - start);
+        const size_t colon = item.find(':');
+        if (colon == std::string::npos)
+            fatal(ErrCode::BadOperand, "--reg items are unit:number");
+        const std::string unit = item.substr(0, colon);
+        const unsigned reg = static_cast<unsigned>(
+            std::stoul(item.substr(colon + 1)));
+        const uint64_t value = client.inspectReg(session, unit, reg);
+        std::printf("%s r%u = 0x%016llx\n", unit.c_str(), reg,
+                    static_cast<unsigned long long>(value));
+        start = comma + 1;
+    }
+    if (!mem.empty()) {
+        const size_t colon = mem.find(':');
+        const uint64_t addr = std::stoull(
+            colon == std::string::npos ? mem : mem.substr(0, colon), nullptr,
+            0);
+        const uint64_t count =
+            colon == std::string::npos
+                ? 1
+                : std::stoull(mem.substr(colon + 1));
+        const std::vector<uint64_t> words =
+            client.inspectMem(session, addr, count);
+        for (size_t i = 0; i < words.size(); ++i) {
+            std::printf("mem[0x%llx] = 0x%016llx\n",
+                        static_cast<unsigned long long>(addr + i * 8),
+                        static_cast<unsigned long long>(words[i]));
+        }
+    }
+    client.inspectClose(session);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    std::string socket, spec, specs, id_text, regs, mem;
+    uint64_t run_cycles = 0;
+    bool wait = true;
+    std::string value;
+    for (int i = 2; i < argc; ++i) {
+        if (flagValue(argv[i], "--socket", value))
+            socket = value;
+        else if (flagValue(argv[i], "--spec", value))
+            spec = value;
+        else if (flagValue(argv[i], "--specs", value))
+            specs = value;
+        else if (flagValue(argv[i], "--id", value))
+            id_text = value;
+        else if (flagValue(argv[i], "--run", value))
+            run_cycles = std::stoull(value);
+        else if (flagValue(argv[i], "--reg", value))
+            regs = value;
+        else if (flagValue(argv[i], "--mem", value))
+            mem = value;
+        else if (std::strcmp(argv[i], "--no-wait") == 0)
+            wait = false;
+    }
+    if (socket.empty())
+        return usage();
+
+    try {
+        if (cmd == "serve")
+            return cmdServe(socket, argc - 2, argv + 2);
+
+        service::SimClient client(socket);
+        if (cmd == "ping") {
+            std::printf("%s\n", client.ping() ? "ok" : "no answer");
+            return 0;
+        }
+        if (cmd == "submit") {
+            if (spec.empty())
+                return usage();
+            const service::JobSpec job_spec =
+                service::JobSpec::parse(readWholeFile(spec));
+            const uint64_t id = client.submit(job_spec);
+            std::printf("job %llu submitted\n",
+                        static_cast<unsigned long long>(id));
+            if (!wait)
+                return 0;
+            const machine::SimJobResult r = client.result(id, true);
+            printResult(id, r);
+            return unexpectedFailure(job_spec, r) ? 1 : 0;
+        }
+        if (cmd == "sweep") {
+            if (specs.empty())
+                return usage();
+            return cmdSweep(client, specs);
+        }
+        if (cmd == "status") {
+            if (id_text.empty()) {
+                const json::Value response = client.request(
+                    "{\"cmd\":\"status\"}");
+                std::printf("jobs=%llu queued=%llu running=%llu "
+                            "done=%llu cancelled=%llu\n",
+                            static_cast<unsigned long long>(
+                                response.at("jobs").asUint()),
+                            static_cast<unsigned long long>(
+                                response.at("queued").asUint()),
+                            static_cast<unsigned long long>(
+                                response.at("running").asUint()),
+                            static_cast<unsigned long long>(
+                                response.at("done").asUint()),
+                            static_cast<unsigned long long>(
+                                response.at("cancelled").asUint()));
+                return 0;
+            }
+            std::printf("%s\n",
+                        client.status(std::stoull(id_text)).c_str());
+            return 0;
+        }
+        if (cmd == "result") {
+            if (id_text.empty())
+                return usage();
+            const uint64_t id = std::stoull(id_text);
+            const machine::SimJobResult r = client.result(id, wait);
+            if (r.name.empty() && !r.ok) {
+                std::printf("job %llu pending\n",
+                            static_cast<unsigned long long>(id));
+                return 0;
+            }
+            printResult(id, r);
+            return 0;
+        }
+        if (cmd == "cancel") {
+            if (id_text.empty())
+                return usage();
+            const bool cancelled = client.cancel(std::stoull(id_text));
+            std::printf("%s\n", cancelled ? "cancelled" : "not queued");
+            return 0;
+        }
+        if (cmd == "shutdown") {
+            client.shutdown();
+            std::printf("daemon stopping\n");
+            return 0;
+        }
+        if (cmd == "cache-stats") {
+            const service::SimClient::CacheStats stats =
+                client.cacheStats();
+            if (!stats.enabled) {
+                std::printf("cache disabled\n");
+                return 0;
+            }
+            std::printf("hits=%llu misses=%llu stores=%llu "
+                        "disk_entries=%llu disk_bytes=%llu\n",
+                        static_cast<unsigned long long>(stats.hits),
+                        static_cast<unsigned long long>(stats.misses),
+                        static_cast<unsigned long long>(stats.stores),
+                        static_cast<unsigned long long>(
+                            stats.diskEntries),
+                        static_cast<unsigned long long>(stats.diskBytes));
+            return 0;
+        }
+        if (cmd == "cache-clear") {
+            std::printf("removed %llu entries\n",
+                        static_cast<unsigned long long>(
+                            client.cacheClear()));
+            return 0;
+        }
+        if (cmd == "inspect") {
+            if (spec.empty())
+                return usage();
+            return cmdInspect(client, spec, run_cycles, regs, mem);
+        }
+        return usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mtfpu-cli: %s\n", e.what());
+        return 2;
+    }
+}

@@ -288,4 +288,19 @@ BENCHMARK(BM_SoftFpDivideMacro);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Stamp the repository's own CMAKE_BUILD_TYPE into the JSON
+    // context. google-benchmark's library_build_type reports how the
+    // *benchmark library* was compiled, which says nothing about the
+    // simulator's optimization level; summarize_sim_speed.py --strict
+    // keys on this field to refuse non-Release baselines.
+    benchmark::AddCustomContext("mtfpu_build_type", MTFPU_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -5,13 +5,22 @@ stable, machine-readable summary.
 Usage:
     ./build/bench/sim_speed --benchmark_out=raw.json \
         --benchmark_out_format=json [--benchmark_min_time=0.4]
-    python3 bench/summarize_sim_speed.py raw.json > BENCH_sim_speed.json
+    python3 bench/summarize_sim_speed.py [--strict] raw.json \
+        > BENCH_sim_speed.json
 
 The summary keeps one record per benchmark (name, wall/CPU time, rate
 counters, label) plus derived backend speedups for benchmarks measured
 under both softfp backends, so a committed baseline stays readable in
 diffs and comparable across machines. Only the Python standard library
 is used.
+
+A committed baseline must come from a Release build: numbers from a
+debug or assert-enabled binary are not comparable and poison every
+later regression diff. sim_speed stamps the simulator's own
+CMAKE_BUILD_TYPE into the JSON context as mtfpu_build_type (the
+benchmark library's library_build_type only describes how *it* was
+compiled); the script warns when that is not a Release build, and
+with --strict refuses (exit 1) to produce a summary from one.
 """
 
 import json
@@ -90,7 +99,7 @@ def summarize(raw):
             "host_name": ctx.get("host_name", ""),
             "num_cpus": ctx.get("num_cpus"),
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-            "build_type": ctx.get("library_build_type", ""),
+            "build_type": build_type_of(raw),
         },
         "benchmarks": benchmarks,
         "host_fast_speedup": speedups,
@@ -98,12 +107,37 @@ def summarize(raw):
     }
 
 
+def build_type_of(raw):
+    """The simulator's build type: the stamped mtfpu_build_type when
+    present, else the benchmark library's own (older raw files)."""
+    ctx = raw.get("context", {})
+    return ctx.get("mtfpu_build_type") or ctx.get(
+        "library_build_type", "")
+
+
+def check_build_type(raw, strict):
+    """Warn (or fail, under --strict) on non-Release measurements."""
+    build_type = build_type_of(raw)
+    if build_type.lower() == "release":
+        return 0
+    sys.stderr.write(
+        "warning: raw benchmark JSON comes from a %r build, not a "
+        "Release build; the numbers are not baseline-worthy\n"
+        % (build_type or "unknown"))
+    return 1 if strict else 0
+
+
 def main(argv):
-    if len(argv) != 2:
+    args = [a for a in argv[1:] if a != "--strict"]
+    strict = len(args) != len(argv) - 1
+    if len(args) != 1:
         sys.stderr.write(__doc__)
         return 2
-    with open(argv[1], "r", encoding="utf-8") as f:
+    with open(args[0], "r", encoding="utf-8") as f:
         raw = json.load(f)
+    status = check_build_type(raw, strict)
+    if status:
+        return status
     json.dump(summarize(raw), sys.stdout, indent=2)
     sys.stdout.write("\n")
     return 0

@@ -343,4 +343,139 @@ parse(const std::string &text)
     return Parser(text).document();
 }
 
+void
+Writer::sep()
+{
+    if (pendingKey_) {
+        // The key already emitted its separator; the value follows
+        // its ':' directly.
+        pendingKey_ = false;
+        return;
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+    }
+}
+
+Writer &
+Writer::beginObject()
+{
+    sep();
+    out_ += '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    out_ += '}';
+    if (!needComma_.empty())
+        needComma_.pop_back();
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    sep();
+    out_ += '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    out_ += ']';
+    if (!needComma_.empty())
+        needComma_.pop_back();
+    return *this;
+}
+
+Writer &
+Writer::key(const std::string &name)
+{
+    sep();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &v)
+{
+    sep();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+Writer &
+Writer::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+Writer &
+Writer::value(bool v)
+{
+    sep();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+Writer &
+Writer::value(double v)
+{
+    sep();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+Writer &
+Writer::value(int v)
+{
+    return value(static_cast<int64_t>(v));
+}
+
+Writer &
+Writer::value(int64_t v)
+{
+    sep();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer &
+Writer::value(uint64_t v)
+{
+    sep();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer &
+Writer::null()
+{
+    sep();
+    out_ += "null";
+    return *this;
+}
+
+Writer &
+Writer::raw(const std::string &json_text)
+{
+    sep();
+    out_ += json_text;
+    return *this;
+}
+
 } // namespace mtfpu::json

@@ -82,6 +82,60 @@ class Value
 /** Parse one JSON document; throws SimError(BadOperand) on errors. */
 Value parse(const std::string &text);
 
+/**
+ * Incremental JSON writer for the wire protocol and job specs: a
+ * small builder that manages commas and escaping so hand-assembled
+ * protocol messages cannot emit structurally invalid JSON. Usage:
+ *
+ *     json::Writer w;
+ *     w.beginObject();
+ *     w.key("cmd").value("submit");
+ *     w.key("id").value(uint64_t{42});
+ *     w.key("tags").beginArray().value("a").value("b").endArray();
+ *     w.endObject();
+ *     send(w.str());
+ *
+ * Integers are emitted as exact decimal tokens (the parser's
+ * asInt/asUint round-trips the full 64-bit range); doubles use %.17g
+ * so they re-parse bit-identically. No validation of key/value
+ * alternation is performed beyond comma placement — this is a
+ * formatting helper for trusted self-produced output, matching the
+ * reader's scope.
+ */
+class Writer
+{
+  public:
+    Writer &beginObject();
+    Writer &endObject();
+    Writer &beginArray();
+    Writer &endArray();
+
+    /** Object key (quoted + escaped, then ':'). */
+    Writer &key(const std::string &name);
+
+    Writer &value(const std::string &v);
+    Writer &value(const char *v);
+    Writer &value(bool v);
+    Writer &value(double v);
+    Writer &value(int v);
+    Writer &value(int64_t v);
+    Writer &value(uint64_t v);
+    Writer &null();
+
+    /** Splice a pre-serialized JSON fragment as one value. */
+    Writer &raw(const std::string &json_text);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    /** Emit the separating comma when needed; mark a value started. */
+    void sep();
+
+    std::string out_;
+    std::vector<bool> needComma_; // per open container
+    bool pendingKey_ = false;
+};
+
 } // namespace mtfpu::json
 
 #endif // MTFPU_COMMON_JSON_HH

@@ -26,6 +26,7 @@ errCodeName(ErrCode code)
       case ErrCode::InvariantViolation: return "invariant-violation";
       case ErrCode::BadProgram: return "bad-program";
       case ErrCode::BadSnapshot: return "bad-snapshot";
+      case ErrCode::Io: return "io";
     }
     return "unknown";
 }

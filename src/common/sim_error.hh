@@ -52,6 +52,7 @@ enum class ErrCode : uint8_t
     InvariantViolation, // internal simulator invariant (panic)
     BadProgram,         // malformed program image (decode validation)
     BadSnapshot,        // truncated/corrupt/incompatible snapshot
+    Io,                 // host I/O failure (socket, cache/journal file)
 };
 
 /** Short stable name of a code, e.g. "hazard-violation". */

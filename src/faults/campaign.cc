@@ -216,6 +216,12 @@ attachPlan(machine::SimJob &job, FaultPlan plan, bool lockstep)
     };
 }
 
+uint64_t
+campaignTrialSeed(uint64_t base, size_t kernel_index, unsigned trial)
+{
+    return trialSeed(base, kernel_index, trial);
+}
+
 const char *
 faultOutcomeName(FaultOutcome outcome)
 {

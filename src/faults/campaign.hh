@@ -57,6 +57,15 @@ enum class FaultOutcome : uint8_t
 /** Short stable name, e.g. "detected-hardware". */
 const char *faultOutcomeName(FaultOutcome outcome);
 
+/**
+ * Deterministic per-trial seed, the exact derivation runCampaign uses
+ * internally. Exposed so tooling (fault_campaign --export-specs) can
+ * regenerate the precise fault plans a campaign with @p base would
+ * run, without running it.
+ */
+uint64_t campaignTrialSeed(uint64_t base, size_t kernel_index,
+                           unsigned trial);
+
 /** One classified trial. */
 struct FaultTrial
 {

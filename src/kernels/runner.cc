@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "kernels/linpack/linpack.hh"
+#include "kernels/livermore/livermore.hh"
 
 namespace mtfpu::kernels
 {
@@ -115,6 +117,53 @@ memImage(const Kernel &kernel, size_t mem_bytes)
             image.emplace_back(addr, word);
     }
     return image;
+}
+
+Kernel
+findKernel(const std::string &ref)
+{
+    std::string name = ref;
+    std::string variant;
+    const size_t colon = ref.find(':');
+    if (colon != std::string::npos) {
+        name = ref.substr(0, colon);
+        variant = ref.substr(colon + 1);
+    }
+    if (!variant.empty() && variant != "vector" && variant != "scalar") {
+        fatal(ErrCode::BadOperand,
+              "unknown kernel variant '" + variant + "' in '" + ref +
+                  "' (expected 'vector' or 'scalar')");
+    }
+
+    if (name.rfind("lfk", 0) == 0 && name.size() == 5) {
+        const int id = (name[3] - '0') * 10 + (name[4] - '0');
+        if (id >= 1 && id <= livermore::kNumLoops) {
+            const bool has_vector = livermore::hasVectorVariant(id);
+            const bool vector =
+                variant.empty() ? has_vector : variant == "vector";
+            if (vector && !has_vector) {
+                fatal(ErrCode::BadOperand,
+                      "kernel '" + name + "' has no vector variant");
+            }
+            return livermore::make(id, vector);
+        }
+    }
+    if (name == "linpack") {
+        const bool vector = variant.empty() || variant == "vector";
+        return linpack::make(vector);
+    }
+    fatal(ErrCode::BadOperand, "unknown kernel reference '" + ref + "'");
+}
+
+machine::SimJob
+pureKernelJob(const Kernel &kernel, const machine::MachineConfig &config)
+{
+    machine::SimJob job;
+    job.name = kernel.name + "/" + kernel.variant;
+    job.program = kernel.program;
+    job.config = config;
+    job.memInit = memImage(kernel, config.memory.memBytes);
+    return job;
 }
 
 double

@@ -81,6 +81,28 @@ KernelResult runKernel(const Kernel &kernel,
 std::vector<std::pair<uint64_t, uint64_t>> memImage(
     const Kernel &kernel, size_t mem_bytes = 4u << 20);
 
+/**
+ * Resolve a kernel reference to its descriptor. The grammar is
+ * "name[:variant]": "lfk01".."lfk24" and "linpack", with variant
+ * "vector" or "scalar" (defaulting to the paper's preferred form —
+ * vector where one exists). Examples: "lfk01", "lfk01:scalar",
+ * "linpack:vector". This is the name space serializable JobSpecs use
+ * to reference a kernel without embedding its program. Throws
+ * SimError(ErrCode::BadOperand) on unknown names/variants.
+ */
+Kernel findKernel(const std::string &ref);
+
+/**
+ * The closure-free form of a kernel run: program + materialized
+ * memImage under @p config, no setup/body hooks — pure, and
+ * therefore memoizable, checkpointable, and result-cacheable. This
+ * measures one (cold) run; the cold+warm measurement protocol of
+ * runKernelBatch inherently needs a body closure and remains the
+ * escape hatch.
+ */
+machine::SimJob pureKernelJob(const Kernel &kernel,
+                              const machine::MachineConfig &config);
+
 /** Validate a kernel's simulated checksum only (used by tests). */
 double kernelError(const Kernel &kernel,
                    const machine::MachineConfig &config =

@@ -1,0 +1,226 @@
+#include "machine/result_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace mtfpu::machine
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'M', 'T', 'R', 'C'};
+
+std::string
+hashName(uint64_t hash)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "rc-%016llx.res",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+/** Read a whole file; empty optional on any IO failure. */
+std::optional<std::vector<uint8_t>>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::vector<uint8_t> data;
+    uint8_t buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.insert(data.end(), buf, buf + n);
+    const bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        return std::nullopt;
+    return data;
+}
+
+} // anonymous namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+bool
+ResultCache::cacheable(const RunStats &stats)
+{
+    return stats.status == RunStatus::Ok ||
+           stats.status == RunStatus::CycleGuard;
+}
+
+std::string
+ResultCache::fileName(const SimJob &job)
+{
+    return hashName(jobContentHash(job));
+}
+
+std::optional<RunStats>
+ResultCache::lookup(const SimJob &job)
+{
+    if (!isPureJob(job)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    const std::string path = dir_ + "/" + fileName(job);
+    const std::optional<std::vector<uint8_t>> data = readAll(path);
+    if (!data) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    // Decode defensively: any structural defect — bad magic, version
+    // drift, truncation, CRC mismatch, content mismatch — is a miss.
+    // The entry is removed so the post-recompute store starts clean.
+    try {
+        const std::vector<uint8_t> &bytes = *data;
+        if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t))
+            throw SimError(ErrCode::BadSnapshot, "result cache: truncated");
+        const uint32_t stored_crc =
+            ByteReader(bytes.data() + bytes.size() - sizeof(uint32_t),
+                       sizeof(uint32_t))
+                .u32();
+        const uint32_t computed =
+            crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+        if (stored_crc != computed)
+            throw SimError(ErrCode::BadSnapshot, "result cache: bad CRC");
+
+        ByteReader in(bytes.data(), bytes.size() - sizeof(uint32_t));
+        char magic[4];
+        for (char &c : magic)
+            c = static_cast<char>(in.u8());
+        if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+            throw SimError(ErrCode::BadSnapshot, "result cache: bad magic");
+        if (in.u32() != kFormatVersion)
+            throw SimError(ErrCode::BadSnapshot,
+                           "result cache: unknown version");
+        const uint64_t hash = in.u64();
+        if (hash != jobContentHash(job))
+            throw SimError(ErrCode::BadSnapshot,
+                           "result cache: hash mismatch");
+        const std::vector<uint8_t> content = in.bytes();
+        if (content != jobContentBlob(job)) {
+            // A real 64-bit collision: another job owns this entry.
+            // Do not delete it — just miss.
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        const std::vector<uint8_t> statsBlob = in.bytes();
+        if (!in.atEnd())
+            throw SimError(ErrCode::BadSnapshot,
+                           "result cache: trailing bytes");
+        ByteReader statsIn(statsBlob);
+        RunStats stats;
+        stats.restoreState(statsIn);
+        if (!cacheable(stats))
+            throw SimError(ErrCode::BadSnapshot,
+                           "result cache: non-cacheable status");
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return stats;
+    } catch (const SimError &err) {
+        warn("result cache entry " + path + " unusable (" + err.what() +
+             "), recomputing");
+        std::remove(path.c_str());
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const SimJob &job, const RunStats &stats)
+{
+    if (!isPureJob(job) || !cacheable(stats))
+        return;
+    try {
+        std::filesystem::create_directories(dir_);
+        ByteWriter out;
+        for (char c : kMagic)
+            out.u8(static_cast<uint8_t>(c));
+        out.u32(kFormatVersion);
+        out.u64(jobContentHash(job));
+        const std::vector<uint8_t> content = jobContentBlob(job);
+        out.bytes(content.data(), content.size());
+        ByteWriter statsOut;
+        stats.saveState(statsOut);
+        out.bytes(statsOut.data().data(), statsOut.size());
+        out.u32(crc32(out.data().data(), out.size()));
+
+        // Unique temp name per writer: concurrent stores of the same
+        // hash never scribble on each other's partial file, and the
+        // final rename is atomic within the directory.
+        const std::string path = dir_ + "/" + fileName(job);
+        const std::string tmp =
+            path + ".tmp." +
+            std::to_string(std::hash<std::thread::id>{}(
+                std::this_thread::get_id()));
+        std::FILE *f = std::fopen(tmp.c_str(), "wb");
+        if (!f) {
+            warn("result cache: cannot write " + tmp);
+            return;
+        }
+        const size_t wrote =
+            std::fwrite(out.data().data(), 1, out.size(), f);
+        const bool ok = wrote == out.size() && std::fclose(f) == 0;
+        if (!ok) {
+            std::remove(tmp.c_str());
+            warn("result cache: short write of " + tmp);
+            return;
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            std::remove(tmp.c_str());
+            warn("result cache: rename failed: " + ec.message());
+            return;
+        }
+        stores_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception &err) {
+        warn(std::string("result cache store failed: ") + err.what());
+    }
+}
+
+ResultCache::DiskStats
+ResultCache::scan() const
+{
+    DiskStats stats;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("rc-", 0) == 0 &&
+            name.size() > 4 && name.substr(name.size() - 4) == ".res") {
+            ++stats.entries;
+            std::error_code sec;
+            const uint64_t sz = entry.file_size(sec);
+            if (!sec)
+                stats.bytes += sz;
+        }
+    }
+    return stats;
+}
+
+uint64_t
+ResultCache::clear()
+{
+    uint64_t removed = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("rc-", 0) == 0 &&
+            name.size() > 4 && name.substr(name.size() - 4) == ".res") {
+            std::error_code rec;
+            if (std::filesystem::remove(entry.path(), rec) && !rec)
+                ++removed;
+        }
+    }
+    return removed;
+}
+
+} // namespace mtfpu::machine

@@ -1,9 +1,13 @@
 /**
  * @file
- * Parallel batch-simulation driver. A study (a figure regeneration,
- * an ablation sweep, a kernel suite) is a list of independent
- * (program, configuration) jobs; the driver runs each job on its own
- * fully isolated Machine instance across a worker-thread pool.
+ * Parallel batch-simulation scheduler. The *description* of a job —
+ * SimJob, its purity rules, and its content identity — lives in
+ * sim_job.hh; this class owns only scheduling policy: the worker
+ * pool, in-batch memoization, the retry-once-then-quarantine failure
+ * containment, periodic checkpointing, and the persistent result
+ * cache hookup. The simulation service (src/service) schedules
+ * through the same runJob() entry point the batch path uses, so both
+ * layers share one containment policy.
  *
  * Determinism: a Machine is a closed system — no shared mutable state
  * exists between jobs (each worker builds its own Machine, memory, and
@@ -14,12 +18,11 @@
  * Memoization: batches frequently repeat the same (program, config)
  * pair — ablation sweeps share a baseline column, figure suites rerun
  * reference rows. Because jobs are closed systems, two *pure* jobs
- * (no setup/body hooks) with identical program code, memory image,
- * and configuration must produce identical RunStats, so the driver
- * simulates one and copies the result to the rest. Jobs carrying
- * setup or body closures are never memoized: a std::function's
- * behavior is not content-hashable. The declarative memInit field
- * exists precisely so data-initialized jobs can stay pure.
+ * (see sim_job.hh) with identical content must produce identical
+ * RunStats, so the driver simulates one and copies the result to the
+ * rest. With a ResultCache attached the same identity extends across
+ * processes and restarts: a pure job whose content hash has a valid
+ * on-disk entry is served without simulating at all.
  *
  * Error containment: a job that fatal()s (bad program, hazard-policy
  * violation, runaway cycle guard) fails alone; its SimJobResult
@@ -37,103 +40,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "assembler/assembler.hh"
-#include "machine/config.hh"
-#include "machine/hook.hh"
-#include "machine/machine.hh"
-#include "machine/stats.hh"
+#include "machine/sim_job.hh"
 
 namespace mtfpu::machine
 {
 
-/** One independent simulation. */
-struct SimJob
-{
-    /** Identifier carried through to the result (table row, test name). */
-    std::string name;
-
-    /** Program image to load. */
-    assembler::Program program;
-
-    /** Machine configuration for this job. */
-    MachineConfig config{};
-
-    /**
-     * Declarative initial memory image: (byte address, 64-bit word)
-     * pairs written after loadProgram and before setup. Prefer this
-     * over a setup closure for plain data initialization — it keeps
-     * the job pure, and therefore memoizable.
-     */
-    std::vector<std::pair<uint64_t, uint64_t>> memInit;
-
-    /**
-     * Optional pre-run hook, called after loadProgram and memInit
-     * (register initialization, observer attachment). Must only touch
-     * the given Machine — it runs on a worker thread. Disqualifies
-     * the job from memoization.
-     */
-    std::function<void(Machine &)> setup;
-
-    /**
-     * Optional run body replacing the default `return m.run()` —
-     * e.g. cold+warm double runs or interrupt scheduling. Same
-     * threading rules as setup; also disqualifies memoization.
-     */
-    std::function<RunStats(Machine &)> body;
-
-    /**
-     * Optional per-cycle mutating hook factory (fault injection).
-     * Called on the worker thread after setup and before the run; the
-     * returned hook is installed with Machine::setHook and kept alive
-     * for the duration of the job. Disqualifies memoization — and,
-     * because the hook mutates state, also marks attempts as
-     * non-deterministic for retry purposes unless faultExpected says
-     * otherwise. Use faults::attachPlan() to populate this from a
-     * FaultPlan.
-     */
-    std::function<std::shared_ptr<MachineHook>(Machine &)> hookFactory;
-
-    /**
-     * This job deliberately injects faults and is *expected* to fail:
-     * a failure is a normal campaign outcome — single attempt, no
-     * retry, no quarantine, no crash-report artifact.
-     */
-    bool faultExpected = false;
-};
-
-/** Outcome of one job. */
-struct SimJobResult
-{
-    std::string name;
-    RunStats stats{};
-    bool ok = false;
-
-    /**
-     * Run outcome tag. Mirrors stats.status; a guarded run
-     * (CycleGuard/Watchdog) reports ok == false with its partial
-     * stats preserved here.
-     */
-    RunStatus status = RunStatus::Ok;
-
-    /** Simulation attempts consumed (2 = failed once, retried). */
-    unsigned attempts = 0;
-
-    /**
-     * A deterministic (non-faultExpected) job failed twice in a row:
-     * the failure reproduces and needs human triage. A crash report
-     * was written if a report directory is configured.
-     */
-    bool quarantined = false;
-
-    std::string error;     // error message when !ok
-    std::string errorCode; // taxonomy name, e.g. "hazard-violation"
-    std::string errorJson; // SimError::to_json() when !ok
-};
+class ResultCache;
 
 /** The batch runner. */
 class SimDriver
@@ -166,17 +82,28 @@ class SimDriver
     const std::string &crashReportDir() const { return crashReportDir_; }
 
     /**
+     * Attach a persistent result cache (nullptr detaches). Pure jobs
+     * consult it before simulating and store their stats after an Ok
+     * or CycleGuard run; closure-carrying jobs bypass it entirely.
+     * The cache must outlive the driver; it is thread-safe and may be
+     * shared between drivers and the simulation service.
+     */
+    void setResultCache(ResultCache *cache) { resultCache_ = cache; }
+    ResultCache *resultCache() const { return resultCache_; }
+
+    /**
      * Enable periodic checkpointing of pure jobs. Every
      * @p interval_cycles simulated cycles the worker pauses the run
      * and writes an atomic snapshot ck-<contenthash>.snap under
      * @p dir; a later batch containing the same job (identical
-     * program, memInit, and config — the memoization identity) picks
-     * the file up and resumes from the last checkpoint, producing
-     * bit-identical final RunStats. A stale, torn, or mismatched
-     * checkpoint is discarded and the job starts fresh; the file is
-     * removed once its job completes. Jobs carrying setup/body/hook
-     * closures never checkpoint — a closure cannot be re-applied from
-     * a file. Pass an empty dir or 0 interval to disable.
+     * program, memInit, regInit, and config — the memoization
+     * identity) picks the file up and resumes from the last
+     * checkpoint, producing bit-identical final RunStats. A stale,
+     * torn, or mismatched checkpoint is discarded and the job starts
+     * fresh; the file is removed once its job completes. Jobs
+     * carrying setup/body/hook closures never checkpoint — a closure
+     * cannot be re-applied from a file. Pass an empty dir or 0
+     * interval to disable.
      */
     void setCheckpoint(std::string dir, uint64_t interval_cycles)
     {
@@ -204,15 +131,28 @@ class SimDriver
      * is arbitrary but the result vector is not. With memoization on,
      * duplicate pure jobs inherit their representative's stats (under
      * their own name) without simulating.
+     *
+     * When any job was disqualified from memoization by a closure the
+     * batch logs one summary line through the job-tagged sink, so
+     * sweep authors notice when a setup closure should have been the
+     * declarative memInit/regInit.
      */
     std::vector<SimJobResult> run(const std::vector<SimJob> &jobs) const;
 
     /**
+     * Run one job under the full scheduling policy — result-cache
+     * lookup/store, retry-once-then-quarantine containment, crash
+     * reports, checkpointing — on the calling thread. This is the
+     * entry point the simulation service schedules through; run()
+     * invokes it once per unique job.
+     */
+    SimJobResult runJob(const SimJob &job) const;
+
+    /**
      * Memoization partition of a batch: result[i] is the index of the
      * first job identical to jobs[i] (== i for unique or non-pure
-     * jobs). Identity means byte-equal program code, memInit, and
-     * config; names are ignored. Exposed for the driver tests and for
-     * callers sizing a batch in advance.
+     * jobs). Identity is sameJobContent(); names are ignored. Exposed
+     * for the driver tests and for callers sizing a batch in advance.
      */
     static std::vector<size_t> uniqueJobs(const std::vector<SimJob> &jobs);
 
@@ -224,11 +164,7 @@ class SimDriver
     static std::string checkpointFileName(const SimJob &job);
 
     /** Memoizable: carries no setup/body/hook closure. */
-    static bool
-    isPure(const SimJob &job)
-    {
-        return !job.setup && !job.body && !job.hookFactory;
-    }
+    static bool isPure(const SimJob &job) { return isPureJob(job); }
 
   private:
     /** One simulation attempt on a freshly constructed Machine. */
@@ -241,7 +177,7 @@ class SimDriver
      */
     RunStats runCheckpointed(const SimJob &job, Machine &machine) const;
 
-    /** Run one job with the retry/quarantine/crash-report policy. */
+    /** Containment policy only (no cache): retry/quarantine/report. */
     SimJobResult runOne(const SimJob &job) const;
 
     /** Write the crash-report artifact for a quarantined job. */
@@ -254,6 +190,7 @@ class SimDriver
     std::string checkpointDir_;
     uint64_t checkpointInterval_ = 0;
     ResultCallback resultCallback_;
+    ResultCache *resultCache_ = nullptr;
 };
 
 } // namespace mtfpu::machine

@@ -1,0 +1,216 @@
+#include "service/client.hh"
+
+#include "common/log.hh"
+#include "service/server.hh" // statsFromHex
+
+namespace mtfpu::service
+{
+
+namespace
+{
+
+/** Requests are small objects; build them with the shared writer. */
+std::string
+simpleRequest(const char *cmd,
+              const std::function<void(json::Writer &)> &fill = nullptr)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("cmd").value(cmd);
+    if (fill)
+        fill(w);
+    w.endObject();
+    return w.str();
+}
+
+} // anonymous namespace
+
+SimClient::SimClient(const std::string &socket_path)
+    : channel_(std::make_unique<LineChannel>(connectUnix(socket_path)))
+{}
+
+json::Value
+SimClient::request(const std::string &request_line)
+{
+    if (!channel_->writeLine(request_line))
+        fatal(ErrCode::Io, "service client: connection lost on write");
+    std::string line;
+    if (!channel_->readLine(line))
+        fatal(ErrCode::Io, "service client: connection lost on read");
+    json::Value response = json::parse(line);
+    if (!response.isObject() || !response.has("ok"))
+        fatal(ErrCode::Io, "service client: malformed response");
+    if (!response.at("ok").asBool()) {
+        const std::string message = response.has("error")
+                                        ? response.at("error").asString()
+                                        : "unspecified daemon error";
+        fatal(ErrCode::Io, "daemon: " + message);
+    }
+    return response;
+}
+
+bool
+SimClient::ping()
+{
+    return request(simpleRequest("ping")).has("version");
+}
+
+uint64_t
+SimClient::submit(const JobSpec &spec)
+{
+    const std::string spec_json = spec.to_json();
+    const json::Value response =
+        request(simpleRequest("submit", [&](json::Writer &w) {
+            w.key("spec").raw(spec_json);
+        }));
+    return response.at("id").asUint();
+}
+
+std::string
+SimClient::status(uint64_t id)
+{
+    const json::Value response =
+        request(simpleRequest("status", [&](json::Writer &w) {
+            w.key("id").value(id);
+        }));
+    return response.at("state").asString();
+}
+
+machine::SimJobResult
+SimClient::result(uint64_t id, bool wait)
+{
+    const json::Value response =
+        request(simpleRequest("result", [&](json::Writer &w) {
+            w.key("id").value(id);
+            w.key("wait").value(wait);
+        }));
+    machine::SimJobResult r;
+    if (response.at("state").asString() != "done")
+        return r; // still pending / cancelled: ok stays false
+    r.name = response.at("name").asString();
+    r.ok = response.at("job_ok").asBool();
+    r.attempts =
+        static_cast<unsigned>(response.at("attempts").asUint());
+    r.quarantined = response.at("quarantined").asBool();
+    r.fromCache = response.at("from_cache").asBool();
+    if (response.has("job_error"))
+        r.error = response.at("job_error").asString();
+    if (response.has("job_error_code"))
+        r.errorCode = response.at("job_error_code").asString();
+    if (response.has("stats_hex")) {
+        r.stats = statsFromHex(response.at("stats_hex").asString());
+        r.status = r.stats.status;
+    }
+    return r;
+}
+
+bool
+SimClient::cancel(uint64_t id)
+{
+    const json::Value response =
+        request(simpleRequest("cancel", [&](json::Writer &w) {
+            w.key("id").value(id);
+        }));
+    return response.at("cancelled").asBool();
+}
+
+void
+SimClient::shutdown()
+{
+    request(simpleRequest("shutdown"));
+}
+
+SimClient::CacheStats
+SimClient::cacheStats()
+{
+    const json::Value response = request(simpleRequest("cache-stats"));
+    CacheStats stats;
+    stats.enabled = response.at("enabled").asBool();
+    if (!stats.enabled)
+        return stats;
+    stats.hits = response.at("hits").asUint();
+    stats.misses = response.at("misses").asUint();
+    stats.stores = response.at("stores").asUint();
+    stats.diskEntries = response.at("disk_entries").asUint();
+    stats.diskBytes = response.at("disk_bytes").asUint();
+    return stats;
+}
+
+uint64_t
+SimClient::cacheClear()
+{
+    return request(simpleRequest("cache-clear")).at("removed").asUint();
+}
+
+uint64_t
+SimClient::inspectOpen(const JobSpec &spec)
+{
+    const std::string spec_json = spec.to_json();
+    const json::Value response =
+        request(simpleRequest("inspect-open", [&](json::Writer &w) {
+            w.key("spec").raw(spec_json);
+        }));
+    return response.at("session").asUint();
+}
+
+SimClient::InspectRun
+SimClient::inspectRun(uint64_t session, uint64_t cycles)
+{
+    const json::Value response =
+        request(simpleRequest("inspect-run", [&](json::Writer &w) {
+            w.key("session").value(session);
+            w.key("cycles").value(cycles);
+        }));
+    InspectRun run;
+    run.status = response.at("status").asString();
+    run.cycle = response.at("cycle").asUint();
+    return run;
+}
+
+uint64_t
+SimClient::inspectReg(uint64_t session, const std::string &unit,
+                      unsigned reg)
+{
+    const json::Value response =
+        request(simpleRequest("inspect-reg", [&](json::Writer &w) {
+            w.key("session").value(session);
+            w.key("unit").value(unit);
+            w.key("reg").value(static_cast<uint64_t>(reg));
+        }));
+    return response.at("value").asUint();
+}
+
+std::vector<uint64_t>
+SimClient::inspectMem(uint64_t session, uint64_t addr, uint64_t count)
+{
+    const json::Value response =
+        request(simpleRequest("inspect-mem", [&](json::Writer &w) {
+            w.key("session").value(session);
+            w.key("addr").value(addr);
+            w.key("count").value(count);
+        }));
+    std::vector<uint64_t> words;
+    for (const json::Value &word : response.at("words").asArray())
+        words.push_back(word.asUint());
+    return words;
+}
+
+uint64_t
+SimClient::inspectCycle(uint64_t session)
+{
+    const json::Value response =
+        request(simpleRequest("inspect-cycle", [&](json::Writer &w) {
+            w.key("session").value(session);
+        }));
+    return response.at("cycle").asUint();
+}
+
+void
+SimClient::inspectClose(uint64_t session)
+{
+    request(simpleRequest("inspect-close", [&](json::Writer &w) {
+        w.key("session").value(session);
+    }));
+}
+
+} // namespace mtfpu::service

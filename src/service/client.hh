@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Thin synchronous client for the simulation daemon. One SimClient
+ * owns one connection; every method is a single request/response
+ * round trip on that connection (the protocol is strictly
+ * half-duplex, so a client is not thread-safe — use one per thread).
+ *
+ * Error mapping: a transport failure (daemon gone, torn line) or an
+ * "ok": false response throws SimError — with the daemon's own error
+ * code when the response carried one — so callers handle daemon
+ * errors exactly like local SimError failures.
+ */
+
+#ifndef MTFPU_SERVICE_CLIENT_HH
+#define MTFPU_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "machine/sim_job.hh"
+#include "service/job_spec.hh"
+#include "service/wire.hh"
+
+namespace mtfpu::service
+{
+
+class SimClient
+{
+  public:
+    /** Connect to a daemon's socket; throws SimError(Io) on failure. */
+    explicit SimClient(const std::string &socket_path);
+
+    /** True when the daemon answers a ping. */
+    bool ping();
+
+    /** Submit a spec; returns the daemon's job id. */
+    uint64_t submit(const JobSpec &spec);
+
+    /** State name for one job ("queued" / "running" / ...). */
+    std::string status(uint64_t id);
+
+    /**
+     * Fetch a job's result, blocking on the daemon until it finishes
+     * (wait == true) or returning immediately with ok == false and an
+     * empty name if it is still pending (wait == false). The returned
+     * SimJobResult is reconstructed from the wire blob and is
+     * bit-identical to the daemon's local result.
+     */
+    machine::SimJobResult result(uint64_t id, bool wait = true);
+
+    /** True if the job was still queued and is now cancelled. */
+    bool cancel(uint64_t id);
+
+    /** Ask the daemon to stop (acknowledged before it exits). */
+    void shutdown();
+
+    struct CacheStats
+    {
+        bool enabled = false;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t stores = 0;
+        uint64_t diskEntries = 0;
+        uint64_t diskBytes = 0;
+    };
+    CacheStats cacheStats();
+
+    /** Clear the daemon's result cache; returns entries removed. */
+    uint64_t cacheClear();
+
+    /** Open a paused-machine inspect session for a pure spec. */
+    uint64_t inspectOpen(const JobSpec &spec);
+
+    struct InspectRun
+    {
+        std::string status; // "paused" / "ok" / guard names
+        uint64_t cycle = 0; // cycle the machine paused before
+    };
+    InspectRun inspectRun(uint64_t session, uint64_t cycles);
+
+    /** Read one register; @p unit is "cpu" or "fpu". */
+    uint64_t inspectReg(uint64_t session, const std::string &unit,
+                        unsigned reg);
+
+    /** Read @p count 64-bit words starting at byte address @p addr. */
+    std::vector<uint64_t> inspectMem(uint64_t session, uint64_t addr,
+                                     uint64_t count = 1);
+
+    uint64_t inspectCycle(uint64_t session);
+    void inspectClose(uint64_t session);
+
+    /**
+     * Raw round trip: send one request object (a complete JSON line),
+     * return the parsed response. Throws SimError on transport
+     * failure or an error response. The typed methods above are
+     * wrappers over this.
+     */
+    json::Value request(const std::string &request_line);
+
+  private:
+    std::unique_ptr<LineChannel> channel_;
+};
+
+} // namespace mtfpu::service
+
+#endif // MTFPU_SERVICE_CLIENT_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Serializable job descriptions (DESIGN.md §11). A JobSpec is the
+ * declarative, JSON-round-trippable form of a SimJob: everything a
+ * simulation needs, expressed as data — a program reference (inline
+ * assembly, raw encoded words, a kernel-registry name, or a fuzz-shard
+ * seed), the full MachineConfig (run guards included), declarative
+ * memory/register images, and an optional fault-plan text. Because a
+ * spec contains no closures, it can cross a process boundary: the
+ * simulation service accepts specs over its socket, and two clients
+ * submitting the same spec share one simulation through the
+ * content-hash result cache.
+ *
+ * Purity rules: a spec without a fault plan resolves to a *pure*
+ * SimJob (memoizable, checkpointable, result-cacheable). A fault-plan
+ * spec resolves to a hookFactory job — reproducible (the plan text is
+ * part of the spec) but excluded from result reuse, exactly like the
+ * closure escape hatch of in-process batches. What a spec cannot
+ * express is precisely what closures are for: custom measurement
+ * bodies, observer attachment, snapshot-restoring setups.
+ */
+
+#ifndef MTFPU_SERVICE_JOB_SPEC_HH
+#define MTFPU_SERVICE_JOB_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+#include "machine/sim_job.hh"
+
+namespace mtfpu::service
+{
+
+/** How a spec names its program. */
+enum class JobKind : uint8_t
+{
+    Assembly, // inline assembler source text
+    Code,     // raw encoded instruction words
+    Kernel,   // kernels::findKernel() reference, e.g. "lfk01:vector"
+    Fuzz,     // fuzz::ProgramGen shard: the program for fuzzSeed
+};
+
+/** Short stable name of a kind ("assembly" / "code" / ...). */
+const char *jobKindName(JobKind kind);
+
+/** Parse a kind name back; throws SimError(BadOperand) on unknown. */
+JobKind jobKindFromName(const std::string &name);
+
+/** One declarative job. */
+struct JobSpec
+{
+    /** Identifier carried through to the result. */
+    std::string name;
+
+    JobKind kind = JobKind::Assembly;
+
+    /** Assembler source (kind == Assembly). */
+    std::string assembly;
+
+    /** Raw encoded instruction words (kind == Code). */
+    std::vector<uint32_t> code;
+
+    /** Kernel-registry reference (kind == Kernel). Resolution also
+     *  materializes the kernel's init closure into memInit, so the
+     *  resolved job is pure. */
+    std::string kernel;
+
+    /** Fuzz-shard program seed (kind == Fuzz). The generator is a
+     *  pure function of the seed, so the spec is fully declarative. */
+    uint64_t fuzzSeed = 0;
+
+    /** Full machine configuration, run guards included. */
+    machine::MachineConfig config{};
+
+    /** Declarative (byte address, 64-bit word) memory image. */
+    std::vector<std::pair<uint64_t, uint64_t>> memInit;
+
+    /** Declarative CPU / FPU register images. */
+    std::vector<std::pair<unsigned, uint64_t>> cpuRegInit;
+    std::vector<std::pair<unsigned, uint64_t>> fpuRegInit;
+
+    /**
+     * Fault-plan text (FaultPlan::parse format); empty = none. A
+     * non-empty plan resolves into a FaultInjector hookFactory and
+     * flags the job faultExpected, mirroring faults::attachPlan.
+     */
+    std::string faultPlan;
+
+    /** Attach the lockstep shadow checker alongside the fault plan. */
+    bool lockstep = false;
+
+    bool operator==(const JobSpec &) const = default;
+
+    /** True when the resolved SimJob will be pure (no fault plan). */
+    bool pure() const { return faultPlan.empty(); }
+
+    /** One JSON object (defaulted fields are still emitted — the
+     *  format favors explicitness over byte count). */
+    std::string to_json() const;
+
+    /** Decode a parsed JSON object; throws SimError(BadOperand) on
+     *  structural problems or unknown kinds. Missing config fields
+     *  take their MachineConfig defaults. */
+    static JobSpec from_json(const json::Value &v);
+
+    /** Convenience: parse text then decode. */
+    static JobSpec parse(const std::string &text);
+
+    /**
+     * Lower the spec into a runnable SimJob: assemble / decode /
+     * resolve the program reference, copy the declarative images, and
+     * wire a fault plan into a hookFactory when present. Throws
+     * SimError on bad program references, malformed assembly, or
+     * undecodable words.
+     */
+    machine::SimJob resolve() const;
+};
+
+/** MachineConfig <-> JSON (shared with the wire protocol). */
+std::string configToJson(const machine::MachineConfig &config);
+machine::MachineConfig configFromJson(const json::Value &v);
+
+} // namespace mtfpu::service
+
+#endif // MTFPU_SERVICE_JOB_SPEC_HH

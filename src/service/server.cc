@@ -1,0 +1,599 @@
+#include "service/server.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "service/wire.hh"
+
+namespace mtfpu::service
+{
+
+namespace
+{
+
+constexpr const char *kProtocolVersion = "1";
+
+std::string
+okResponse(const std::function<void(json::Writer &)> &fill)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("ok").value(true);
+    fill(w);
+    w.endObject();
+    return w.str();
+}
+
+/** Summary fields every result response carries next to stats_hex. */
+void
+writeResultBody(json::Writer &w, const machine::SimJobResult &r)
+{
+    w.key("name").value(r.name);
+    w.key("job_ok").value(r.ok);
+    w.key("status").value(machine::runStatusName(r.status));
+    w.key("cycles").value(r.stats.cycles);
+    w.key("attempts").value(static_cast<uint64_t>(r.attempts));
+    w.key("quarantined").value(r.quarantined);
+    w.key("from_cache").value(r.fromCache);
+    if (!r.error.empty())
+        w.key("job_error").value(r.error);
+    if (!r.errorCode.empty())
+        w.key("job_error_code").value(r.errorCode);
+    if (r.ok || r.status != machine::RunStatus::Ok)
+        w.key("stats_hex").value(statsToHex(r.stats));
+}
+
+} // anonymous namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "queued";
+}
+
+std::string
+bytesToHex(const std::vector<uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+hexToBytes(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        fatal(ErrCode::BadOperand, "hex blob has odd length");
+    auto nibble = [](char c) -> unsigned {
+        if (c >= '0' && c <= '9')
+            return static_cast<unsigned>(c - '0');
+        if (c >= 'a' && c <= 'f')
+            return static_cast<unsigned>(c - 'a' + 10);
+        if (c >= 'A' && c <= 'F')
+            return static_cast<unsigned>(c - 'A' + 10);
+        fatal(ErrCode::BadOperand,
+              std::string("bad hex digit '") + c + "'");
+    };
+    std::vector<uint8_t> out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2)
+        out.push_back(
+            static_cast<uint8_t>(nibble(hex[i]) << 4 | nibble(hex[i + 1])));
+    return out;
+}
+
+std::string
+statsToHex(const machine::RunStats &stats)
+{
+    ByteWriter w;
+    stats.saveState(w);
+    return bytesToHex(w.data());
+}
+
+machine::RunStats
+statsFromHex(const std::string &hex)
+{
+    const std::vector<uint8_t> blob = hexToBytes(hex);
+    ByteReader r(blob);
+    machine::RunStats stats;
+    stats.restoreState(r);
+    return stats;
+}
+
+SimServer::SimServer(ServerConfig config)
+    : config_(std::move(config)), driver_(1, config_.memoize)
+{
+    if (!config_.crashDir.empty())
+        driver_.setCrashReportDir(config_.crashDir);
+    if (!config_.cacheDir.empty()) {
+        cache_ = std::make_unique<machine::ResultCache>(config_.cacheDir);
+        driver_.setResultCache(cache_.get());
+    }
+}
+
+SimServer::~SimServer()
+{
+    stop();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    for (std::thread &t : connections_)
+        if (t.joinable())
+            t.join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (!config_.socketPath.empty())
+        ::unlink(config_.socketPath.c_str());
+}
+
+void
+SimServer::start()
+{
+    listenFd_ = listenUnix(config_.socketPath);
+    unsigned threads = config_.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    inform("service: listening on " + config_.socketPath + " with " +
+           std::to_string(threads) + " workers" +
+           (cache_ ? ", cache at " + config_.cacheDir : ", no cache"));
+}
+
+void
+SimServer::serve()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+SimServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    resultCv_.notify_all();
+    // Unblock accept() and every connection parked in read().
+    // shutdown() reaches a thread inside the syscall, which a bare
+    // close() would not.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+}
+
+void
+SimServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) {
+                if (fd >= 0)
+                    ::close(fd);
+                return;
+            }
+            if (fd < 0)
+                continue; // transient accept failure; keep serving
+            connections_.emplace_back(
+                [this, fd] { handleConnection(fd); });
+        }
+    }
+}
+
+void
+SimServer::workerLoop()
+{
+    for (;;) {
+        uint64_t id = 0;
+        machine::SimJob job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            id = queue_.front();
+            queue_.pop_front();
+            Job &entry = jobs_.at(id);
+            if (entry.state != JobState::Queued)
+                continue; // cancelled while queued
+            entry.state = JobState::Running;
+            job = entry.job; // copy: simulate outside the lock
+        }
+
+        LogJobScope scope("svc-job-" + std::to_string(id));
+        machine::SimJobResult result = driver_.runJob(job);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Job &entry = jobs_.at(id);
+            entry.result = std::move(result);
+            entry.state = JobState::Done;
+        }
+        resultCv_.notify_all();
+    }
+}
+
+void
+SimServer::handleConnection(int fd)
+{
+    LineChannel channel(fd);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        connFds_.push_back(fd);
+    }
+    std::string line;
+    while (channel.readLine(line)) {
+        const std::string response = handleRequest(line);
+        if (!channel.writeLine(response))
+            break;
+        // A shutdown request stops the server after the reply is on
+        // the wire, so the client sees its acknowledgement.
+        try {
+            const json::Value req = json::parse(line);
+            if (req.isObject() && req.has("cmd") &&
+                req.at("cmd").asString() == "shutdown") {
+                stop();
+                break;
+            }
+        } catch (const FatalError &) {
+            // unparseable line already answered with an error
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase(connFds_, fd);
+}
+
+std::string
+SimServer::handleRequest(const std::string &line)
+{
+    try {
+        const json::Value req = json::parse(line);
+        if (!req.isObject() || !req.has("cmd"))
+            return errorResponse("request must be an object with 'cmd'");
+        const std::string cmd = req.at("cmd").asString();
+        if (cmd == "ping")
+            return cmdPing();
+        if (cmd == "submit")
+            return cmdSubmit(req);
+        if (cmd == "status")
+            return cmdStatus(req);
+        if (cmd == "result")
+            return cmdResult(req);
+        if (cmd == "cancel")
+            return cmdCancel(req);
+        if (cmd == "shutdown")
+            return okResponse([](json::Writer &w) {
+                w.key("stopping").value(true);
+            });
+        if (cmd == "cache-stats")
+            return cmdCacheStats();
+        if (cmd == "cache-clear")
+            return cmdCacheClear();
+        if (cmd == "inspect-open")
+            return cmdInspectOpen(req);
+        if (cmd.rfind("inspect-", 0) == 0)
+            return cmdInspect(cmd, req);
+        return errorResponse("unknown command '" + cmd + "'");
+    } catch (const SimError &e) {
+        return errorResponse(e.what(), errCodeName(e.code()));
+    } catch (const FatalError &e) {
+        return errorResponse(e.what());
+    }
+}
+
+std::string
+SimServer::cmdPing()
+{
+    return okResponse([](json::Writer &w) {
+        w.key("version").value(kProtocolVersion);
+    });
+}
+
+std::string
+SimServer::cmdSubmit(const json::Value &req)
+{
+    if (!req.has("spec"))
+        return errorResponse("submit needs a 'spec' object");
+    const JobSpec spec = JobSpec::from_json(req.at("spec"));
+    Job entry;
+    entry.pure = spec.pure();
+    entry.job = spec.resolve(); // throws on bad programs: caught above
+    uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return errorResponse("server is shutting down");
+        id = nextJobId_++;
+        entry.id = id;
+        jobs_.emplace(id, std::move(entry));
+        queue_.push_back(id);
+    }
+    queueCv_.notify_one();
+    const bool pure = spec.pure();
+    return okResponse([&](json::Writer &w) {
+        w.key("id").value(id);
+        w.key("pure").value(pure);
+    });
+}
+
+std::string
+SimServer::cmdStatus(const json::Value &req)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (req.has("id")) {
+        const uint64_t id = req.at("id").asUint();
+        const auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return errorResponse("no job " + std::to_string(id));
+        const Job &entry = it->second;
+        return okResponse([&](json::Writer &w) {
+            w.key("id").value(id);
+            w.key("state").value(jobStateName(entry.state));
+            w.key("name").value(entry.job.name);
+            w.key("pure").value(entry.pure);
+        });
+    }
+    uint64_t queued = 0, running = 0, done = 0, cancelled = 0;
+    for (const auto &[id, entry] : jobs_) {
+        switch (entry.state) {
+          case JobState::Queued: ++queued; break;
+          case JobState::Running: ++running; break;
+          case JobState::Done: ++done; break;
+          case JobState::Cancelled: ++cancelled; break;
+        }
+    }
+    return okResponse([&](json::Writer &w) {
+        w.key("jobs").value(static_cast<uint64_t>(jobs_.size()));
+        w.key("queued").value(queued);
+        w.key("running").value(running);
+        w.key("done").value(done);
+        w.key("cancelled").value(cancelled);
+    });
+}
+
+std::string
+SimServer::cmdResult(const json::Value &req)
+{
+    if (!req.has("id"))
+        return errorResponse("result needs an 'id'");
+    const uint64_t id = req.at("id").asUint();
+    const bool wait = !req.has("wait") || req.at("wait").asBool();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return errorResponse("no job " + std::to_string(id));
+    if (wait) {
+        resultCv_.wait(lock, [&] {
+            return stopping_ || it->second.state == JobState::Done ||
+                   it->second.state == JobState::Cancelled;
+        });
+    }
+    const Job &entry = it->second;
+    if (entry.state != JobState::Done) {
+        return okResponse([&](json::Writer &w) {
+            w.key("id").value(id);
+            w.key("state").value(jobStateName(entry.state));
+        });
+    }
+    return okResponse([&](json::Writer &w) {
+        w.key("id").value(id);
+        w.key("state").value(jobStateName(entry.state));
+        writeResultBody(w, entry.result);
+    });
+}
+
+std::string
+SimServer::cmdCancel(const json::Value &req)
+{
+    if (!req.has("id"))
+        return errorResponse("cancel needs an 'id'");
+    const uint64_t id = req.at("id").asUint();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return errorResponse("no job " + std::to_string(id));
+    const bool cancelled = it->second.state == JobState::Queued;
+    if (cancelled)
+        it->second.state = JobState::Cancelled;
+    resultCv_.notify_all();
+    return okResponse([&](json::Writer &w) {
+        w.key("id").value(id);
+        w.key("cancelled").value(cancelled);
+        w.key("state").value(jobStateName(it->second.state));
+    });
+}
+
+std::string
+SimServer::cmdCacheStats()
+{
+    if (!cache_)
+        return okResponse([](json::Writer &w) {
+            w.key("enabled").value(false);
+        });
+    const machine::ResultCache::DiskStats disk = cache_->scan();
+    return okResponse([&](json::Writer &w) {
+        w.key("enabled").value(true);
+        w.key("dir").value(cache_->dir());
+        w.key("hits").value(cache_->hits());
+        w.key("misses").value(cache_->misses());
+        w.key("stores").value(cache_->stores());
+        w.key("disk_entries").value(disk.entries);
+        w.key("disk_bytes").value(disk.bytes);
+    });
+}
+
+std::string
+SimServer::cmdCacheClear()
+{
+    if (!cache_)
+        return okResponse([](json::Writer &w) {
+            w.key("enabled").value(false);
+            w.key("removed").value(uint64_t{0});
+        });
+    const uint64_t removed = cache_->clear();
+    return okResponse([&](json::Writer &w) {
+        w.key("enabled").value(true);
+        w.key("removed").value(removed);
+    });
+}
+
+std::string
+SimServer::cmdInspectOpen(const json::Value &req)
+{
+    if (!req.has("spec"))
+        return errorResponse("inspect-open needs a 'spec' object");
+    const JobSpec spec = JobSpec::from_json(req.at("spec"));
+    if (!spec.pure()) {
+        return errorResponse(
+            "inspect sessions take pure specs (no fault plan)");
+    }
+    const machine::SimJob job = spec.resolve();
+    auto session = std::make_shared<InspectSession>();
+    session->machine = std::make_unique<machine::Machine>(job.config);
+    session->machine->loadProgram(job.program);
+    machine::applyJobInit(job, *session->machine);
+
+    uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return errorResponse("server is shutting down");
+        id = nextSessionId_++;
+        sessions_.emplace(id, std::move(session));
+    }
+    return okResponse([&](json::Writer &w) {
+        w.key("session").value(id);
+    });
+}
+
+std::string
+SimServer::cmdInspect(const std::string &cmd, const json::Value &req)
+{
+    if (!req.has("session"))
+        return errorResponse(cmd + " needs a 'session'");
+    const uint64_t id = req.at("session").asUint();
+
+    std::shared_ptr<InspectSession> session;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end())
+            return errorResponse("no inspect session " +
+                                 std::to_string(id));
+        session = it->second;
+        if (cmd == "inspect-close") {
+            sessions_.erase(it);
+            return okResponse([&](json::Writer &w) {
+                w.key("session").value(id);
+                w.key("closed").value(true);
+            });
+        }
+    }
+
+    // Per-session serialization; distinct sessions run concurrently.
+    std::lock_guard<std::mutex> guard(session->mutex);
+    machine::Machine &m = *session->machine;
+
+    if (cmd == "inspect-run") {
+        if (!req.has("cycles"))
+            return errorResponse("inspect-run needs 'cycles'");
+        const uint64_t cycles = req.at("cycles").asUint();
+        const machine::RunStats stats = m.runUntil(m.nextCycle() + cycles);
+        return okResponse([&](json::Writer &w) {
+            w.key("session").value(id);
+            w.key("status").value(machine::runStatusName(stats.status));
+            w.key("cycle").value(m.nextCycle());
+            w.key("cycles_done").value(stats.cycles);
+        });
+    }
+    if (cmd == "inspect-reg") {
+        if (!req.has("unit") || !req.has("reg"))
+            return errorResponse("inspect-reg needs 'unit' and 'reg'");
+        const std::string unit = req.at("unit").asString();
+        const unsigned reg =
+            static_cast<unsigned>(req.at("reg").asUint());
+        uint64_t value = 0;
+        if (unit == "cpu")
+            value = m.cpu().readReg(reg);
+        else if (unit == "fpu")
+            value = m.fpu().regs().read(reg);
+        else
+            return errorResponse("unit must be 'cpu' or 'fpu'");
+        return okResponse([&](json::Writer &w) {
+            w.key("session").value(id);
+            w.key("unit").value(unit);
+            w.key("reg").value(static_cast<uint64_t>(reg));
+            w.key("value_hex").value(bytesToHex({
+                static_cast<uint8_t>(value >> 56),
+                static_cast<uint8_t>(value >> 48),
+                static_cast<uint8_t>(value >> 40),
+                static_cast<uint8_t>(value >> 32),
+                static_cast<uint8_t>(value >> 24),
+                static_cast<uint8_t>(value >> 16),
+                static_cast<uint8_t>(value >> 8),
+                static_cast<uint8_t>(value),
+            }));
+            w.key("value").value(value);
+        });
+    }
+    if (cmd == "inspect-mem") {
+        if (!req.has("addr"))
+            return errorResponse("inspect-mem needs 'addr'");
+        const uint64_t addr = req.at("addr").asUint();
+        const uint64_t count =
+            req.has("count") ? req.at("count").asUint() : 1;
+        if (count > 4096)
+            return errorResponse("inspect-mem count capped at 4096");
+        return okResponse([&](json::Writer &w) {
+            w.key("session").value(id);
+            w.key("addr").value(addr);
+            w.key("words").beginArray();
+            for (uint64_t i = 0; i < count; ++i)
+                w.value(m.mem().read64(addr + i * 8));
+            w.endArray();
+        });
+    }
+    if (cmd == "inspect-cycle") {
+        return okResponse([&](json::Writer &w) {
+            w.key("session").value(id);
+            w.key("cycle").value(m.nextCycle());
+        });
+    }
+    return errorResponse("unknown command '" + cmd + "'");
+}
+
+} // namespace mtfpu::service

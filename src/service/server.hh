@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The simulation daemon (DESIGN.md §11). SimServer listens on a
+ * Unix-domain socket, accepts newline-delimited-JSON requests, and
+ * schedules submitted JobSpecs onto a SimDriver worker pool backed by
+ * the shared on-disk ResultCache — so a sweep submitted twice (or
+ * resubmitted after a daemon restart) is served warm without
+ * simulating. Failure containment is the driver's own policy: a
+ * deterministic job that fails twice is quarantined with a crash
+ * report, and the rest of the queue keeps draining.
+ *
+ * Protocol (one JSON object per line; every request carries "cmd",
+ * every response carries "ok"):
+ *
+ *   cmd            request fields        response fields
+ *   ----------     -------------------   ------------------------------
+ *   ping                                 version
+ *   submit         spec                  id, cached-eligible "pure"
+ *   status         [id]                  one job / queue counters
+ *   result         id [, wait]           state, stats summary, stats_hex
+ *   cancel         id                    cancelled
+ *   shutdown                             (server stops after replying)
+ *   cache-stats                          hits/misses/stores + disk census
+ *   cache-clear                          removed count
+ *   inspect-open   spec                  session
+ *   inspect-run    session, cycles       cycle, status (paused machine)
+ *   inspect-reg    session, unit, reg    value (hex string)
+ *   inspect-mem    session, addr [,n]    words (hex strings)
+ *   inspect-cycle  session               cycle
+ *   inspect-close  session               closed
+ *
+ * The inspect commands hold a private paused Machine per session —
+ * the interactive read-registers/read-memory/step loop mgsim exposes
+ * through its monitor, here reached over the same socket as batch
+ * submission. Inspect sessions are serialized per session by a mutex;
+ * distinct sessions run concurrently.
+ *
+ * RunStats crosses the wire as "stats_hex": the hex encoding of the
+ * stats saveState() blob. A summary (cycles, status, mflops inputs)
+ * rides alongside for humans, but the blob is the contract — clients
+ * reconstruct bit-identical RunStats, which is what the cross-process
+ * determinism test asserts.
+ */
+
+#ifndef MTFPU_SERVICE_SERVER_HH
+#define MTFPU_SERVICE_SERVER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machine/result_cache.hh"
+#include "machine/sim_driver.hh"
+#include "service/job_spec.hh"
+
+namespace mtfpu::service
+{
+
+struct ServerConfig
+{
+    /** Socket path; a stale socket file is replaced on startup. */
+    std::string socketPath;
+
+    /** Simulation worker threads; 0 = hardware_concurrency. */
+    unsigned threads = 0;
+
+    /** On-disk result cache directory; empty disables persistence. */
+    std::string cacheDir;
+
+    /** Crash-report directory for quarantined jobs; empty disables. */
+    std::string crashDir;
+
+    /** In-process memoization inside the driver (kept on for parity
+     *  with batch runs; the on-disk cache is separate). */
+    bool memoize = true;
+};
+
+/** Lifecycle state of a submitted job. */
+enum class JobState : uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+};
+
+const char *jobStateName(JobState state);
+
+/** The daemon. start() spawns the accept loop; serve() joins it. */
+class SimServer
+{
+  public:
+    explicit SimServer(ServerConfig config);
+    ~SimServer();
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /** Bind the socket and spawn accept + worker threads. */
+    void start();
+
+    /** Block until shutdown (a 'shutdown' command or stop()). */
+    void serve();
+
+    /** Request shutdown from another thread; idempotent. */
+    void stop();
+
+    const ServerConfig &config() const { return config_; }
+
+    /** The shared cache, for tests; nullptr when persistence is off. */
+    machine::ResultCache *cache() { return cache_.get(); }
+
+  private:
+    struct Job
+    {
+        uint64_t id = 0;
+        JobState state = JobState::Queued;
+        bool pure = false;
+        machine::SimJob job;        // resolved, ready to run
+        machine::SimJobResult result;
+    };
+
+    struct InspectSession
+    {
+        std::mutex mutex;
+        std::unique_ptr<machine::Machine> machine;
+    };
+
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(int fd);
+
+    /** Dispatch one request line; returns the response line. */
+    std::string handleRequest(const std::string &line);
+
+    std::string cmdPing();
+    std::string cmdSubmit(const json::Value &req);
+    std::string cmdStatus(const json::Value &req);
+    std::string cmdResult(const json::Value &req);
+    std::string cmdCancel(const json::Value &req);
+    std::string cmdCacheStats();
+    std::string cmdCacheClear();
+    std::string cmdInspectOpen(const json::Value &req);
+    std::string cmdInspect(const std::string &cmd, const json::Value &req);
+
+    ServerConfig config_;
+    machine::SimDriver driver_;
+    std::unique_ptr<machine::ResultCache> cache_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    std::vector<std::thread> connections_;
+    std::vector<int> connFds_; // live connections, for stop() wakeups
+
+    std::mutex mutex_; // guards jobs_, queue_, sessions_, stopping_
+    std::condition_variable queueCv_;  // workers wait for jobs
+    std::condition_variable resultCv_; // result-waiters wait for Done
+    std::map<uint64_t, Job> jobs_;
+    std::deque<uint64_t> queue_;
+    uint64_t nextJobId_ = 1;
+    std::map<uint64_t, std::shared_ptr<InspectSession>> sessions_;
+    uint64_t nextSessionId_ = 1;
+    bool stopping_ = false;
+};
+
+/** Hex helpers shared by server, client, and tests. */
+std::string bytesToHex(const std::vector<uint8_t> &bytes);
+std::vector<uint8_t> hexToBytes(const std::string &hex);
+
+/** RunStats <-> wire encoding (saveState blob as hex). */
+std::string statsToHex(const machine::RunStats &stats);
+machine::RunStats statsFromHex(const std::string &hex);
+
+} // namespace mtfpu::service
+
+#endif // MTFPU_SERVICE_SERVER_HH

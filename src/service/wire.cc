@@ -1,0 +1,139 @@
+#include "service/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace mtfpu::service
+{
+
+namespace
+{
+
+sockaddr_un
+makeAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof(addr.sun_path)) {
+        fatal(ErrCode::Io, "socket path too long (" +
+                               std::to_string(path.size()) + " > " +
+                               std::to_string(sizeof(addr.sun_path) - 1) +
+                               "): " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+[[noreturn]] void
+sysFatal(const std::string &what, const std::string &path)
+{
+    fatal(ErrCode::Io, what + " " + path + ": " + std::strerror(errno));
+}
+
+} // anonymous namespace
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    const sockaddr_un addr = makeAddr(path);
+    ::unlink(path.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        sysFatal("socket() for", path);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        sysFatal("bind() to", path);
+    }
+    if (::listen(fd, backlog) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        errno = saved;
+        sysFatal("listen() on", path);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = makeAddr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        sysFatal("socket() for", path);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        sysFatal("connect() to", path);
+    }
+    return fd;
+}
+
+LineChannel::~LineChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+LineChannel::readLine(std::string &line)
+{
+    for (;;) {
+        const size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+        while (got < 0 && errno == EINTR)
+            got = ::read(fd_, chunk, sizeof(chunk));
+        if (got <= 0)
+            return false; // EOF or error; any buffered fragment is torn
+        buf_.append(chunk, static_cast<size_t>(got));
+    }
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t put = ::write(fd_, out.data() + sent, out.size() - sent);
+        if (put < 0 && errno == EINTR)
+            continue;
+        if (put <= 0)
+            return false;
+        sent += static_cast<size_t>(put);
+    }
+    return true;
+}
+
+std::string
+errorResponse(const std::string &message, const std::string &error_code)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("ok").value(false);
+    w.key("error").value(message);
+    if (!error_code.empty())
+        w.key("error_code").value(error_code);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace mtfpu::service

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Wire layer of the simulation service (DESIGN.md §11): Unix-domain
+ * stream sockets carrying newline-delimited JSON — one request object
+ * per line in, one response object per line out. The framing is
+ * deliberately the simplest thing that composes with the codebase's
+ * existing artifact discipline: the same json::parse that reads
+ * campaign journals reads requests, a torn line fails cleanly, and
+ * every message is greppable in a socket capture.
+ *
+ * Every response carries "ok": true/false; failures add "error" (and
+ * "error_code" when a structured SimError caused them). Protocol
+ * errors never kill the connection — the server answers with an error
+ * response and keeps reading.
+ */
+
+#ifndef MTFPU_SERVICE_WIRE_HH
+#define MTFPU_SERVICE_WIRE_HH
+
+#include <string>
+
+namespace mtfpu::service
+{
+
+/**
+ * Create, bind, and listen on a Unix-domain stream socket at @p path.
+ * A stale socket file from a dead daemon is unlinked first (a live
+ * daemon holds its listener open, so binding over it would fail with
+ * EADDRINUSE before the unlink could race anything living). Throws
+ * SimError(ErrCode::Io) on any syscall failure; the path length is
+ * checked against sockaddr_un limits.
+ */
+int listenUnix(const std::string &path, int backlog = 16);
+
+/** Connect to a listening Unix socket; throws SimError(Io) on failure. */
+int connectUnix(const std::string &path);
+
+/**
+ * Line-oriented channel over a connected fd. Reading buffers until
+ * '\n'; writing appends one. The channel owns the fd and closes it on
+ * destruction. Not thread-safe — one channel per connection thread.
+ */
+class LineChannel
+{
+  public:
+    explicit LineChannel(int fd) : fd_(fd) {}
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /**
+     * Read one newline-terminated line (the newline is stripped).
+     * Returns false on EOF or a read error; a final unterminated
+     * fragment at EOF is discarded — a torn request is no request,
+     * the same rule journals apply to torn trailing lines.
+     */
+    bool readLine(std::string &line);
+
+    /** Write @p line plus '\n'; false on any write failure. */
+    bool writeLine(const std::string &line);
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    std::string buf_; // bytes read past the last returned line
+};
+
+/** Build the standard error response line. */
+std::string errorResponse(const std::string &message,
+                          const std::string &error_code = "");
+
+} // namespace mtfpu::service
+
+#endif // MTFPU_SERVICE_WIRE_HH

@@ -171,5 +171,50 @@ TEST(Json, RejectsMalformedInput)
     EXPECT_THROW(json::parse("{\"a\":1} extra"), SimError);
 }
 
+TEST(Json, WriterOutputReparsesExactly)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("cmd").value("submit");
+    w.key("quoted").value("a\"b\\c\nd");
+    w.key("big").value(uint64_t{15433680952126389759ull});
+    w.key("neg").value(INT64_MIN);
+    w.key("pi").value(3.141592653589793);
+    w.key("flag").value(true);
+    w.key("none").null();
+    w.key("tags").beginArray().value("a").value(2).endArray();
+    w.key("nested").beginObject().key("x").value(7).endObject();
+    w.key("spliced").raw("[1,2,3]");
+    w.endObject();
+
+    const json::Value v = json::parse(w.str());
+    EXPECT_EQ(v.at("cmd").asString(), "submit");
+    EXPECT_EQ(v.at("quoted").asString(), "a\"b\\c\nd");
+    EXPECT_EQ(v.at("big").asUint(), 15433680952126389759ull);
+    EXPECT_EQ(v.at("neg").asInt(), INT64_MIN);
+    EXPECT_EQ(v.at("pi").asNumber(), 3.141592653589793);
+    EXPECT_TRUE(v.at("flag").asBool());
+    EXPECT_TRUE(v.at("none").isNull());
+    ASSERT_EQ(v.at("tags").asArray().size(), 2u);
+    EXPECT_EQ(v.at("tags").asArray()[0].asString(), "a");
+    EXPECT_EQ(v.at("nested").at("x").asInt(), 7);
+    EXPECT_EQ(v.at("spliced").asArray().size(), 3u);
+}
+
+TEST(Json, WriterCommasAndEmptyContainers)
+{
+    json::Writer arrays;
+    arrays.beginArray();
+    arrays.beginObject().endObject();
+    arrays.beginArray().endArray();
+    arrays.value(1).value(2);
+    arrays.endArray();
+    EXPECT_EQ(arrays.str(), "[{},[],1,2]");
+
+    json::Writer top;
+    top.value(uint64_t{42});
+    EXPECT_EQ(top.str(), "42");
+}
+
 } // anonymous namespace
 } // namespace mtfpu

@@ -1,0 +1,849 @@
+/**
+ * @file
+ * Simulation-service tests (DESIGN.md §11): JobSpec JSON round-trips
+ * and resolution, the on-disk ResultCache (corruption fallback,
+ * cross-restart hits, concurrent writers), the driver's cache hookup
+ * and closure-disqualification batch log, the NDJSON wire framing,
+ * and the daemon end-to-end — a client thread drives a sweep over the
+ * Unix socket, results come back bit-identical to in-process
+ * SimDriver runs, a repeated pure job is served from cache, and a
+ * restarted daemon serves the same sweep warm from disk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "assembler/assembler.hh"
+#include "common/bytestream.hh"
+#include "common/log.hh"
+#include "faults/fault_plan.hh"
+#include "kernels/runner.hh"
+#include "machine/result_cache.hh"
+#include "machine/sim_driver.hh"
+#include "service/client.hh"
+#include "service/job_spec.hh"
+#include "service/server.hh"
+#include "service/wire.hh"
+
+namespace
+{
+
+using namespace mtfpu;
+
+/** A self-cleaning temp directory for cache/socket tests. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(std::filesystem::temp_directory_path() /
+                ("mtfpu_service_" + tag))
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+
+    std::string file(const std::string &name) const
+    {
+        return (path_ / name).string();
+    }
+    std::string path() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+/** Count-down loop: cycles scale with @p n, result lands in r1 (0). */
+std::string
+countdownAsm(int n)
+{
+    return "        addi r1, r0, " + std::to_string(n) +
+           "\n"
+           "loop:   subi r1, r1, 1\n"
+           "        bne  r1, r0, loop\n"
+           "        nop\n"
+           "        halt\n";
+}
+
+service::JobSpec
+countdownSpec(int n)
+{
+    service::JobSpec spec;
+    spec.name = "count-" + std::to_string(n);
+    spec.kind = service::JobKind::Assembly;
+    spec.assembly = countdownAsm(n);
+    return spec;
+}
+
+/** A pure SimJob with real work, for cache tests. */
+machine::SimJob
+countdownJob(int n)
+{
+    machine::SimJob job;
+    job.name = "count-" + std::to_string(n);
+    job.program = assembler::assemble(countdownAsm(n));
+    return job;
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JobSpec, JsonRoundTripAllKinds)
+{
+    service::JobSpec assembly;
+    assembly.name = "asm";
+    assembly.kind = service::JobKind::Assembly;
+    assembly.assembly = "  halt\n";
+    assembly.memInit = {{0x100, 0xdeadbeefull}, {0x108, 42}};
+    assembly.cpuRegInit = {{1, 7}, {2, 0xffffffffffffffffull}};
+    assembly.fpuRegInit = {{3, 0x3ff0000000000000ull}};
+    assembly.config.fpuLatency = 5;
+    assembly.config.maxCycles = 123456789;
+
+    service::JobSpec code;
+    code.name = "code";
+    code.kind = service::JobKind::Code;
+    code.code = {0u, 0xffffffffu, 0x12345678u};
+
+    service::JobSpec kernel;
+    kernel.name = "k";
+    kernel.kind = service::JobKind::Kernel;
+    kernel.kernel = "lfk01:vector";
+    kernel.faultPlan = "";
+
+    service::JobSpec fuzzSpec;
+    fuzzSpec.kind = service::JobKind::Fuzz;
+    fuzzSpec.fuzzSeed = 0xdeadbeefcafef00dull;
+
+    for (const service::JobSpec &spec :
+         {assembly, code, kernel, fuzzSpec}) {
+        const service::JobSpec back =
+            service::JobSpec::parse(spec.to_json());
+        EXPECT_TRUE(back == spec) << spec.to_json();
+    }
+}
+
+TEST(JobSpec, ConfigJsonRoundTrip)
+{
+    machine::MachineConfig config;
+    config.fpuLatency = 7;
+    config.cycleNs = 25.5;
+    config.storeCycles = 3;
+    config.overlapWithVector = false;
+    config.hazardPolicy = machine::HazardPolicy::Stall;
+    config.maxCycles = 0xfedcba9876543210ull;
+    config.watchdogMs = 1234;
+    config.memory.memBytes = 1 << 20;
+    config.memory.modelCaches = true;
+    config.memory.dataCache.sizeBytes = 4096;
+    config.memory.dataCache.lineBytes = 16;
+    config.memory.dataCache.missPenalty = 9;
+    config.memory.dataCache.writeAllocate = true;
+    config.memory.instrCache.sizeBytes = 2048;
+
+    const machine::MachineConfig back = service::configFromJson(
+        json::parse(service::configToJson(config)));
+    EXPECT_TRUE(back == config);
+}
+
+TEST(JobSpec, FromJsonRejectsMalformedSpecs)
+{
+    EXPECT_THROW(service::JobSpec::parse("[1,2]"), SimError);
+    EXPECT_THROW(service::JobSpec::parse("{\"kind\":\"nope\"}"),
+                 SimError);
+    // kind present but its program field missing
+    EXPECT_THROW(service::JobSpec::parse("{\"kind\":\"kernel\"}"),
+                 SimError);
+    EXPECT_THROW(service::JobSpec::parse(
+                     "{\"kind\":\"assembly\",\"assembly\":\"halt\","
+                     "\"mem_init\":[[1]]}"),
+                 SimError);
+}
+
+// ----------------------------------------------------------- resolution
+
+TEST(JobSpec, ResolveAssemblyRuns)
+{
+    const service::JobSpec spec = countdownSpec(3);
+    const machine::SimJob job = spec.resolve();
+    EXPECT_TRUE(machine::isPureJob(job));
+    const machine::SimJobResult result =
+        machine::SimDriver(1).runJob(job);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.stats.cycles, 0u);
+}
+
+TEST(JobSpec, ResolveKernelMatchesPureKernelJob)
+{
+    service::JobSpec spec;
+    spec.kind = service::JobKind::Kernel;
+    spec.kernel = "lfk01:vector";
+
+    const machine::SimJob resolved = spec.resolve();
+    EXPECT_EQ(resolved.name, "lfk01/vector");
+    EXPECT_TRUE(machine::isPureJob(resolved));
+
+    const kernels::Kernel k = kernels::findKernel("lfk01:vector");
+    const machine::SimJob direct =
+        kernels::pureKernelJob(k, spec.config);
+    EXPECT_EQ(machine::jobContentHash(resolved),
+              machine::jobContentHash(direct));
+    EXPECT_TRUE(machine::sameJobContent(resolved, direct));
+}
+
+TEST(JobSpec, ResolveFuzzIsDeterministic)
+{
+    service::JobSpec spec;
+    spec.kind = service::JobKind::Fuzz;
+    spec.fuzzSeed = 17;
+    const machine::SimJob a = spec.resolve();
+    const machine::SimJob b = spec.resolve();
+    EXPECT_TRUE(machine::sameJobContent(a, b));
+    EXPECT_EQ(a.name, "fuzz-17");
+
+    spec.fuzzSeed = 18;
+    const machine::SimJob c = spec.resolve();
+    EXPECT_FALSE(machine::sameJobContent(a, c));
+}
+
+TEST(JobSpec, ResolveFaultPlanAttachesHook)
+{
+    service::JobSpec spec = countdownSpec(100);
+    spec.faultPlan = "";
+    EXPECT_TRUE(spec.pure());
+    EXPECT_TRUE(machine::isPureJob(spec.resolve()));
+
+    // A plan makes the job a hookFactory job, flagged faultExpected.
+    spec.faultPlan = faults::FaultPlan::randomSingle(5, 200).describe();
+    EXPECT_FALSE(spec.pure());
+    const machine::SimJob faulting = spec.resolve();
+    EXPECT_FALSE(machine::isPureJob(faulting));
+    EXPECT_TRUE(static_cast<bool>(faulting.hookFactory));
+    EXPECT_TRUE(faulting.faultExpected);
+}
+
+TEST(KernelRegistry, FindKernelReferences)
+{
+    EXPECT_EQ(kernels::findKernel("lfk01").variant, "vector");
+    EXPECT_EQ(kernels::findKernel("lfk01:scalar").variant, "scalar");
+    EXPECT_EQ(kernels::findKernel("linpack").variant, "vector");
+    EXPECT_EQ(kernels::findKernel("linpack:scalar").variant, "scalar");
+    EXPECT_THROW(kernels::findKernel("lfk99"), SimError);
+    EXPECT_THROW(kernels::findKernel("nosuch"), SimError);
+    EXPECT_THROW(kernels::findKernel("lfk01:turbo"), SimError);
+}
+
+// -------------------------------------------------------------- regInit
+
+TEST(SimJob, RegInitKeepsJobPureAndChangesContent)
+{
+    machine::SimJob job;
+    job.program = assembler::assemble(R"(
+        loop:   subi r1, r1, 1
+                bne  r1, r0, loop
+                nop
+                halt
+    )");
+    job.cpuRegInit = {{1, 5}};
+    EXPECT_TRUE(machine::isPureJob(job));
+
+    machine::SimJob longer = job;
+    longer.cpuRegInit = {{1, 50}};
+    EXPECT_NE(machine::jobContentHash(job),
+              machine::jobContentHash(longer));
+    EXPECT_FALSE(machine::sameJobContent(job, longer));
+
+    // The register image really reaches the machine: more iterations,
+    // more cycles.
+    const machine::SimDriver driver(1);
+    const machine::SimJobResult five = driver.runJob(job);
+    const machine::SimJobResult fifty = driver.runJob(longer);
+    ASSERT_TRUE(five.ok) << five.error;
+    ASSERT_TRUE(fifty.ok) << fifty.error;
+    EXPECT_GT(fifty.stats.cycles, five.stats.cycles);
+}
+
+// --------------------------------------------------------- result cache
+
+TEST(ResultCache, HitReturnsBitIdenticalStatsAcrossRestart)
+{
+    TempDir dir("cache_hit");
+    const machine::SimJob job = countdownJob(64);
+    const machine::SimJobResult run =
+        machine::SimDriver(1).runJob(job);
+    ASSERT_TRUE(run.ok) << run.error;
+
+    {
+        machine::ResultCache cache(dir.path());
+        EXPECT_FALSE(cache.lookup(job).has_value());
+        cache.store(job, run.stats);
+        const std::optional<machine::RunStats> hit = cache.lookup(job);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_TRUE(*hit == run.stats);
+        EXPECT_EQ(cache.hits(), 1u);
+        EXPECT_EQ(cache.misses(), 1u);
+        EXPECT_EQ(cache.stores(), 1u);
+    }
+
+    // A fresh instance on the same directory — the "daemon restart"
+    // case — serves the entry from disk, bit-identical.
+    machine::ResultCache reopened(dir.path());
+    const std::optional<machine::RunStats> warm = reopened.lookup(job);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(*warm == run.stats);
+    EXPECT_EQ(reopened.scan().entries, 1u);
+}
+
+TEST(ResultCache, ClosureJobsNeverStoreOrHit)
+{
+    TempDir dir("cache_closure");
+    machine::ResultCache cache(dir.path());
+    machine::SimJob job = countdownJob(8);
+    job.setup = [](machine::Machine &) {};
+    const machine::SimJobResult run =
+        machine::SimDriver(1).runJob(job);
+    ASSERT_TRUE(run.ok);
+    cache.store(job, run.stats);
+    EXPECT_EQ(cache.stores(), 0u);
+    EXPECT_EQ(cache.scan().entries, 0u);
+    EXPECT_FALSE(cache.lookup(job).has_value());
+}
+
+TEST(ResultCache, CorruptEntriesFallBackToRecompute)
+{
+    const machine::SimJob job = countdownJob(32);
+    const machine::SimJobResult run =
+        machine::SimDriver(1).runJob(job);
+    ASSERT_TRUE(run.ok);
+
+    struct Corruption
+    {
+        const char *name;
+        std::function<void(const std::string &)> mangle;
+    };
+    const std::vector<Corruption> corruptions = {
+        {"bit-flip", [](const std::string &path) {
+             std::FILE *f = std::fopen(path.c_str(), "r+b");
+             ASSERT_NE(f, nullptr);
+             std::fseek(f, 24, SEEK_SET); // inside the content blob
+             const int c = std::fgetc(f);
+             std::fseek(f, 24, SEEK_SET);
+             std::fputc(c ^ 0x40, f);
+             std::fclose(f);
+         }},
+        {"truncation", [](const std::string &path) {
+             std::filesystem::resize_file(
+                 path, std::filesystem::file_size(path) / 2);
+         }},
+        {"wrong-version", [&](const std::string &path) {
+             // Version drift with a *valid* CRC: rewrite the header
+             // version and restamp the trailer, the way a future
+             // format revision would look to this build.
+             std::optional<std::vector<uint8_t>> data;
+             {
+                 std::FILE *f = std::fopen(path.c_str(), "rb");
+                 ASSERT_NE(f, nullptr);
+                 std::vector<uint8_t> bytes(
+                     std::filesystem::file_size(path));
+                 ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+                           bytes.size());
+                 std::fclose(f);
+                 data = std::move(bytes);
+             }
+             std::vector<uint8_t> &bytes = *data;
+             bytes[4] = static_cast<uint8_t>(
+                 machine::ResultCache::kFormatVersion + 1);
+             const uint32_t crc =
+                 crc32(bytes.data(), bytes.size() - 4);
+             for (int i = 0; i < 4; ++i)
+                 bytes[bytes.size() - 4 + i] =
+                     static_cast<uint8_t>(crc >> (8 * i));
+             std::FILE *f = std::fopen(path.c_str(), "wb");
+             ASSERT_NE(f, nullptr);
+             ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                       bytes.size());
+             std::fclose(f);
+         }},
+    };
+
+    for (const Corruption &corruption : corruptions) {
+        SCOPED_TRACE(corruption.name);
+        TempDir dir(std::string("cache_corrupt_") + corruption.name);
+        machine::ResultCache cache(dir.path());
+        cache.store(job, run.stats);
+        const std::string path =
+            dir.path() + "/" + machine::ResultCache::fileName(job);
+        ASSERT_TRUE(std::filesystem::exists(path));
+        corruption.mangle(path);
+
+        // The defective entry is a miss, removed for a clean rewrite.
+        EXPECT_FALSE(cache.lookup(job).has_value());
+        EXPECT_FALSE(std::filesystem::exists(path));
+
+        // Recompute-and-store round-trips back to a hit.
+        cache.store(job, run.stats);
+        const std::optional<machine::RunStats> again = cache.lookup(job);
+        ASSERT_TRUE(again.has_value());
+        EXPECT_TRUE(*again == run.stats);
+    }
+}
+
+TEST(ResultCache, HashCollisionMissesWithoutDeleting)
+{
+    // Forge the collision: an entry under job B's file name whose
+    // content blob belongs to job A. Lookup must refuse to serve it —
+    // and must NOT delete it, because in a real collision the entry
+    // legitimately belongs to the other job.
+    TempDir dir("cache_collision");
+    machine::ResultCache cache(dir.path());
+    const machine::SimJob jobA = countdownJob(16);
+    const machine::SimJob jobB = countdownJob(24);
+    const machine::SimJobResult runA =
+        machine::SimDriver(1).runJob(jobA);
+    ASSERT_TRUE(runA.ok);
+
+    ByteWriter out;
+    for (char c : {'M', 'T', 'R', 'C'})
+        out.u8(static_cast<uint8_t>(c));
+    out.u32(machine::ResultCache::kFormatVersion);
+    out.u64(machine::jobContentHash(jobB)); // B's hash...
+    const std::vector<uint8_t> content =
+        machine::jobContentBlob(jobA); // ...but A's content
+    out.bytes(content.data(), content.size());
+    ByteWriter statsOut;
+    runA.stats.saveState(statsOut);
+    out.bytes(statsOut.data().data(), statsOut.size());
+    out.u32(crc32(out.data().data(), out.size()));
+
+    const std::string path =
+        dir.path() + "/" + machine::ResultCache::fileName(jobB);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(out.data().data(), 1, out.size(), f),
+              out.size());
+    std::fclose(f);
+
+    EXPECT_FALSE(cache.lookup(jobB).has_value());
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(ResultCache, ConcurrentWritersOfOneHashRaceBenignly)
+{
+    TempDir dir("cache_race");
+    machine::ResultCache cache(dir.path());
+    const machine::SimJob job = countdownJob(48);
+    const machine::SimJobResult run =
+        machine::SimDriver(1).runJob(job);
+    ASSERT_TRUE(run.ok);
+
+    std::vector<std::thread> writers;
+    for (int i = 0; i < 8; ++i)
+        writers.emplace_back([&] { cache.store(job, run.stats); });
+    for (std::thread &t : writers)
+        t.join();
+
+    const std::optional<machine::RunStats> hit = cache.lookup(job);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(*hit == run.stats);
+    EXPECT_EQ(cache.scan().entries, 1u);
+    // No stray temp files survive the rename discipline.
+    size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path()))
+        ++files, (void)entry;
+    EXPECT_EQ(files, 1u);
+
+    EXPECT_EQ(cache.clear(), 1u);
+    EXPECT_EQ(cache.scan().entries, 0u);
+    EXPECT_FALSE(cache.lookup(job).has_value());
+}
+
+TEST(SimDriver, ServesRepeatJobsFromAttachedCache)
+{
+    TempDir dir("driver_cache");
+    machine::ResultCache cache(dir.path());
+    machine::SimDriver driver(1);
+    driver.setResultCache(&cache);
+
+    const machine::SimJob job = countdownJob(40);
+    const machine::SimJobResult cold = driver.runJob(job);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_FALSE(cold.fromCache);
+    EXPECT_EQ(cold.attempts, 1u);
+
+    const machine::SimJobResult warm = driver.runJob(job);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.attempts, 0u);
+    EXPECT_TRUE(warm.stats == cold.stats);
+
+    // A failing job (thrown error, default-Ok stats) must not be
+    // stored as a success.
+    machine::SimJob broken;
+    broken.name = "runaway";
+    broken.program = assembler::assemble("        nop\n");
+    const machine::SimJobResult fail = driver.runJob(broken);
+    EXPECT_FALSE(fail.ok);
+    const machine::SimJobResult fail2 = driver.runJob(broken);
+    EXPECT_FALSE(fail2.ok);
+    EXPECT_FALSE(fail2.fromCache);
+}
+
+TEST(SimDriver, BatchLogsClosureDisqualificationOnce)
+{
+    std::vector<std::string> informs;
+    std::mutex informsMutex;
+    setLogSink([&](LogLevel level, const std::string &,
+                   const std::string &msg) {
+        if (level == LogLevel::Info) {
+            std::lock_guard<std::mutex> lock(informsMutex);
+            informs.push_back(msg);
+        }
+    });
+
+    std::vector<machine::SimJob> jobs;
+    jobs.push_back(countdownJob(4));
+    for (int i = 0; i < 2; ++i) {
+        machine::SimJob closured = countdownJob(5 + i);
+        closured.setup = [](machine::Machine &) {};
+        jobs.push_back(std::move(closured));
+    }
+    machine::SimDriver(2).run(jobs);
+    setLogSink(nullptr);
+
+    size_t mentions = 0;
+    for (const std::string &msg : informs)
+        if (msg.find("disqualified from memoization") !=
+            std::string::npos) {
+            ++mentions;
+            EXPECT_NE(msg.find("2 of 3"), std::string::npos) << msg;
+        }
+    EXPECT_EQ(mentions, 1u);
+
+    // An all-pure batch stays quiet.
+    informs.clear();
+    setLogSink([&](LogLevel level, const std::string &,
+                   const std::string &msg) {
+        if (level == LogLevel::Info) {
+            std::lock_guard<std::mutex> lock(informsMutex);
+            informs.push_back(msg);
+        }
+    });
+    machine::SimDriver(2).run({countdownJob(4), countdownJob(6)});
+    setLogSink(nullptr);
+    for (const std::string &msg : informs)
+        EXPECT_EQ(msg.find("disqualified"), std::string::npos) << msg;
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(Wire, LineChannelFramesAndDiscardsTornTail)
+{
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    service::LineChannel a(fds[0]);
+    {
+        service::LineChannel b(fds[1]);
+        EXPECT_TRUE(b.writeLine("first"));
+        EXPECT_TRUE(b.writeLine("{\"second\": 2}"));
+        // Torn trailing fragment: bytes with no newline before close.
+        ASSERT_GT(::write(fds[1], "torn", 4), 0);
+    } // b closes its end
+
+    std::string line;
+    ASSERT_TRUE(a.readLine(line));
+    EXPECT_EQ(line, "first");
+    ASSERT_TRUE(a.readLine(line));
+    EXPECT_EQ(line, "{\"second\": 2}");
+    EXPECT_FALSE(a.readLine(line)); // torn fragment never surfaces
+}
+
+TEST(Wire, StatsHexRoundTripsBitIdentically)
+{
+    const machine::SimJobResult run =
+        machine::SimDriver(1).runJob(countdownJob(20));
+    ASSERT_TRUE(run.ok);
+    const machine::RunStats back =
+        service::statsFromHex(service::statsToHex(run.stats));
+    EXPECT_TRUE(back == run.stats);
+}
+
+// --------------------------------------------------------------- daemon
+
+/** The sweep the acceptance test runs: >= 20 specs, one repeated. */
+std::vector<service::JobSpec>
+acceptanceSweep()
+{
+    std::vector<service::JobSpec> specs;
+    for (int n = 1; n <= 12; ++n)
+        specs.push_back(countdownSpec(n * 7));
+    specs.push_back(countdownSpec(5 * 7)); // deliberate repeat
+    for (const char *ref :
+         {"lfk01:vector", "lfk01:scalar", "lfk03:vector",
+          "lfk03:scalar", "lfk12:vector", "lfk12:scalar"}) {
+        service::JobSpec spec;
+        spec.name = std::string("kernel-") + ref;
+        spec.kind = service::JobKind::Kernel;
+        spec.kernel = ref;
+        specs.push_back(spec);
+    }
+    for (uint64_t seed : {11ull, 12ull, 13ull}) {
+        service::JobSpec spec;
+        spec.kind = service::JobKind::Fuzz;
+        spec.fuzzSeed = seed;
+        spec.config.maxCycles = 2'000'000;
+        spec.config.memory.memBytes = 256 * 1024;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+TEST(SimServer, EndToEndSweepBitIdenticalCachedAndWarmAfterRestart)
+{
+    TempDir dir("daemon_e2e");
+    service::ServerConfig config;
+    config.socketPath = dir.file("sim.sock");
+    config.threads = 2;
+    config.cacheDir = dir.file("cache");
+    config.crashDir = dir.file("crash");
+
+    const std::vector<service::JobSpec> specs = acceptanceSweep();
+    ASSERT_GE(specs.size(), 20u);
+
+    // Reference results: the same jobs run in-process, no cache.
+    const machine::SimDriver local(1);
+    std::vector<machine::SimJobResult> reference;
+    reference.reserve(specs.size());
+    for (const service::JobSpec &spec : specs)
+        reference.push_back(local.runJob(spec.resolve()));
+
+    std::vector<machine::SimJobResult> coldResults(specs.size());
+    {
+        service::SimServer server(config);
+        server.start();
+
+        // The client drives the daemon from its own thread, over the
+        // socket — nothing in-process is shared with the server.
+        std::thread clientThread([&] {
+            service::SimClient client(config.socketPath);
+            ASSERT_TRUE(client.ping());
+            std::vector<uint64_t> ids;
+            for (const service::JobSpec &spec : specs)
+                ids.push_back(client.submit(spec));
+            for (size_t i = 0; i < ids.size(); ++i)
+                coldResults[i] = client.result(ids[i], true);
+        });
+        clientThread.join();
+
+        // (a) Wire results are bit-identical to the in-process runs.
+        for (size_t i = 0; i < specs.size(); ++i) {
+            SCOPED_TRACE(specs[i].name.empty()
+                             ? "spec " + std::to_string(i)
+                             : specs[i].name);
+            EXPECT_EQ(coldResults[i].ok, reference[i].ok);
+            EXPECT_TRUE(coldResults[i].stats == reference[i].stats);
+        }
+
+        // (b) Resubmitting the repeated pure job is served from the
+        // cache without simulating.
+        service::SimClient client(config.socketPath);
+        const uint64_t again = client.submit(specs[4]);
+        const machine::SimJobResult cached =
+            client.result(again, true);
+        EXPECT_TRUE(cached.fromCache);
+        EXPECT_TRUE(cached.stats == reference[4].stats);
+        client.shutdown();
+    } // daemon fully stopped (SIGKILL equivalent: no flush hooks run)
+
+    // (c) A restarted daemon serves the same sweep >= 90% warm from
+    // the on-disk cache.
+    {
+        service::SimServer server(config);
+        server.start();
+        service::SimClient client(config.socketPath);
+        std::vector<uint64_t> ids;
+        for (const service::JobSpec &spec : specs)
+            ids.push_back(client.submit(spec));
+        size_t warm = 0;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            const machine::SimJobResult result =
+                client.result(ids[i], true);
+            EXPECT_TRUE(result.stats == reference[i].stats);
+            if (result.fromCache)
+                ++warm;
+        }
+        EXPECT_GE(warm * 10, specs.size() * 9)
+            << warm << " of " << specs.size() << " served warm";
+        const service::SimClient::CacheStats stats =
+            client.cacheStats();
+        EXPECT_TRUE(stats.enabled);
+        EXPECT_GE(stats.hits, warm);
+        client.shutdown();
+        server.serve();
+    }
+}
+
+TEST(SimServer, QuarantinesFaultingJobWhileSweepCompletes)
+{
+    TempDir dir("daemon_quarantine");
+    service::ServerConfig config;
+    config.socketPath = dir.file("sim.sock");
+    config.threads = 2;
+    config.crashDir = dir.file("crash");
+    service::SimServer server(config);
+    server.start();
+
+    service::SimClient client(config.socketPath);
+    // A program with no halt runs off its end: a deterministic
+    // PC-runaway failure, retried once then quarantined.
+    service::JobSpec runaway;
+    runaway.name = "runaway";
+    runaway.kind = service::JobKind::Assembly;
+    runaway.assembly = "        nop\n";
+
+    std::vector<uint64_t> ids;
+    ids.push_back(client.submit(countdownSpec(10)));
+    ids.push_back(client.submit(runaway));
+    ids.push_back(client.submit(countdownSpec(20)));
+
+    const machine::SimJobResult good1 = client.result(ids[0], true);
+    const machine::SimJobResult bad = client.result(ids[1], true);
+    const machine::SimJobResult good2 = client.result(ids[2], true);
+
+    EXPECT_TRUE(good1.ok) << good1.error;
+    EXPECT_TRUE(good2.ok) << good2.error;
+    EXPECT_FALSE(bad.ok);
+    EXPECT_TRUE(bad.quarantined);
+    EXPECT_EQ(bad.attempts, 2u);
+    EXPECT_EQ(bad.errorCode, "pc-runaway");
+
+    // The quarantined job left a crash-report artifact behind.
+    bool sawReport = false;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(config.crashDir))
+        sawReport |= entry.path().extension() == ".json";
+    EXPECT_TRUE(sawReport);
+    client.shutdown();
+}
+
+TEST(SimServer, CancelsQueuedJobBehindLongRun)
+{
+    TempDir dir("daemon_cancel");
+    service::ServerConfig config;
+    config.socketPath = dir.file("sim.sock");
+    config.threads = 1; // one worker: the second job must queue
+    service::SimServer server(config);
+    server.start();
+
+    service::SimClient client(config.socketPath);
+    // An infinite loop bounded only by the cycle guard occupies the
+    // single worker long enough for the cancel to land.
+    service::JobSpec longJob;
+    longJob.name = "long";
+    longJob.kind = service::JobKind::Assembly;
+    longJob.assembly = "        addi r1, r0, 1\n"
+                       "loop:   bne  r1, r0, loop\n"
+                       "        nop\n"
+                       "        halt\n";
+    longJob.config.maxCycles = 20'000'000;
+
+    const uint64_t longId = client.submit(longJob);
+    // Let the single worker actually pick the long job up, so the
+    // victim is deterministically stuck behind it in the queue.
+    while (client.status(longId) == "queued")
+        std::this_thread::yield();
+    EXPECT_FALSE(client.cancel(longId)); // already running
+
+    const uint64_t victimId = client.submit(countdownSpec(50));
+    EXPECT_TRUE(client.cancel(victimId));
+    EXPECT_EQ(client.status(victimId), "cancelled");
+
+    const machine::SimJobResult victim =
+        client.result(victimId, true);
+    EXPECT_FALSE(victim.ok); // cancelled: no result payload
+
+    const machine::SimJobResult guard = client.result(longId, true);
+    EXPECT_FALSE(guard.ok);
+    EXPECT_EQ(guard.stats.status, machine::RunStatus::CycleGuard);
+    client.shutdown();
+}
+
+TEST(SimServer, InspectSessionReadsPausedMachineState)
+{
+    TempDir dir("daemon_inspect");
+    service::ServerConfig config;
+    config.socketPath = dir.file("sim.sock");
+    config.threads = 1;
+    service::SimServer server(config);
+    server.start();
+
+    service::SimClient client(config.socketPath);
+    service::JobSpec spec;
+    spec.name = "inspectee";
+    spec.kind = service::JobKind::Assembly;
+    spec.assembly = countdownAsm(1000);
+    spec.memInit = {{0x400, 0x1122334455667788ull}};
+    spec.fpuRegInit = {{2, 0x4008000000000000ull}}; // 3.0
+
+    const uint64_t session = client.inspectOpen(spec);
+    EXPECT_EQ(client.inspectCycle(session), 0u);
+
+    // Declarative images are visible before the first cycle.
+    EXPECT_EQ(client.inspectMem(session, 0x400).at(0),
+              0x1122334455667788ull);
+    EXPECT_EQ(client.inspectReg(session, "fpu", 2),
+              0x4008000000000000ull);
+
+    // Step 5 cycles: the machine pauses mid-run.
+    const service::SimClient::InspectRun paused =
+        client.inspectRun(session, 5);
+    EXPECT_EQ(paused.status, "paused");
+    EXPECT_EQ(paused.cycle, 5u);
+    EXPECT_EQ(client.inspectCycle(session), 5u);
+
+    // Run to completion: r1 counted down to zero.
+    const service::SimClient::InspectRun done =
+        client.inspectRun(session, 100'000);
+    EXPECT_EQ(done.status, "ok");
+    EXPECT_EQ(client.inspectReg(session, "cpu", 1), 0u);
+
+    EXPECT_THROW(client.inspectReg(session, "dsp", 1), SimError);
+    client.inspectClose(session);
+    EXPECT_THROW(client.inspectCycle(session), SimError);
+
+    // Fault-plan specs are rejected at open.
+    service::JobSpec faulting = spec;
+    faulting.faultPlan =
+        faults::FaultPlan::randomSingle(1, 100).describe();
+    EXPECT_THROW(client.inspectOpen(faulting), SimError);
+    client.shutdown();
+}
+
+TEST(SimServer, ProtocolErrorsKeepConnectionAlive)
+{
+    TempDir dir("daemon_proto");
+    service::ServerConfig config;
+    config.socketPath = dir.file("sim.sock");
+    config.threads = 1;
+    service::SimServer server(config);
+    server.start();
+
+    service::SimClient client(config.socketPath);
+    EXPECT_THROW(client.request("this is not json"), SimError);
+    EXPECT_THROW(client.request("{\"cmd\":\"frobnicate\"}"), SimError);
+    EXPECT_THROW(client.request("{\"no_cmd\":1}"), SimError);
+    EXPECT_THROW(client.request("{\"cmd\":\"result\",\"id\":999}"),
+                 SimError);
+    // The same connection still serves real commands afterwards.
+    EXPECT_TRUE(client.ping());
+    client.shutdown();
+}
+
+} // anonymous namespace
