@@ -7,13 +7,19 @@
  *
  * Usage:
  *   mtfpu-cli serve --socket=PATH [--threads=N] [--cache-dir=DIR]
- *                   [--crash-dir=DIR] [--no-memoize]
+ *                   [--crash-dir=DIR] [--no-memoize] [--inproc]
+ *                   [--worker=PATH] [--journal=PATH]
+ *                   [--job-timeout-ms=N] [--hb-timeout-ms=N]
+ *                   [--rlimit-cpu=SECONDS] [--rlimit-as-mb=MB]
+ *                   [--max-queue=N] [--max-inflight=N]
+ *                   [--test-crash-hooks]
  *   mtfpu-cli ping --socket=PATH
  *   mtfpu-cli submit --socket=PATH --spec=FILE [--no-wait]
- *   mtfpu-cli sweep --socket=PATH --specs=FILE
+ *   mtfpu-cli sweep --socket=PATH --specs=FILE [--wait-timeout=SECS]
  *   mtfpu-cli status --socket=PATH [--id=N]
  *   mtfpu-cli result --socket=PATH --id=N [--no-wait]
  *   mtfpu-cli cancel --socket=PATH --id=N
+ *   mtfpu-cli drain --socket=PATH [--resume]
  *   mtfpu-cli shutdown --socket=PATH
  *   mtfpu-cli cache-stats --socket=PATH
  *   mtfpu-cli cache-clear --socket=PATH
@@ -26,6 +32,13 @@
  * every spec, waits for all results, and prints one line per job:
  * name, state, run status, cycles, and whether the result came from
  * the daemon's persistent cache.
+ *
+ * Robustness (DESIGN.md §12): client commands retry the connect with
+ * capped exponential backoff (--connect-timeout=SECS, default 5) so
+ * racing a daemon that is still binding — or riding out a restart —
+ * just works; submits that hit admission control (a Busy response)
+ * back off with the daemon's retry_after_ms hint and resubmit; and
+ * --wait-timeout bounds how long a sweep waits on any one result.
  *
  * Exit status: 0 on success; 1 when any swept/submitted job failed
  * unexpectedly (quarantined, or failed without being a fault-plan
@@ -64,7 +77,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mtfpu-cli <serve|ping|submit|sweep|status|result|"
-                 "cancel|shutdown|cache-stats|cache-clear|inspect> "
+                 "cancel|drain|shutdown|cache-stats|cache-clear|inspect> "
                  "--socket=PATH [options]\n");
     return 2;
 }
@@ -140,6 +153,28 @@ cmdServe(const std::string &socket, int argc, char **argv)
             config.crashDir = value;
         else if (std::strcmp(argv[i], "--no-memoize") == 0)
             config.memoize = false;
+        else if (std::strcmp(argv[i], "--inproc") == 0)
+            config.inproc = true;
+        else if (flagValue(argv[i], "--worker", value))
+            config.workerPath = value;
+        else if (flagValue(argv[i], "--journal", value))
+            config.journalPath = value;
+        else if (flagValue(argv[i], "--job-timeout-ms", value))
+            config.jobTimeoutMs = std::stoull(value);
+        else if (flagValue(argv[i], "--hb-timeout-ms", value))
+            config.heartbeatTimeoutMs = std::stoull(value);
+        else if (flagValue(argv[i], "--rlimit-cpu", value))
+            config.workerRlimitCpuS =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(argv[i], "--rlimit-as-mb", value))
+            config.workerRlimitAsMb =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(argv[i], "--max-queue", value))
+            config.maxQueue = std::stoull(value);
+        else if (flagValue(argv[i], "--max-inflight", value))
+            config.maxInflightPerClient = std::stoull(value);
+        else if (std::strcmp(argv[i], "--test-crash-hooks") == 0)
+            config.workerTestCrash = true;
         else if (std::strncmp(argv[i], "--socket", 8) != 0)
             return usage();
     }
@@ -150,7 +185,8 @@ cmdServe(const std::string &socket, int argc, char **argv)
 }
 
 int
-cmdSweep(service::SimClient &client, const std::string &specs_path)
+cmdSweep(service::SimClient &client, const std::string &specs_path,
+         uint64_t wait_timeout_ms)
 {
     const std::vector<service::JobSpec> specs =
         readSpecLines(specs_path);
@@ -160,11 +196,19 @@ cmdSweep(service::SimClient &client, const std::string &specs_path)
     }
     std::vector<uint64_t> ids;
     ids.reserve(specs.size());
+    // Busy responses (bounded queue, per-client cap) are expected
+    // under load — ride them out for the whole wait budget rather
+    // than failing the sweep at the first rejection.
+    const uint64_t submit_window =
+        wait_timeout_ms > 0 ? wait_timeout_ms : 60000;
     for (const service::JobSpec &spec : specs)
-        ids.push_back(client.submit(spec));
+        ids.push_back(client.submitRetry(spec, submit_window));
     int failures = 0;
     for (size_t i = 0; i < ids.size(); ++i) {
-        const machine::SimJobResult r = client.result(ids[i], true);
+        const machine::SimJobResult r =
+            wait_timeout_ms > 0
+                ? client.resultWait(ids[i], wait_timeout_ms)
+                : client.result(ids[i], true);
         printResult(ids[i], r);
         if (unexpectedFailure(specs[i], r))
             ++failures;
@@ -239,7 +283,10 @@ main(int argc, char **argv)
 
     std::string socket, spec, specs, id_text, regs, mem;
     uint64_t run_cycles = 0;
+    uint64_t connect_timeout_ms = 5000;
+    uint64_t wait_timeout_ms = 0;
     bool wait = true;
+    bool resume = false;
     std::string value;
     for (int i = 2; i < argc; ++i) {
         if (flagValue(argv[i], "--socket", value))
@@ -256,8 +303,14 @@ main(int argc, char **argv)
             regs = value;
         else if (flagValue(argv[i], "--mem", value))
             mem = value;
+        else if (flagValue(argv[i], "--connect-timeout", value))
+            connect_timeout_ms = std::stoull(value) * 1000;
+        else if (flagValue(argv[i], "--wait-timeout", value))
+            wait_timeout_ms = std::stoull(value) * 1000;
         else if (std::strcmp(argv[i], "--no-wait") == 0)
             wait = false;
+        else if (std::strcmp(argv[i], "--resume") == 0)
+            resume = true;
     }
     if (socket.empty())
         return usage();
@@ -266,7 +319,7 @@ main(int argc, char **argv)
         if (cmd == "serve")
             return cmdServe(socket, argc - 2, argv + 2);
 
-        service::SimClient client(socket);
+        service::SimClient client(socket, connect_timeout_ms);
         if (cmd == "ping") {
             std::printf("%s\n", client.ping() ? "ok" : "no answer");
             return 0;
@@ -288,7 +341,7 @@ main(int argc, char **argv)
         if (cmd == "sweep") {
             if (specs.empty())
                 return usage();
-            return cmdSweep(client, specs);
+            return cmdSweep(client, specs, wait_timeout_ms);
         }
         if (cmd == "status") {
             if (id_text.empty()) {
@@ -306,6 +359,17 @@ main(int argc, char **argv)
                                 response.at("done").asUint()),
                             static_cast<unsigned long long>(
                                 response.at("cancelled").asUint()));
+                if (response.has("isolated")) {
+                    std::printf(
+                        "isolated=%s draining=%s worker_crashes=%llu "
+                        "worker_respawns=%llu\n",
+                        response.at("isolated").asBool() ? "yes" : "no",
+                        response.at("draining").asBool() ? "yes" : "no",
+                        static_cast<unsigned long long>(
+                            response.at("worker_crashes").asUint()),
+                        static_cast<unsigned long long>(
+                            response.at("worker_respawns").asUint()));
+                }
                 return 0;
             }
             std::printf("%s\n",
@@ -330,6 +394,11 @@ main(int argc, char **argv)
                 return usage();
             const bool cancelled = client.cancel(std::stoull(id_text));
             std::printf("%s\n", cancelled ? "cancelled" : "not queued");
+            return 0;
+        }
+        if (cmd == "drain") {
+            const bool draining = client.drain(!resume);
+            std::printf("%s\n", draining ? "draining" : "accepting");
             return 0;
         }
         if (cmd == "shutdown") {

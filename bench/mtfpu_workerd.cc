@@ -1,0 +1,218 @@
+/**
+ * @file
+ * mtfpu-workerd — the disposable simulation worker (DESIGN.md §12).
+ * One long-lived process per pool slot: it receives JobSpec JSON over
+ * the socketpair the daemon dup2'ed onto fd 0, runs each job as a
+ * single containment-free attempt (SimDriver::runAttempt — retry and
+ * quarantine policy live in the supervising pool, where they also
+ * cover deaths by signal), and writes the result back as the same
+ * fields the wire protocol uses, stats as a saveState hex blob.
+ *
+ * The job runs on a separate thread while the main thread emits a
+ * heartbeat line every ~100ms: the supervisor can then distinguish a
+ * slow simulation (heartbeats flow, only the job deadline applies)
+ * from a wedged worker (silence). Rlimits are applied here, on
+ * ourselves, before the ready line — RLIMIT_CPU turns a runaway
+ * simulation into a SIGXCPU kill the supervisor classifies, and
+ * RLIMIT_AS turns a leak into a failed allocation or an OOM kill that
+ * takes down only this process.
+ *
+ * --test-crash-hooks (tests and chaos drills only) makes job *names*
+ * of the form "crash:<mode>" deliberately misbehave:
+ *   crash:segv   raise SIGSEGV before simulating
+ *   crash:abort  abort() before simulating
+ *   crash:exit   _exit(3) before simulating
+ *   crash:hang   the job thread sleeps forever (heartbeats continue,
+ *                so only the job deadline can end it)
+ *   crash:mute   stop heartbeating (the supervisor's silence window
+ *                ends it)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <sys/resource.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "machine/sim_driver.hh"
+#include "service/job_spec.hh"
+#include "service/server.hh" // statsToHex
+#include "service/wire.hh"
+
+using namespace mtfpu;
+
+namespace
+{
+
+void
+applyRlimit(int resource, rlim_t value, const char *what)
+{
+    rlimit lim{value, value};
+    if (::setrlimit(resource, &lim) != 0)
+        warn(std::string("workerd: setrlimit(") + what +
+             ") failed: " + std::strerror(errno));
+}
+
+/** Serialize one finished attempt as the result event line. */
+std::string
+resultLine(const machine::SimJobResult &r)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("ev").value("result");
+    w.key("name").value(r.name);
+    w.key("job_ok").value(r.ok);
+    w.key("status").value(machine::runStatusName(r.status));
+    if (!r.error.empty())
+        w.key("job_error").value(r.error);
+    if (!r.errorCode.empty())
+        w.key("job_error_code").value(r.errorCode);
+    if (!r.errorJson.empty())
+        w.key("job_error_json").value(r.errorJson);
+    if (r.ok || r.status != machine::RunStatus::Ok)
+        w.key("stats_hex").value(service::statsToHex(r.stats));
+    w.endObject();
+    return w.str();
+}
+
+int
+workerMain(bool crash_hooks)
+{
+    service::ignoreSigpipe();
+    service::LineChannel channel(0);
+    machine::SimDriver driver(1, false);
+
+    channel.writeLineOrThrow("{\"ev\":\"ready\"}", "workerd");
+
+    std::string line;
+    while (channel.readLine(line)) {
+        service::JobSpec spec;
+        machine::SimJobResult result;
+        bool parsed = false;
+        try {
+            const json::Value req = json::parse(line);
+            spec = service::JobSpec::from_json(req.at("job"));
+            parsed = true;
+        } catch (const FatalError &err) {
+            result.ok = false;
+            result.error =
+                std::string("workerd: bad job line: ") + err.what();
+            result.errorCode = errCodeName(ErrCode::BadOperand);
+            result.errorJson =
+                SimError(ErrCode::BadOperand, result.error).to_json();
+        }
+
+        if (parsed && crash_hooks &&
+            spec.name.rfind("crash:", 0) == 0) {
+            const std::string mode = spec.name.substr(6);
+            if (mode == "segv")
+                std::raise(SIGSEGV);
+            else if (mode == "abort")
+                std::abort();
+            else if (mode == "exit")
+                ::_exit(3);
+            else if (mode == "mute")
+                // Silence: no heartbeat, no result. The supervisor's
+                // heartbeat window expires and it kills us.
+                std::this_thread::sleep_for(std::chrono::hours(1));
+            // "hang" falls through: the job thread below sleeps while
+            // heartbeats keep flowing, so only the deadline fires.
+        }
+
+        if (parsed) {
+            std::mutex doneMutex;
+            std::condition_variable doneCv;
+            bool done = false;
+            std::thread job([&] {
+                machine::SimJobResult r;
+                if (crash_hooks && spec.name == "crash:hang") {
+                    std::this_thread::sleep_for(std::chrono::hours(1));
+                } else {
+                    try {
+                        r = driver.runAttempt(spec.resolve());
+                    } catch (const SimError &err) {
+                        r.name = spec.name;
+                        r.ok = false;
+                        r.error = err.what();
+                        r.errorCode = errCodeName(err.code());
+                        r.errorJson = err.to_json();
+                    } catch (const std::exception &err) {
+                        r.name = spec.name;
+                        r.ok = false;
+                        r.error = err.what();
+                        r.errorCode = errCodeName(ErrCode::Unknown);
+                        r.errorJson =
+                            SimError(ErrCode::Unknown, err.what())
+                                .to_json();
+                    }
+                }
+                std::lock_guard<std::mutex> lock(doneMutex);
+                result = std::move(r);
+                done = true;
+                doneCv.notify_all();
+            });
+
+            // Heartbeat until the job thread finishes. A failed write
+            // means the daemon is gone; there is nobody to report to,
+            // so exit (the detached job thread dies with the process).
+            std::unique_lock<std::mutex> lock(doneMutex);
+            while (!doneCv.wait_for(lock, std::chrono::milliseconds(100),
+                                    [&] { return done; })) {
+                lock.unlock();
+                if (!channel.writeLine("{\"ev\":\"hb\"}")) {
+                    job.detach();
+                    ::_exit(0);
+                }
+                lock.lock();
+            }
+            lock.unlock();
+            job.join();
+        }
+
+        if (!channel.writeLine(resultLine(result)))
+            return 0; // supervisor gone
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned rlimitCpuS = 0;
+    unsigned rlimitAsMb = 0;
+    bool crashHooks = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--rlimit-cpu" && i + 1 < argc)
+            rlimitCpuS = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (arg == "--rlimit-as-mb" && i + 1 < argc)
+            rlimitAsMb = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (arg == "--test-crash-hooks")
+            crashHooks = true;
+        else {
+            warn("workerd: unknown argument " + arg);
+            return 2;
+        }
+    }
+    if (rlimitCpuS > 0)
+        applyRlimit(RLIMIT_CPU, rlimitCpuS, "RLIMIT_CPU");
+    if (rlimitAsMb > 0)
+        applyRlimit(RLIMIT_AS,
+                    static_cast<rlim_t>(rlimitAsMb) << 20, "RLIMIT_AS");
+    try {
+        return workerMain(crashHooks);
+    } catch (const FatalError &err) {
+        warn(std::string("workerd: fatal: ") + err.what());
+        return 1;
+    }
+}

@@ -27,8 +27,33 @@ errCodeName(ErrCode code)
       case ErrCode::BadProgram: return "bad-program";
       case ErrCode::BadSnapshot: return "bad-snapshot";
       case ErrCode::Io: return "io";
+      case ErrCode::Busy: return "busy";
+      case ErrCode::WorkerCrash: return "worker-crash";
+      case ErrCode::WorkerTimeout: return "worker-timeout";
     }
     return "unknown";
+}
+
+ErrCode
+errCodeFromName(const std::string &name)
+{
+    static constexpr ErrCode codes[] = {
+        ErrCode::Unknown,          ErrCode::BadEncoding,
+        ErrCode::BadOperand,       ErrCode::RegFileRange,
+        ErrCode::MemRange,         ErrCode::MemAlign,
+        ErrCode::HazardViolation,  ErrCode::BranchDelay,
+        ErrCode::PcRunaway,        ErrCode::NoProgram,
+        ErrCode::CycleGuard,       ErrCode::Watchdog,
+        ErrCode::LockstepDivergence, ErrCode::AssemblerError,
+        ErrCode::InvariantViolation, ErrCode::BadProgram,
+        ErrCode::BadSnapshot,      ErrCode::Io,
+        ErrCode::Busy,             ErrCode::WorkerCrash,
+        ErrCode::WorkerTimeout,
+    };
+    for (ErrCode code : codes)
+        if (name == errCodeName(code))
+            return code;
+    return ErrCode::Unknown;
 }
 
 std::string

@@ -53,10 +53,21 @@ enum class ErrCode : uint8_t
     BadProgram,         // malformed program image (decode validation)
     BadSnapshot,        // truncated/corrupt/incompatible snapshot
     Io,                 // host I/O failure (socket, cache/journal file)
+    Busy,               // service admission control rejected the request
+    WorkerCrash,        // isolated worker process died (signal/exit)
+    WorkerTimeout,      // worker exceeded its wall-clock job deadline
 };
 
 /** Short stable name of a code, e.g. "hazard-violation". */
 const char *errCodeName(ErrCode code);
+
+/**
+ * Parse a code name back (the wire protocol carries names, not enum
+ * values, so a client can reconstruct the server's taxonomy entry).
+ * Unrecognized names map to ErrCode::Unknown rather than throwing —
+ * a newer daemon may emit codes an older client has no entry for.
+ */
+ErrCode errCodeFromName(const std::string &name);
 
 /** Where an error struck; kUnknown fields are simply not yet known. */
 struct ErrContext

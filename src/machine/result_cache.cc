@@ -1,10 +1,14 @@
 #include "machine/result_cache.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
+#include <signal.h>
 #include <system_error>
 #include <thread>
+#include <unistd.h>
 
 #include "common/log.hh"
 
@@ -45,6 +49,63 @@ readAll(const std::string &path)
 }
 
 } // anonymous namespace
+
+DirLock::DirLock(const std::string &dir, const std::string &name)
+{
+    std::filesystem::create_directories(dir);
+    path_ = dir + "/" + name;
+    // Two takeover attempts at most: after one stale unlink, a second
+    // EEXIST means a live competitor won the re-create race — defer
+    // to it rather than looping on unlink forever.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd =
+            ::open(path_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            const std::string pid = std::to_string(::getpid()) + "\n";
+            ssize_t put;
+            do {
+                put = ::write(fd, pid.data(), pid.size());
+            } while (put < 0 && errno == EINTR);
+            ::close(fd);
+            held_ = true;
+            return;
+        }
+        if (errno != EEXIST)
+            fatal(ErrCode::Io, "cannot create lock file " + path_ + ": " +
+                                   std::strerror(errno));
+
+        // Someone holds it. A readable pid that no longer exists is a
+        // crashed owner; take the lock over. An unreadable/garbled
+        // file is treated the same — it cannot name a live holder.
+        long holder = 0;
+        if (std::FILE *f = std::fopen(path_.c_str(), "r")) {
+            if (std::fscanf(f, "%ld", &holder) != 1)
+                holder = 0;
+            std::fclose(f);
+        }
+        if (holder > 0 && holder != static_cast<long>(::getpid()) &&
+            (::kill(static_cast<pid_t>(holder), 0) == 0 ||
+             errno == EPERM)) {
+            fatal(ErrCode::Io,
+                  "directory " + dir + " is locked by live process " +
+                      std::to_string(holder) + " (" + path_ + ")");
+        }
+        if (holder == static_cast<long>(::getpid()))
+            fatal(ErrCode::Io, "directory " + dir +
+                                   " is already locked by this process");
+        warn("taking over stale lock " + path_ + " (owner " +
+             std::to_string(holder) + " is gone)");
+        ::unlink(path_.c_str());
+    }
+    fatal(ErrCode::Io,
+          "lost the lock takeover race on " + path_ + ", giving up");
+}
+
+DirLock::~DirLock()
+{
+    if (held_)
+        ::unlink(path_.c_str());
+}
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
 

@@ -39,6 +39,41 @@
 namespace mtfpu::machine
 {
 
+/**
+ * Advisory single-owner lock on a directory, held as a pid file
+ * created with O_EXCL. Two daemons pointed at the same cache or
+ * journal directory would silently interleave writes; the lock makes
+ * the second one fail loudly at startup instead. A lock file left by
+ * a crashed owner (its pid no longer exists) is taken over — crash
+ * recovery must not require manual cleanup. Construction acquires or
+ * throws SimError(ErrCode::Io) naming the live holder; destruction
+ * releases. The lock is advisory: only cooperating DirLock users are
+ * excluded.
+ */
+class DirLock
+{
+  public:
+    /** Acquire `<dir>/<name>` (dir is created if missing). */
+    explicit DirLock(const std::string &dir,
+                     const std::string &name = "owner.lock");
+    ~DirLock();
+
+    DirLock(DirLock &&other) noexcept
+        : path_(std::move(other.path_)), held_(other.held_)
+    {
+        other.held_ = false;
+    }
+    DirLock(const DirLock &) = delete;
+    DirLock &operator=(const DirLock &) = delete;
+    DirLock &operator=(DirLock &&) = delete;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    bool held_ = false;
+};
+
 /** On-disk result cache; thread-safe, shared by driver and service. */
 class ResultCache
 {

@@ -46,28 +46,6 @@ checkpointName(const SimJob &job)
     return buf;
 }
 
-/**
- * Fill the error fields of a result whose run ended on a guard
- * (CycleGuard/Watchdog). Shared by the attempt path and the
- * result-cache hit path so a cached CycleGuard outcome carries the
- * same structured error a fresh simulation would.
- */
-void
-fillGuardError(SimJobResult &result)
-{
-    result.errorCode = runStatusName(result.status);
-    result.error = std::string("run ended by ") + result.errorCode +
-                   " guard after " + std::to_string(result.stats.cycles) +
-                   " cycles";
-    SimError guard(result.status == RunStatus::CycleGuard
-                       ? ErrCode::CycleGuard
-                       : ErrCode::Watchdog,
-                   result.error,
-                   ErrContext{static_cast<int64_t>(result.stats.cycles),
-                              ErrContext::kUnknown, ErrContext::kUnknown});
-    result.errorJson = guard.to_json();
-}
-
 } // anonymous namespace
 
 SimDriver::SimDriver(unsigned threads, bool memoize)
@@ -208,6 +186,15 @@ SimDriver::attemptOne(const SimJob &job) const
         result.errorJson =
             SimError(ErrCode::Unknown, err.what()).to_json();
     }
+    return result;
+}
+
+SimJobResult
+SimDriver::runAttempt(const SimJob &job) const
+{
+    LogJobScope scope(job.name);
+    SimJobResult result = attemptOne(job);
+    result.attempts = 1;
     return result;
 }
 

@@ -149,6 +149,17 @@ class SimDriver
     SimJobResult runJob(const SimJob &job) const;
 
     /**
+     * Run exactly one containment-free simulation attempt on the
+     * calling thread: no cache, no retry, no quarantine, no crash
+     * report — just the machine build, the run, and a structured
+     * result. This is the execution primitive an isolated worker
+     * process exposes; the supervising pool re-founds the
+     * retry-once-then-quarantine policy on top of the process
+     * boundary, where it also covers attempts that die by signal.
+     */
+    SimJobResult runAttempt(const SimJob &job) const;
+
+    /**
      * Memoization partition of a batch: result[i] is the index of the
      * first job identical to jobs[i] (== i for unique or non-pure
      * jobs). Identity is sameJobContent(); names are ignored. Exposed

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/sim_error.hh"
+
 namespace mtfpu::machine
 {
 
@@ -125,6 +127,22 @@ applyJobInit(const SimJob &job, Machine &machine)
         machine.cpu().writeReg(reg, value);
     for (const auto &[reg, value] : job.fpuRegInit)
         machine.fpu().regs().write(reg, value);
+}
+
+void
+fillGuardError(SimJobResult &result)
+{
+    result.errorCode = runStatusName(result.status);
+    result.error = std::string("run ended by ") + result.errorCode +
+                   " guard after " + std::to_string(result.stats.cycles) +
+                   " cycles";
+    SimError guard(result.status == RunStatus::CycleGuard
+                       ? ErrCode::CycleGuard
+                       : ErrCode::Watchdog,
+                   result.error,
+                   ErrContext{static_cast<int64_t>(result.stats.cycles),
+                              ErrContext::kUnknown, ErrContext::kUnknown});
+    result.errorJson = guard.to_json();
 }
 
 } // namespace mtfpu::machine

@@ -174,6 +174,15 @@ std::vector<uint8_t> jobContentBlob(const SimJob &job);
  */
 void applyJobInit(const SimJob &job, Machine &machine);
 
+/**
+ * Fill the error fields of a result whose run ended on a guard
+ * (CycleGuard/Watchdog). Shared by the driver's attempt path, its
+ * result-cache hit path, and the service's worker-pool cache path, so
+ * a cached or relayed guard outcome carries the same structured error
+ * a fresh simulation would.
+ */
+void fillGuardError(SimJobResult &result);
+
 } // namespace mtfpu::machine
 
 #endif // MTFPU_MACHINE_SIM_JOB_HH

@@ -1,5 +1,8 @@
 #include "service/client.hh"
 
+#include <chrono>
+#include <thread>
+
 #include "common/log.hh"
 #include "service/server.hh" // statsFromHex
 
@@ -8,6 +11,31 @@ namespace mtfpu::service
 
 namespace
 {
+
+using clock_t_ = std::chrono::steady_clock;
+
+/**
+ * Connect with capped exponential backoff inside @p timeout_ms. The
+ * daemon may still be binding its socket (races at startup) or be
+ * mid-restart; both surface as connect() failures worth riding out.
+ */
+int
+connectRetry(const std::string &path, uint64_t timeout_ms)
+{
+    const clock_t_::time_point deadline =
+        clock_t_::now() + std::chrono::milliseconds(timeout_ms);
+    uint64_t backoff = 50;
+    for (;;) {
+        try {
+            return connectUnix(path);
+        } catch (const SimError &) {
+            if (clock_t_::now() >= deadline)
+                throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min<uint64_t>(backoff * 2, 1000);
+    }
+}
 
 /** Requests are small objects; build them with the shared writer. */
 std::string
@@ -25,8 +53,12 @@ simpleRequest(const char *cmd,
 
 } // anonymous namespace
 
-SimClient::SimClient(const std::string &socket_path)
-    : channel_(std::make_unique<LineChannel>(connectUnix(socket_path)))
+SimClient::SimClient(const std::string &socket_path,
+                     uint64_t connect_timeout_ms)
+    : channel_(std::make_unique<LineChannel>(
+          connect_timeout_ms > 0
+              ? connectRetry(socket_path, connect_timeout_ms)
+              : connectUnix(socket_path)))
 {}
 
 json::Value
@@ -44,7 +76,17 @@ SimClient::request(const std::string &request_line)
         const std::string message = response.has("error")
                                         ? response.at("error").asString()
                                         : "unspecified daemon error";
-        fatal(ErrCode::Io, "daemon: " + message);
+        // Reconstruct the daemon's taxonomy entry so callers can
+        // branch on code — Busy drives the submitRetry backoff loop.
+        const ErrCode code =
+            response.has("error_code")
+                ? errCodeFromName(response.at("error_code").asString())
+                : ErrCode::Io;
+        retryAfterMs_ = response.has("retry_after_ms")
+                            ? response.at("retry_after_ms").asUint()
+                            : 0;
+        fatal(code == ErrCode::Unknown ? ErrCode::Io : code,
+              "daemon: " + message);
     }
     return response;
 }
@@ -102,6 +144,59 @@ SimClient::result(uint64_t id, bool wait)
         r.status = r.stats.status;
     }
     return r;
+}
+
+uint64_t
+SimClient::submitRetry(const JobSpec &spec, uint64_t timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    uint64_t backoff = 50;
+    for (;;) {
+        try {
+            return submit(spec);
+        } catch (const SimError &err) {
+            if (err.code() != ErrCode::Busy ||
+                std::chrono::steady_clock::now() >= deadline)
+                throw;
+        }
+        // Prefer the daemon's own hint: it scales with the backlog
+        // and staggers the retry wave across rejected clients.
+        const uint64_t wait =
+            retryAfterMs_ > 0 ? retryAfterMs_ : backoff;
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+        backoff = std::min<uint64_t>(backoff * 2, 2000);
+    }
+}
+
+machine::SimJobResult
+SimClient::resultWait(uint64_t id, uint64_t timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const std::string state = status(id);
+        if (state == "done" || state == "cancelled")
+            return result(id, false);
+        if (std::chrono::steady_clock::now() >= deadline) {
+            fatal(ErrCode::Io, "timed out after " +
+                                   std::to_string(timeout_ms) +
+                                   "ms waiting for job " +
+                                   std::to_string(id) + " (state " +
+                                   state + ")");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+bool
+SimClient::drain(bool on)
+{
+    const json::Value response =
+        request(simpleRequest("drain", [&](json::Writer &w) {
+            w.key("on").value(on);
+        }));
+    return response.at("draining").asBool();
 }
 
 bool

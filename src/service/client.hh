@@ -8,7 +8,10 @@
  * Error mapping: a transport failure (daemon gone, torn line) or an
  * "ok": false response throws SimError — with the daemon's own error
  * code when the response carried one — so callers handle daemon
- * errors exactly like local SimError failures.
+ * errors exactly like local SimError failures. An admission-control
+ * rejection surfaces as ErrCode::Busy with the daemon's
+ * retry_after_ms hint available from retryAfterMs(); submitRetry()
+ * wraps the resubmit loop with capped exponential backoff.
  */
 
 #ifndef MTFPU_SERVICE_CLIENT_HH
@@ -30,14 +33,44 @@ namespace mtfpu::service
 class SimClient
 {
   public:
-    /** Connect to a daemon's socket; throws SimError(Io) on failure. */
-    explicit SimClient(const std::string &socket_path);
+    /**
+     * Connect to a daemon's socket; throws SimError(Io) on failure.
+     * With @p connect_timeout_ms > 0 a refused/missing socket is
+     * retried with capped exponential backoff (50ms doubling to 1s)
+     * until the window closes — the standard way to race a daemon
+     * that is still binding its socket, or to ride out a restart.
+     */
+    explicit SimClient(const std::string &socket_path,
+                       uint64_t connect_timeout_ms = 0);
 
     /** True when the daemon answers a ping. */
     bool ping();
 
     /** Submit a spec; returns the daemon's job id. */
     uint64_t submit(const JobSpec &spec);
+
+    /**
+     * submit() with Busy handling: on an admission-control rejection,
+     * back off (the daemon's retry_after_ms hint, else capped
+     * exponential) and resubmit until it lands or @p timeout_ms
+     * elapses — then the final Busy error propagates. Non-Busy errors
+     * propagate immediately.
+     */
+    uint64_t submitRetry(const JobSpec &spec, uint64_t timeout_ms);
+
+    /**
+     * Wait for a result by polling (wait=false round trips), giving
+     * up with SimError(Io) after @p timeout_ms. Unlike result(id,
+     * true) the connection never blocks server-side, so a daemon that
+     * lost the job's worker cannot hang the client forever.
+     */
+    machine::SimJobResult resultWait(uint64_t id, uint64_t timeout_ms);
+
+    /** retry_after_ms from the last Busy response (0 = none given). */
+    uint64_t retryAfterMs() const { return retryAfterMs_; }
+
+    /** Toggle daemon drain mode; returns the resulting state. */
+    bool drain(bool on = true);
 
     /** State name for one job ("queued" / "running" / ...). */
     std::string status(uint64_t id);
@@ -102,6 +135,7 @@ class SimClient
 
   private:
     std::unique_ptr<LineChannel> channel_;
+    uint64_t retryAfterMs_ = 0;
 };
 
 } // namespace mtfpu::service

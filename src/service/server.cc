@@ -1,5 +1,6 @@
 #include "service/server.hh"
 
+#include <filesystem>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,6 +15,42 @@ namespace
 {
 
 constexpr const char *kProtocolVersion = "1";
+
+/**
+ * Locate the worker binary next to the running executable — the
+ * install layout for both the build tree (build/bench/) and any flat
+ * deployment. Empty when /proc/self/exe is unreadable or no sibling
+ * exists.
+ */
+std::string
+siblingWorkerPath()
+{
+    std::error_code ec;
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (ec)
+        return "";
+    const std::filesystem::path candidate =
+        self.parent_path() / "mtfpu-workerd";
+    if (std::filesystem::exists(candidate, ec) && !ec)
+        return candidate.string();
+    return "";
+}
+
+/** The structured Busy response (admission control, DESIGN.md §12.3). */
+std::string
+busyResponse(const std::string &reason, uint64_t retry_after_ms)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("ok").value(false);
+    w.key("error").value("daemon busy: " + reason);
+    w.key("error_code").value(errCodeName(ErrCode::Busy));
+    w.key("reason").value(reason);
+    w.key("retry_after_ms").value(retry_after_ms);
+    w.endObject();
+    return w.str();
+}
 
 std::string
 okResponse(const std::function<void(json::Writer &)> &fill)
@@ -119,9 +156,82 @@ SimServer::SimServer(ServerConfig config)
     if (!config_.crashDir.empty())
         driver_.setCrashReportDir(config_.crashDir);
     if (!config_.cacheDir.empty()) {
+        // One daemon per cache directory: a second daemon pointed at
+        // the same cache fails loudly here instead of interleaving
+        // journal/crash artifacts with ours. A lock left by a
+        // SIGKILLed daemon is taken over (stale-pid check).
+        cacheLock_.emplace(config_.cacheDir, "daemon.lock");
         cache_ = std::make_unique<machine::ResultCache>(config_.cacheDir);
         driver_.setResultCache(cache_.get());
     }
+
+    if (!config_.inproc) {
+        std::string workerPath = config_.workerPath.empty()
+                                     ? siblingWorkerPath()
+                                     : config_.workerPath;
+        if (workerPath.empty()) {
+            warn("service: no mtfpu-workerd next to this binary and no "
+                 "--worker path given; falling back to in-process "
+                 "execution (no crash isolation)");
+        } else {
+            WorkerPoolConfig pool;
+            pool.workerPath = std::move(workerPath);
+            unsigned workers = config_.threads;
+            if (workers == 0) {
+                workers = std::thread::hardware_concurrency();
+                if (workers == 0)
+                    workers = 1;
+            }
+            pool.workers = workers;
+            pool.jobTimeoutMs = config_.jobTimeoutMs;
+            pool.heartbeatTimeoutMs = config_.heartbeatTimeoutMs;
+            pool.rlimitCpuS = config_.workerRlimitCpuS;
+            pool.rlimitAsMb = config_.workerRlimitAsMb;
+            pool.crashDir = config_.crashDir;
+            pool.testCrashHooks = config_.workerTestCrash;
+            pool_ = std::make_unique<WorkerPool>(std::move(pool));
+        }
+    }
+
+    if (!config_.journalPath.empty())
+        recoverJournal();
+}
+
+void
+SimServer::recoverJournal()
+{
+    // Replay before opening for append: everything accepted but not
+    // done when the last daemon died goes back on the queue under its
+    // original id, so clients polling those ids after the restart get
+    // real results. Compaction keeps the file from growing forever.
+    JobJournal::Recovery recovery =
+        JobJournal::recover(config_.journalPath);
+    JobJournal::compact(config_.journalPath, recovery.unfinished);
+    journal_ = std::make_unique<JobJournal>(config_.journalPath);
+    if (recovery.maxId >= nextJobId_)
+        nextJobId_ = recovery.maxId + 1;
+    size_t requeued = 0;
+    for (const JobJournal::Recovered &rec : recovery.unfinished) {
+        try {
+            const JobSpec spec = JobSpec::parse(rec.specJson);
+            Job entry;
+            entry.id = rec.id;
+            entry.pure = spec.pure();
+            entry.job = spec.resolve();
+            entry.specJson = rec.specJson;
+            entry.cancel = std::make_shared<std::atomic<bool>>(false);
+            jobs_.emplace(rec.id, std::move(entry));
+            queue_.push_back(rec.id);
+            ++requeued;
+        } catch (const FatalError &err) {
+            warn("journal recovery: dropping job " +
+                 std::to_string(rec.id) + ": " + err.what());
+            journal_->done(rec.id);
+        }
+    }
+    if (requeued > 0)
+        inform("service: recovered " + std::to_string(requeued) +
+               " in-flight job(s) from " + config_.journalPath);
 }
 
 SimServer::~SimServer()
@@ -155,8 +265,10 @@ SimServer::start()
         workers_.emplace_back([this] { workerLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
     inform("service: listening on " + config_.socketPath + " with " +
-           std::to_string(threads) + " workers" +
-           (cache_ ? ", cache at " + config_.cacheDir : ", no cache"));
+           std::to_string(threads) +
+           (pool_ ? " isolated worker processes" : " in-process workers") +
+           (cache_ ? ", cache at " + config_.cacheDir : ", no cache") +
+           (journal_ ? ", journal at " + config_.journalPath : ""));
 }
 
 void
@@ -180,6 +292,11 @@ SimServer::stop()
     }
     queueCv_.notify_all();
     resultCv_.notify_all();
+    // Kill the worker processes: a stopping daemon abandons running
+    // jobs (the journal re-runs them on restart) rather than waiting
+    // out arbitrarily long simulations.
+    if (pool_)
+        pool_->stop();
     // Unblock accept() and every connection parked in read().
     // shutdown() reaches a thread inside the syscall, which a bare
     // close() would not.
@@ -218,11 +335,18 @@ SimServer::workerLoop()
     for (;;) {
         uint64_t id = 0;
         machine::SimJob job;
+        std::string specJson;
+        bool pure = false;
+        std::shared_ptr<std::atomic<bool>> cancel;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             queueCv_.wait(lock,
                           [this] { return stopping_ || !queue_.empty(); });
-            if (stopping_ && queue_.empty())
+            // In-process mode drains the queue before exiting (the
+            // historical contract); pool mode abandons it — stop()
+            // already killed the workers, and with a journal the
+            // abandoned jobs are re-run by the next daemon.
+            if (stopping_ && (queue_.empty() || pool_))
                 return;
             id = queue_.front();
             queue_.pop_front();
@@ -231,19 +355,76 @@ SimServer::workerLoop()
                 continue; // cancelled while queued
             entry.state = JobState::Running;
             job = entry.job; // copy: simulate outside the lock
+            specJson = entry.specJson;
+            pure = entry.pure;
+            cancel = entry.cancel;
         }
 
         LogJobScope scope("svc-job-" + std::to_string(id));
-        machine::SimJobResult result = driver_.runJob(job);
+        machine::SimJobResult result;
+        bool cancelled = false;
+        bool aborted = false;
+        if (pool_)
+            runPooled(id, job, specJson, pure, cancel.get(), result,
+                      cancelled, aborted);
+        else
+            result = driver_.runJob(job);
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
             Job &entry = jobs_.at(id);
             entry.result = std::move(result);
-            entry.state = JobState::Done;
+            entry.state = cancelled ? JobState::Cancelled : JobState::Done;
         }
+        // An aborted job (shutdown killed its worker) stays in the
+        // journal as accepted-but-unfinished: the restart re-runs it.
+        if (journal_ && !aborted)
+            journal_->done(id);
         resultCv_.notify_all();
     }
+}
+
+void
+SimServer::runPooled(uint64_t id, const machine::SimJob &job,
+                     const std::string &spec_json, bool pure,
+                     std::atomic<bool> *cancel,
+                     machine::SimJobResult &result, bool &cancelled,
+                     bool &aborted)
+{
+    (void)id;
+    // The result cache stays on the daemon side of the process
+    // boundary: a warm hit answers without spawning any work, and one
+    // cache serves every worker. Same lookup/store rules as
+    // SimDriver::runJob.
+    if (cache_ && pure) {
+        if (std::optional<machine::RunStats> cached = cache_->lookup(job)) {
+            result.name = job.name;
+            result.stats = *cached;
+            result.status = result.stats.status;
+            result.ok = result.status == machine::RunStatus::Ok;
+            result.attempts = 0;
+            result.fromCache = true;
+            if (!result.ok)
+                machine::fillGuardError(result);
+            return;
+        }
+    }
+
+    PoolJob poolJob;
+    poolJob.name = job.name;
+    poolJob.specJson = spec_json;
+    poolJob.faultExpected = job.faultExpected;
+    poolJob.cancel = cancel;
+    PoolOutcome outcome = pool_->execute(poolJob);
+    cancelled = outcome.cancelled;
+    aborted = outcome.aborted;
+    result = std::move(outcome.result);
+
+    const bool deterministic =
+        machine::ResultCache::cacheable(result.stats) &&
+        (result.ok || result.status == machine::RunStatus::CycleGuard);
+    if (!cancelled && cache_ && pure && deterministic)
+        cache_->store(job, result.stats);
 }
 
 void
@@ -256,7 +437,7 @@ SimServer::handleConnection(int fd)
     }
     std::string line;
     while (channel.readLine(line)) {
-        const std::string response = handleRequest(line);
+        const std::string response = handleRequest(line, fd);
         if (!channel.writeLine(response))
             break;
         // A shutdown request stops the server after the reply is on
@@ -277,7 +458,7 @@ SimServer::handleConnection(int fd)
 }
 
 std::string
-SimServer::handleRequest(const std::string &line)
+SimServer::handleRequest(const std::string &line, int client_fd)
 {
     try {
         const json::Value req = json::parse(line);
@@ -287,13 +468,15 @@ SimServer::handleRequest(const std::string &line)
         if (cmd == "ping")
             return cmdPing();
         if (cmd == "submit")
-            return cmdSubmit(req);
+            return cmdSubmit(req, client_fd);
         if (cmd == "status")
             return cmdStatus(req);
         if (cmd == "result")
             return cmdResult(req);
         if (cmd == "cancel")
             return cmdCancel(req);
+        if (cmd == "drain")
+            return cmdDrain(req);
         if (cmd == "shutdown")
             return okResponse([](json::Writer &w) {
                 w.key("stopping").value(true);
@@ -323,7 +506,7 @@ SimServer::cmdPing()
 }
 
 std::string
-SimServer::cmdSubmit(const json::Value &req)
+SimServer::cmdSubmit(const json::Value &req, int client_fd)
 {
     if (!req.has("spec"))
         return errorResponse("submit needs a 'spec' object");
@@ -331,13 +514,41 @@ SimServer::cmdSubmit(const json::Value &req)
     Job entry;
     entry.pure = spec.pure();
     entry.job = spec.resolve(); // throws on bad programs: caught above
+    entry.specJson = spec.to_json();
+    entry.clientFd = client_fd;
+    entry.cancel = std::make_shared<std::atomic<bool>>(false);
     uint64_t id = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)
             return errorResponse("server is shutting down");
+
+        // Admission control (DESIGN.md §12.3). The retry-after hint
+        // scales with the backlog so a storm of rejected clients does
+        // not return in one synchronized wave.
+        if (draining_)
+            return busyResponse("draining", 1000);
+        if (config_.maxQueue > 0 && queue_.size() >= config_.maxQueue) {
+            return busyResponse("queue-full",
+                                100 + 25 * (queue_.size() -
+                                            config_.maxQueue + 1));
+        }
+        if (config_.maxInflightPerClient > 0 && client_fd >= 0) {
+            size_t inflight = 0;
+            for (const auto &[jid, j] : jobs_) {
+                if (j.clientFd == client_fd &&
+                    (j.state == JobState::Queued ||
+                     j.state == JobState::Running))
+                    ++inflight;
+            }
+            if (inflight >= config_.maxInflightPerClient)
+                return busyResponse("client-cap", 200);
+        }
+
         id = nextJobId_++;
         entry.id = id;
+        if (journal_)
+            journal_->accept(id, entry.specJson);
         jobs_.emplace(id, std::move(entry));
         queue_.push_back(id);
     }
@@ -381,6 +592,12 @@ SimServer::cmdStatus(const json::Value &req)
         w.key("running").value(running);
         w.key("done").value(done);
         w.key("cancelled").value(cancelled);
+        w.key("draining").value(draining_);
+        w.key("isolated").value(pool_ != nullptr);
+        if (pool_) {
+            w.key("worker_crashes").value(pool_->crashes());
+            w.key("worker_respawns").value(pool_->respawns());
+        }
     });
 }
 
@@ -426,14 +643,46 @@ SimServer::cmdCancel(const json::Value &req)
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return errorResponse("no job " + std::to_string(id));
-    const bool cancelled = it->second.state == JobState::Queued;
-    if (cancelled)
+    bool cancelled = false;
+    if (it->second.state == JobState::Queued) {
         it->second.state = JobState::Cancelled;
+        cancelled = true;
+        // Never ran, never will: retire it from the journal now, or a
+        // restart would resurrect a job its owner explicitly killed.
+        if (journal_)
+            journal_->done(id);
+    } else if (it->second.state == JobState::Running && pool_ &&
+               it->second.cancel) {
+        // Accepted: the pool's supervision loop sees the flag within
+        // one poll tick and SIGKILLs the worker. The state flips to
+        // Cancelled when the pool hands the outcome back — a cancel
+        // is a kill, not a wish, but it is asynchronous.
+        it->second.cancel->store(true, std::memory_order_relaxed);
+        cancelled = true;
+    }
     resultCv_.notify_all();
     return okResponse([&](json::Writer &w) {
         w.key("id").value(id);
         w.key("cancelled").value(cancelled);
         w.key("state").value(jobStateName(it->second.state));
+    });
+}
+
+std::string
+SimServer::cmdDrain(const json::Value &req)
+{
+    const bool on = !req.has("on") || req.at("on").asBool();
+    bool queued;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = on;
+        queued = !queue_.empty();
+    }
+    inform(on ? "service: drain mode on — rejecting new submissions"
+              : "service: drain mode off");
+    return okResponse([&](json::Writer &w) {
+        w.key("draining").value(on);
+        w.key("queue_empty").value(!queued);
     });
 }
 

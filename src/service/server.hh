@@ -19,6 +19,7 @@
  *   status         [id]                  one job / queue counters
  *   result         id [, wait]           state, stats summary, stats_hex
  *   cancel         id                    cancelled
+ *   drain          [on]                  draining
  *   shutdown                             (server stops after replying)
  *   cache-stats                          hits/misses/stores + disk census
  *   cache-clear                          removed count
@@ -35,6 +36,16 @@
  * submission. Inspect sessions are serialized per session by a mutex;
  * distinct sessions run concurrently.
  *
+ * Admission control (DESIGN.md §12.3): a submit the daemon will not
+ * take — queue full, per-client in-flight cap hit, or drain mode —
+ * is answered with {"ok":false,"error_code":"busy","reason":...,
+ * "retry_after_ms":N}; clients back off and resubmit. Execution runs
+ * in supervised mtfpu-workerd processes by default (crash isolation,
+ * deadlines, rlimits — see worker_pool.hh); --inproc restores the
+ * old in-process path. With a journal configured, accepted jobs
+ * survive a daemon SIGKILL: the restart re-queues everything not
+ * marked done.
+ *
  * RunStats crosses the wire as "stats_hex": the hex encoding of the
  * stats saveState() blob. A summary (cycles, status, mflops inputs)
  * rides alongside for humans, but the blob is the contract — clients
@@ -45,12 +56,14 @@
 #ifndef MTFPU_SERVICE_SERVER_HH
 #define MTFPU_SERVICE_SERVER_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +71,8 @@
 #include "machine/result_cache.hh"
 #include "machine/sim_driver.hh"
 #include "service/job_spec.hh"
+#include "service/supervisor.hh"
+#include "service/worker_pool.hh"
 
 namespace mtfpu::service
 {
@@ -67,10 +82,13 @@ struct ServerConfig
     /** Socket path; a stale socket file is replaced on startup. */
     std::string socketPath;
 
-    /** Simulation worker threads; 0 = hardware_concurrency. */
+    /** Simulation worker threads; 0 = hardware_concurrency. In pool
+     *  mode this is also the worker-process count. */
     unsigned threads = 0;
 
-    /** On-disk result cache directory; empty disables persistence. */
+    /** On-disk result cache directory; empty disables persistence.
+     *  The daemon takes a DirLock on it so two daemons cannot share
+     *  one cache directory by accident. */
     std::string cacheDir;
 
     /** Crash-report directory for quarantined jobs; empty disables. */
@@ -79,6 +97,35 @@ struct ServerConfig
     /** In-process memoization inside the driver (kept on for parity
      *  with batch runs; the on-disk cache is separate). */
     bool memoize = true;
+
+    /**
+     * Force in-process execution (the pre-isolation scheduling path
+     * through SimDriver::runJob). When false the daemon execs
+     * mtfpu-workerd per slot — from workerPath when set, else a
+     * sibling of the daemon binary — and falls back to in-process
+     * with a warning when no worker binary can be found.
+     */
+    bool inproc = false;
+
+    /** Explicit mtfpu-workerd path; empty = auto-detect. */
+    std::string workerPath;
+
+    /** Crash-safe in-flight job journal; empty disables recovery. */
+    std::string journalPath;
+
+    /** Pool policy knobs (pool mode only; see WorkerPoolConfig). */
+    uint64_t jobTimeoutMs = 30000;
+    uint64_t heartbeatTimeoutMs = 5000;
+    unsigned workerRlimitCpuS = 0;
+    unsigned workerRlimitAsMb = 0;
+    bool workerTestCrash = false;
+
+    /** Admission control: max queued (not yet running) jobs; 0 = no
+     *  bound. Exceeding it answers submit with a Busy response. */
+    size_t maxQueue = 0;
+
+    /** Max queued+running jobs per client connection; 0 = no bound. */
+    size_t maxInflightPerClient = 0;
 };
 
 /** Lifecycle state of a submitted job. */
@@ -116,6 +163,9 @@ class SimServer
     /** The shared cache, for tests; nullptr when persistence is off. */
     machine::ResultCache *cache() { return cache_.get(); }
 
+    /** The worker pool, for tests; nullptr in in-process mode. */
+    WorkerPool *pool() { return pool_.get(); }
+
   private:
     struct Job
     {
@@ -123,6 +173,12 @@ class SimServer
         JobState state = JobState::Queued;
         bool pure = false;
         machine::SimJob job;        // resolved, ready to run
+        std::string specJson;       // wire form, for journal and pool
+        int clientFd = -1;          // submitting connection (caps)
+        /** Cooperative cancel for a running job (pool mode: the pool
+         *  polls it and kills the worker). Heap-allocated so the
+         *  address stays stable while jobs_ rebalances. */
+        std::shared_ptr<std::atomic<bool>> cancel;
         machine::SimJobResult result;
     };
 
@@ -136,14 +192,29 @@ class SimServer
     void workerLoop();
     void handleConnection(int fd);
 
-    /** Dispatch one request line; returns the response line. */
-    std::string handleRequest(const std::string &line);
+    /** Run one job through the pool (cache + policy); pool mode.
+     *  @p aborted reports a shutdown kill: the job is left in the
+     *  journal so the next daemon re-runs it. */
+    void runPooled(uint64_t id, const machine::SimJob &job,
+                   const std::string &spec_json, bool pure,
+                   std::atomic<bool> *cancel,
+                   machine::SimJobResult &result, bool &cancelled,
+                   bool &aborted);
+
+    /** Re-queue journaled jobs that were in flight at the last exit. */
+    void recoverJournal();
+
+    /** Dispatch one request line; returns the response line.
+     *  @p client_fd identifies the submitting connection for the
+     *  per-client in-flight cap (-1 = internal/unattributed). */
+    std::string handleRequest(const std::string &line, int client_fd = -1);
 
     std::string cmdPing();
-    std::string cmdSubmit(const json::Value &req);
+    std::string cmdSubmit(const json::Value &req, int client_fd);
     std::string cmdStatus(const json::Value &req);
     std::string cmdResult(const json::Value &req);
     std::string cmdCancel(const json::Value &req);
+    std::string cmdDrain(const json::Value &req);
     std::string cmdCacheStats();
     std::string cmdCacheClear();
     std::string cmdInspectOpen(const json::Value &req);
@@ -152,6 +223,10 @@ class SimServer
     ServerConfig config_;
     machine::SimDriver driver_;
     std::unique_ptr<machine::ResultCache> cache_;
+    std::optional<machine::DirLock> cacheLock_;
+    std::unique_ptr<WorkerPool> pool_;
+    std::unique_ptr<JobJournal> journal_;
+    bool draining_ = false; // guarded by mutex_
 
     int listenFd_ = -1;
     std::thread acceptThread_;

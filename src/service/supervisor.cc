@@ -1,0 +1,275 @@
+#include "service/supervisor.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sys/wait.h>
+#include <system_error>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "service/job_spec.hh"
+
+namespace mtfpu::service
+{
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGHUP: return "SIGHUP";
+      case SIGINT: return "SIGINT";
+      case SIGQUIT: return "SIGQUIT";
+      case SIGILL: return "SIGILL";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGSEGV: return "SIGSEGV";
+      case SIGPIPE: return "SIGPIPE";
+      case SIGTERM: return "SIGTERM";
+      case SIGXCPU: return "SIGXCPU";
+      case SIGXFSZ: return "SIGXFSZ";
+    }
+    return "SIG" + std::to_string(sig);
+}
+
+CrashInfo
+classifyExit(int wstatus)
+{
+    CrashInfo info;
+    if (WIFSIGNALED(wstatus)) {
+        const int sig = WTERMSIG(wstatus);
+        info.signal = signalName(sig);
+        info.summary = "worker killed by signal " + std::to_string(sig) +
+                       " (" + info.signal + ")";
+        if (sig == SIGXCPU) {
+            info.summary += " — CPU rlimit exhausted";
+        } else if (sig == SIGKILL) {
+            info.maybeOom = true;
+            info.summary += " — possible out-of-memory kill";
+        }
+    } else if (WIFEXITED(wstatus)) {
+        info.exitCode = WEXITSTATUS(wstatus);
+        info.summary =
+            "worker exited with status " + std::to_string(info.exitCode);
+    } else {
+        info.summary = "worker vanished with wait status " +
+                       std::to_string(wstatus);
+    }
+    return info;
+}
+
+unsigned
+RespawnBackoff::recordCrash()
+{
+    ++streak_;
+    // base * 2^(streak-1), saturating at the cap. The shift is bounded
+    // so a very long streak cannot overflow into a zero delay.
+    const unsigned shift = streak_ > 16 ? 16 : streak_ - 1;
+    const uint64_t delay = static_cast<uint64_t>(baseMs_) << shift;
+    return delay > maxMs_ ? maxMs_ : static_cast<unsigned>(delay);
+}
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path))
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent);
+    file_ = std::fopen(path_.c_str(), "a");
+    if (!file_)
+        fatal(ErrCode::Io, "cannot open job journal " + path_ + ": " +
+                               std::strerror(errno));
+}
+
+JobJournal::~JobJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JobJournal::accept(uint64_t id, const std::string &spec_json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Writer w;
+    w.beginObject();
+    w.key("op").value("accept");
+    w.key("id").value(id);
+    w.key("spec").raw(spec_json);
+    w.endObject();
+    const std::string line = w.str();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    // One flush per event: a SIGKILLed daemon loses at most the line
+    // in flight, and recover() skips that torn tail.
+    std::fflush(file_);
+}
+
+void
+JobJournal::done(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Writer w;
+    w.beginObject();
+    w.key("op").value("done");
+    w.key("id").value(id);
+    w.endObject();
+    const std::string line = w.str();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+}
+
+JobJournal::Recovery
+JobJournal::recover(const std::string &path)
+{
+    Recovery recovery;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return recovery; // no journal: nothing in flight
+
+    // Replay in file order into an id-keyed map: accept inserts, done
+    // erases. std::map keeps the survivors in ascending id order.
+    std::map<uint64_t, std::string> open;
+    std::string line;
+    int c;
+    bool sawNewline = true;
+    auto apply = [&](const std::string &text) {
+        // Interior lines that fail to parse are corruption worth a
+        // warning; the torn tail (no trailing newline) is expected
+        // after a SIGKILL and is skipped by the caller below.
+        const json::Value v = json::parse(text);
+        const std::string op = v.at("op").asString();
+        const uint64_t id = v.at("id").asUint();
+        if (id > recovery.maxId)
+            recovery.maxId = id;
+        if (op == "accept")
+            // The reader has no serializer; round-trip the spec
+            // through its typed form to get canonical JSON back (and
+            // reject a corrupt spec here, not at re-submission).
+            open[id] = JobSpec::from_json(v.at("spec")).to_json();
+        else if (op == "done")
+            open.erase(id);
+    };
+    while ((c = std::fgetc(f)) != EOF) {
+        if (c == '\n') {
+            if (!line.empty()) {
+                try {
+                    apply(line);
+                } catch (const FatalError &err) {
+                    warn("job journal " + path + ": skipping bad line (" +
+                         err.what() + ")");
+                }
+            }
+            line.clear();
+            sawNewline = true;
+        } else {
+            line.push_back(static_cast<char>(c));
+            sawNewline = false;
+        }
+    }
+    std::fclose(f);
+    if (!sawNewline && !line.empty()) {
+        // Torn tail: the write the crash interrupted. Try it — it may
+        // be complete except for the newline — but drop it silently
+        // when it is not.
+        try {
+            apply(line);
+        } catch (const FatalError &) {
+        }
+    }
+    for (auto &[id, spec] : open)
+        recovery.unfinished.push_back(Recovered{id, std::move(spec)});
+    return recovery;
+}
+
+void
+JobJournal::compact(const std::string &path,
+                    const std::vector<Recovered> &unfinished)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        warn("job journal: cannot compact to " + tmp);
+        return;
+    }
+    for (const Recovered &job : unfinished) {
+        json::Writer w;
+        w.beginObject();
+        w.key("op").value("accept");
+        w.key("id").value(job.id);
+        w.key("spec").raw(job.specJson);
+        w.endObject();
+        const std::string line = w.str();
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fputc('\n', f);
+    }
+    const bool ok = std::fclose(f) == 0;
+    std::error_code ec;
+    if (ok)
+        std::filesystem::rename(tmp, path, ec);
+    if (!ok || ec) {
+        std::remove(tmp.c_str());
+        warn("job journal: compaction of " + path + " failed");
+    }
+}
+
+void
+writeWorkerCrashReport(const std::string &dir, const std::string &job_name,
+                       const std::string &spec_json, const CrashInfo &crash,
+                       unsigned attempts)
+{
+    if (dir.empty())
+        return;
+    try {
+        std::filesystem::create_directories(dir);
+        std::string base;
+        base.reserve(job_name.size());
+        for (char c : job_name) {
+            const bool keep = (c >= 'a' && c <= 'z') ||
+                              (c >= 'A' && c <= 'Z') ||
+                              (c >= '0' && c <= '9') || c == '-' ||
+                              c == '_' || c == '.';
+            base.push_back(keep ? c : '_');
+        }
+        if (base.empty())
+            base = "job";
+        const std::string path = dir + "/" + base + ".worker-crash.json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("cannot write worker crash report " + path);
+            return;
+        }
+        json::Writer w;
+        w.beginObject();
+        w.key("job").value(job_name);
+        w.key("kind").value("worker-crash");
+        w.key("error_code").value(errCodeName(crash.code));
+        w.key("summary").value(crash.summary);
+        if (!crash.signal.empty())
+            w.key("signal").value(crash.signal);
+        if (crash.exitCode >= 0)
+            w.key("exit_code").value(static_cast<uint64_t>(crash.exitCode));
+        w.key("possible_oom").value(crash.maybeOom);
+        w.key("attempts").value(static_cast<uint64_t>(attempts));
+        if (!spec_json.empty())
+            w.key("spec").raw(spec_json);
+        w.endObject();
+        const std::string text = w.str();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        inform("worker crash report written to " + path);
+    } catch (const std::exception &err) {
+        warn(std::string("worker crash report failed: ") + err.what());
+    }
+}
+
+} // namespace mtfpu::service

@@ -1,10 +1,16 @@
 #include "service/wire.hh"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <chrono>
+#include <mutex>
 
 #include "common/json.hh"
 #include "common/log.hh"
@@ -36,16 +42,38 @@ sysFatal(const std::string &what, const std::string &path)
     fatal(ErrCode::Io, what + " " + path + ": " + std::strerror(errno));
 }
 
+void
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
 } // anonymous namespace
+
+void
+ignoreSigpipe()
+{
+    // A dead peer must surface as EPIPE on the write that hit it, not
+    // as a process-killing signal: one worker's vanished supervisor
+    // (or one client's vanished daemon) is that endpoint's problem
+    // alone. std::call_once keeps the handler install race-free when
+    // several connection threads start at once.
+    static std::once_flag once;
+    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
 
 int
 listenUnix(const std::string &path, int backlog)
 {
+    ignoreSigpipe();
     const sockaddr_un addr = makeAddr(path);
     ::unlink(path.c_str());
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         sysFatal("socket() for", path);
+    setCloexec(fd);
     if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
                sizeof(addr)) != 0) {
         const int saved = errno;
@@ -66,12 +94,18 @@ listenUnix(const std::string &path, int backlog)
 int
 connectUnix(const std::string &path)
 {
+    ignoreSigpipe();
     const sockaddr_un addr = makeAddr(path);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         sysFatal("socket() for", path);
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    setCloexec(fd);
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
         const int saved = errno;
         ::close(fd);
         errno = saved;
@@ -89,19 +123,55 @@ LineChannel::~LineChannel()
 bool
 LineChannel::readLine(std::string &line)
 {
+    return readLineTimed(line, -1) == ReadStatus::Line;
+}
+
+LineChannel::ReadStatus
+LineChannel::readLineTimed(std::string &line, int timeout_ms)
+{
+    using clock = std::chrono::steady_clock;
+    const clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(timeout_ms);
     for (;;) {
         const size_t nl = buf_.find('\n');
         if (nl != std::string::npos) {
             line.assign(buf_, 0, nl);
             buf_.erase(0, nl + 1);
-            return true;
+            return ReadStatus::Line;
+        }
+        if (timeout_ms >= 0) {
+            // Poll with the remaining budget so several short reads
+            // (a line arriving in fragments) share one deadline.
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - clock::now());
+            const int wait =
+                left.count() > 0 ? static_cast<int>(left.count()) : 0;
+            pollfd pfd{fd_, POLLIN, 0};
+            int ready;
+            do {
+                ready = ::poll(&pfd, 1, wait);
+            } while (ready < 0 && errno == EINTR);
+            if (ready < 0) {
+                lastErrno_ = errno;
+                return ReadStatus::Error;
+            }
+            if (ready == 0)
+                return ReadStatus::Timeout;
         }
         char chunk[4096];
-        ssize_t got = ::read(fd_, chunk, sizeof(chunk));
-        while (got < 0 && errno == EINTR)
+        ssize_t got;
+        do {
             got = ::read(fd_, chunk, sizeof(chunk));
-        if (got <= 0)
-            return false; // EOF or error; any buffered fragment is torn
+        } while (got < 0 && errno == EINTR);
+        if (got == 0) {
+            // EOF; any buffered fragment is torn and never surfaces.
+            lastErrno_ = 0;
+            return ReadStatus::Eof;
+        }
+        if (got < 0) {
+            lastErrno_ = errno;
+            return ReadStatus::Error;
+        }
         buf_.append(chunk, static_cast<size_t>(got));
     }
 }
@@ -116,11 +186,22 @@ LineChannel::writeLine(const std::string &line)
         ssize_t put = ::write(fd_, out.data() + sent, out.size() - sent);
         if (put < 0 && errno == EINTR)
             continue;
-        if (put <= 0)
+        if (put <= 0) {
+            lastErrno_ = put < 0 ? errno : EIO;
             return false;
+        }
         sent += static_cast<size_t>(put);
     }
     return true;
+}
+
+void
+LineChannel::writeLineOrThrow(const std::string &line, const char *who)
+{
+    if (!writeLine(line)) {
+        fatal(ErrCode::Io, std::string(who) + ": peer disconnected (" +
+                               std::strerror(lastErrno_) + ")");
+    }
 }
 
 std::string

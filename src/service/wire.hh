@@ -12,6 +12,15 @@
  * "error_code" when a structured SimError caused them). Protocol
  * errors never kill the connection — the server answers with an error
  * response and keeps reading.
+ *
+ * Robustness contract (DESIGN.md §12.4): SIGPIPE is ignored
+ * process-wide the first time any endpoint is created, so a peer that
+ * vanishes mid-write surfaces as EPIPE on the write, never as a
+ * process-killing signal — the daemon, its workers, and clients all
+ * rely on this. Reads and writes retry EINTR, writes loop over
+ * partial transfers, and every socket fd is opened close-on-exec so a
+ * forked worker process cannot hold a daemon's listener or client
+ * connection open past its own exec.
  */
 
 #ifndef MTFPU_SERVICE_WIRE_HH
@@ -23,16 +32,24 @@ namespace mtfpu::service
 {
 
 /**
+ * Ignore SIGPIPE for the whole process (idempotent). Called by
+ * listenUnix/connectUnix and by the worker main; exposed so embedders
+ * that hand raw fds to LineChannel can get the same guarantee.
+ */
+void ignoreSigpipe();
+
+/**
  * Create, bind, and listen on a Unix-domain stream socket at @p path.
  * A stale socket file from a dead daemon is unlinked first (a live
  * daemon holds its listener open, so binding over it would fail with
  * EADDRINUSE before the unlink could race anything living). Throws
  * SimError(ErrCode::Io) on any syscall failure; the path length is
- * checked against sockaddr_un limits.
+ * checked against sockaddr_un limits. The fd is close-on-exec.
  */
 int listenUnix(const std::string &path, int backlog = 16);
 
-/** Connect to a listening Unix socket; throws SimError(Io) on failure. */
+/** Connect to a listening Unix socket; throws SimError(Io) on failure.
+ *  The fd is close-on-exec. */
 int connectUnix(const std::string &path);
 
 /**
@@ -43,6 +60,15 @@ int connectUnix(const std::string &path);
 class LineChannel
 {
   public:
+    /** Outcome of a timed read. */
+    enum class ReadStatus : uint8_t
+    {
+        Line,    // a complete line was returned
+        Eof,     // peer closed cleanly (any buffered fragment is torn)
+        Error,   // read failed; lastErrno() has the reason
+        Timeout, // no complete line within the given window
+    };
+
     explicit LineChannel(int fd) : fd_(fd) {}
     ~LineChannel();
 
@@ -53,17 +79,37 @@ class LineChannel
      * Read one newline-terminated line (the newline is stripped).
      * Returns false on EOF or a read error; a final unterminated
      * fragment at EOF is discarded — a torn request is no request,
-     * the same rule journals apply to torn trailing lines.
+     * the same rule journals apply to torn trailing lines. Use
+     * lastErrno() to distinguish a clean EOF (0) from an error.
      */
     bool readLine(std::string &line);
 
-    /** Write @p line plus '\n'; false on any write failure. */
+    /**
+     * readLine with a wall-clock budget: polls the fd so a peer that
+     * stops talking (a hung worker, a stalled client) is detected
+     * instead of blocking forever. @p timeout_ms < 0 means no limit.
+     */
+    ReadStatus readLineTimed(std::string &line, int timeout_ms);
+
+    /**
+     * Write @p line plus '\n'; retries EINTR and partial writes.
+     * Returns false on failure (peer gone → EPIPE/ECONNRESET in
+     * lastErrno(), never a SIGPIPE kill — see ignoreSigpipe()).
+     */
     bool writeLine(const std::string &line);
+
+    /** Throwing variant: SimError(ErrCode::Io) instead of false, so a
+     *  peer disconnect surfaces structurally instead of dropping. */
+    void writeLineOrThrow(const std::string &line, const char *who);
+
+    /** errno of the last failed read/write; 0 after clean EOF. */
+    int lastErrno() const { return lastErrno_; }
 
     int fd() const { return fd_; }
 
   private:
     int fd_;
+    int lastErrno_ = 0;
     std::string buf_; // bytes read past the last returned line
 };
 

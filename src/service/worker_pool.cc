@@ -1,0 +1,512 @@
+#include "service/worker_pool.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "service/server.hh" // statsFromHex
+
+namespace mtfpu::service
+{
+
+namespace
+{
+
+using clock_t_ = std::chrono::steady_clock;
+
+uint64_t
+msSince(clock_t_::time_point t)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            clock_t_::now() - t)
+            .count());
+}
+
+/** Build the structured result for a job whose worker died. */
+machine::SimJobResult
+crashResult(const PoolJob &job, const CrashInfo &crash)
+{
+    machine::SimJobResult result;
+    result.name = job.name;
+    result.ok = false;
+    result.error = crash.summary;
+    result.errorCode = errCodeName(crash.code);
+    result.errorJson = SimError(crash.code, crash.summary).to_json();
+    return result;
+}
+
+/** Decode a worker's {"ev":"result"} line into a SimJobResult. */
+machine::SimJobResult
+parseResultLine(const json::Value &v)
+{
+    machine::SimJobResult result;
+    result.name = v.at("name").asString();
+    result.ok = v.at("job_ok").asBool();
+    if (v.has("job_error"))
+        result.error = v.at("job_error").asString();
+    if (v.has("job_error_code"))
+        result.errorCode = v.at("job_error_code").asString();
+    if (v.has("job_error_json"))
+        result.errorJson = v.at("job_error_json").asString();
+    if (v.has("stats_hex")) {
+        result.stats = statsFromHex(v.at("stats_hex").asString());
+        result.status = result.stats.status;
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+WorkerProcess::WorkerProcess(const WorkerPoolConfig &config)
+    : config_(config)
+{}
+
+WorkerProcess::~WorkerProcess()
+{
+    kill();
+}
+
+bool
+WorkerProcess::spawn()
+{
+    ignoreSigpipe();
+    int sv[2];
+    // CLOEXEC on both ends at creation: the daemon forks workers from
+    // several threads, and a racing fork must not inherit another
+    // slot's channel. The child's dup2 onto fd 0 clears the flag for
+    // the one fd the worker is meant to keep.
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+        warn(std::string("worker pool: socketpair failed: ") +
+             std::strerror(errno));
+        return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(sv[0]);
+        ::close(sv[1]);
+        warn(std::string("worker pool: fork failed: ") +
+             std::strerror(errno));
+        return false;
+    }
+    if (pid == 0) {
+        // Child: the channel becomes fd 0 (read and write — it is a
+        // socket); stderr stays inherited so worker warnings land in
+        // the daemon's log.
+        ::dup2(sv[1], 0);
+        std::vector<std::string> args;
+        args.push_back(config_.workerPath);
+        if (config_.rlimitCpuS > 0) {
+            args.push_back("--rlimit-cpu");
+            args.push_back(std::to_string(config_.rlimitCpuS));
+        }
+        if (config_.rlimitAsMb > 0) {
+            args.push_back("--rlimit-as-mb");
+            args.push_back(std::to_string(config_.rlimitAsMb));
+        }
+        if (config_.testCrashHooks)
+            args.push_back("--test-crash-hooks");
+        std::vector<char *> argv;
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        // exec failed; 127 mirrors the shell's convention.
+        ::_exit(127);
+    }
+    ::close(sv[1]);
+    pid_ = pid;
+    channel_ = std::make_unique<LineChannel>(sv[0]);
+
+    // The ready line proves the worker survived exec and rlimit setup.
+    std::string line;
+    const LineChannel::ReadStatus status = channel_->readLineTimed(
+        line, static_cast<int>(config_.spawnTimeoutMs));
+    if (status != LineChannel::ReadStatus::Line) {
+        const CrashInfo crash = reap();
+        warn("worker pool: worker " + std::to_string(pid) +
+             " failed to start: " + crash.summary);
+        return false;
+    }
+    return true;
+}
+
+pid_t
+WorkerProcess::claimPid()
+{
+    std::lock_guard<std::mutex> lock(pidMutex_);
+    const pid_t pid = pid_;
+    pid_ = -1;
+    return pid;
+}
+
+void
+WorkerProcess::interrupt()
+{
+    std::lock_guard<std::mutex> lock(pidMutex_);
+    if (pid_ > 0)
+        ::kill(pid_, SIGKILL);
+}
+
+void
+WorkerProcess::kill()
+{
+    const pid_t pid = claimPid();
+    if (pid <= 0)
+        return;
+    ::kill(pid, SIGKILL);
+    int st = 0;
+    ::waitpid(pid, &st, 0);
+    channel_.reset();
+}
+
+CrashInfo
+WorkerProcess::reap()
+{
+    CrashInfo crash;
+    const pid_t pid = claimPid();
+    if (pid <= 0) {
+        crash.summary = "worker was not running";
+        return crash;
+    }
+    int st = 0;
+    if (::waitpid(pid, &st, 0) == pid)
+        crash = classifyExit(st);
+    else
+        crash.summary = "worker " + std::to_string(pid) +
+                        " could not be reaped: " + std::strerror(errno);
+    channel_.reset();
+    return crash;
+}
+
+WorkerProcess::Outcome
+WorkerProcess::runJob(const PoolJob &job, machine::SimJobResult &result,
+                      CrashInfo &crash)
+{
+    const clock_t_::time_point start = clock_t_::now();
+    clock_t_::time_point lastLine = start;
+
+    {
+        json::Writer w;
+        w.beginObject();
+        w.key("job").raw(job.specJson);
+        w.endObject();
+        if (!channel_->writeLine(w.str())) {
+            crash = reap();
+            result = crashResult(job, crash);
+            return Outcome::Crash;
+        }
+    }
+
+    std::string line;
+    for (;;) {
+        // A short poll tick bounds how stale the cancel flag and the
+        // deadline check can get; heartbeats normally arrive well
+        // within it, so the loop is read-dominated, not spin-dominated.
+        const LineChannel::ReadStatus status =
+            channel_->readLineTimed(line, 50);
+        switch (status) {
+          case LineChannel::ReadStatus::Line: {
+            lastLine = clock_t_::now();
+            try {
+                const json::Value v = json::parse(line);
+                const std::string ev =
+                    v.has("ev") ? v.at("ev").asString() : "";
+                if (ev == "hb" || ev == "ready")
+                    continue;
+                if (ev == "result") {
+                    result = parseResultLine(v);
+                    return Outcome::Result;
+                }
+                warn("worker pool: unexpected worker line: " + line);
+            } catch (const FatalError &err) {
+                warn(std::string("worker pool: bad worker line (") +
+                     err.what() + "): " + line);
+            }
+            continue;
+          }
+          case LineChannel::ReadStatus::Timeout: {
+            if (job.cancel &&
+                job.cancel->load(std::memory_order_relaxed)) {
+                kill();
+                result = machine::SimJobResult{};
+                result.name = job.name;
+                return Outcome::Cancelled;
+            }
+            if (config_.jobTimeoutMs > 0 &&
+                msSince(start) >= config_.jobTimeoutMs) {
+                kill();
+                crash.code = ErrCode::WorkerTimeout;
+                crash.summary =
+                    "job exceeded its " +
+                    std::to_string(config_.jobTimeoutMs) +
+                    "ms wall-clock deadline; worker killed";
+                result = crashResult(job, crash);
+                return Outcome::Timeout;
+            }
+            if (config_.heartbeatTimeoutMs > 0 &&
+                msSince(lastLine) >= config_.heartbeatTimeoutMs) {
+                kill();
+                crash.code = ErrCode::WorkerCrash;
+                crash.summary =
+                    "worker stopped heartbeating for " +
+                    std::to_string(config_.heartbeatTimeoutMs) +
+                    "ms and was killed";
+                result = crashResult(job, crash);
+                return Outcome::HeartbeatLost;
+            }
+            continue;
+          }
+          case LineChannel::ReadStatus::Eof:
+          case LineChannel::ReadStatus::Error: {
+            crash = reap();
+            result = crashResult(job, crash);
+            return Outcome::Crash;
+          }
+        }
+    }
+}
+
+WorkerPool::WorkerPool(WorkerPoolConfig config) : config_(std::move(config))
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+    slots_.resize(config_.workers);
+    for (Slot &slot : slots_)
+        slot.backoff =
+            RespawnBackoff(config_.backoffBaseMs, config_.backoffMaxMs);
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop();
+}
+
+void
+WorkerPool::stop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_)
+        return;
+    stopping_ = true;
+    // interrupt(), not kill(): a busy slot's driving thread is inside
+    // runJob using the channel; killing the process makes that read
+    // return EOF and the driving thread reaps. Tearing the channel
+    // down from this thread would be a use-after-free under its feet.
+    for (Slot &slot : slots_) {
+        if (slot.worker)
+            slot.worker->interrupt();
+    }
+    slotCv_.notify_all();
+}
+
+int
+WorkerPool::acquireSlot()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (stopping_)
+            return -1;
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            if (!slots_[i].busy) {
+                slots_[i].busy = true;
+                return static_cast<int>(i);
+            }
+        }
+        slotCv_.wait(lock);
+    }
+}
+
+void
+WorkerPool::releaseSlot(int index)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_[static_cast<size_t>(index)].busy = false;
+    }
+    slotCv_.notify_one();
+}
+
+WorkerProcess::Outcome
+WorkerPool::attempt(Slot &slot, const PoolJob &job,
+                    machine::SimJobResult &result, CrashInfo &crash)
+{
+    // Ensure a live worker, respawning through the slot's backoff. A
+    // worker that cannot even reach its ready line three times in a
+    // row fails the attempt rather than wedging the slot forever.
+    for (int tries = 0; tries < 3; ++tries) {
+        if (slot.worker && slot.worker->alive())
+            break;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                break;
+        }
+        if (slot.worker) {
+            const unsigned delay = slot.backoff.recordCrash();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+        slot.worker = std::make_unique<WorkerProcess>(config_);
+        if (slot.worker->spawn()) {
+            respawns_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+    if (!slot.worker || !slot.worker->alive()) {
+        crash.code = ErrCode::WorkerCrash;
+        crash.summary = "worker process failed to start";
+        result = crashResult(job, crash);
+        return WorkerProcess::Outcome::Crash;
+    }
+
+    const WorkerProcess::Outcome outcome =
+        slot.worker->runJob(job, result, crash);
+    switch (outcome) {
+      case WorkerProcess::Outcome::Result:
+        slot.backoff.recordHealthy();
+        break;
+      case WorkerProcess::Outcome::Crash:
+      case WorkerProcess::Outcome::HeartbeatLost:
+        crashes_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case WorkerProcess::Outcome::Timeout:
+      case WorkerProcess::Outcome::Cancelled:
+        // Deliberate kills by the supervisor, not worker ill health:
+        // no crash streak, the next spawn is immediate.
+        break;
+    }
+    return outcome;
+}
+
+PoolOutcome
+WorkerPool::execute(const PoolJob &job)
+{
+    PoolOutcome out;
+    const int index = acquireSlot();
+    if (index < 0) {
+        out.result.name = job.name;
+        out.result.ok = false;
+        out.result.error = "worker pool is stopping";
+        out.result.errorCode = errCodeName(ErrCode::Io);
+        out.aborted = true;
+        return out;
+    }
+    Slot &slot = slots_[static_cast<size_t>(index)];
+
+    CrashInfo crash;
+    WorkerProcess::Outcome first =
+        attempt(slot, job, out.result, crash);
+    out.result.attempts = 1;
+
+    // A crash observed while the pool is stopping is our own shutdown
+    // kill, not the job's doing: no retry, no quarantine artifact, and
+    // the caller leaves the job un-journaled so a restart re-runs it.
+    bool stoppingNow = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stoppingNow = stopping_;
+    }
+    if (stoppingNow && first != WorkerProcess::Outcome::Result) {
+        out.aborted = true;
+        releaseSlot(index);
+        return out;
+    }
+
+    const bool firstFailed =
+        first != WorkerProcess::Outcome::Result || !out.result.ok;
+
+    if (first == WorkerProcess::Outcome::Cancelled) {
+        out.cancelled = true;
+        releaseSlot(index);
+        return out;
+    }
+    if (!firstFailed || job.faultExpected) {
+        // Success, or an expected fault-campaign failure: single
+        // attempt, never quarantined, no artifact — PR-3 semantics.
+        releaseSlot(index);
+        return out;
+    }
+
+    // Timeouts and guard stops are deterministic budget exhaustion: a
+    // retry would burn the same wall-clock/cycle budget to learn
+    // nothing. Quarantine immediately.
+    const bool budget =
+        first == WorkerProcess::Outcome::Timeout ||
+        (first == WorkerProcess::Outcome::Result &&
+         out.result.status != machine::RunStatus::Ok);
+    if (budget) {
+        out.result.quarantined = true;
+        if (first == WorkerProcess::Outcome::Timeout) {
+            writeWorkerCrashReport(config_.crashDir, job.name,
+                                   job.specJson, crash, 1);
+        } else {
+            CrashInfo guard;
+            guard.code = errCodeFromName(out.result.errorCode);
+            guard.summary = out.result.error;
+            writeWorkerCrashReport(config_.crashDir, job.name,
+                                   job.specJson, guard, 1);
+        }
+        releaseSlot(index);
+        return out;
+    }
+
+    // Anything else — a structured error or a dead worker — is
+    // retried exactly once. A Machine is a closed system, so a genuine
+    // simulator failure reproduces; a crash that does not reproduce
+    // was the host's problem (OOM kill, operator signal), and the
+    // retry absorbs it.
+    warn("job '" + job.name + "' failed (" + out.result.errorCode +
+         "), retrying once in an isolated worker: " + out.result.error);
+    machine::SimJobResult retryResult;
+    CrashInfo retryCrash;
+    const WorkerProcess::Outcome second =
+        attempt(slot, job, retryResult, retryCrash);
+    retryResult.attempts = 2;
+
+    if (second == WorkerProcess::Outcome::Cancelled) {
+        out.result = std::move(retryResult);
+        out.cancelled = true;
+        releaseSlot(index);
+        return out;
+    }
+    if (second == WorkerProcess::Outcome::Result && retryResult.ok) {
+        warn("job '" + job.name +
+             "' succeeded on retry — nondeterministic failure?");
+        out.result = std::move(retryResult);
+        releaseSlot(index);
+        return out;
+    }
+
+    // Failed twice: quarantine with an artifact. When either attempt
+    // died by signal the report names it, so triage can tell a
+    // simulator SIGSEGV from a resource kill.
+    out.result = std::move(retryResult);
+    out.result.quarantined = true;
+    const CrashInfo *reported = nullptr;
+    if (second != WorkerProcess::Outcome::Result)
+        reported = &retryCrash;
+    else if (first != WorkerProcess::Outcome::Result)
+        reported = &crash;
+    if (reported != nullptr) {
+        writeWorkerCrashReport(config_.crashDir, job.name, job.specJson,
+                               *reported, 2);
+    } else {
+        CrashInfo structured;
+        structured.code = errCodeFromName(out.result.errorCode);
+        structured.summary = out.result.error;
+        writeWorkerCrashReport(config_.crashDir, job.name, job.specJson,
+                               structured, 2);
+    }
+    releaseSlot(index);
+    return out;
+}
+
+} // namespace mtfpu::service
