@@ -431,13 +431,15 @@ void
 SimServer::handleConnection(int fd)
 {
     LineChannel channel(fd);
+    uint64_t connId = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         connFds_.push_back(fd);
+        connId = nextConnId_++;
     }
     std::string line;
     while (channel.readLine(line)) {
-        const std::string response = handleRequest(line, fd);
+        const std::string response = handleRequest(line, connId);
         if (!channel.writeLine(response))
             break;
         // A shutdown request stops the server after the reply is on
@@ -458,7 +460,7 @@ SimServer::handleConnection(int fd)
 }
 
 std::string
-SimServer::handleRequest(const std::string &line, int client_fd)
+SimServer::handleRequest(const std::string &line, uint64_t client_id)
 {
     try {
         const json::Value req = json::parse(line);
@@ -468,7 +470,7 @@ SimServer::handleRequest(const std::string &line, int client_fd)
         if (cmd == "ping")
             return cmdPing();
         if (cmd == "submit")
-            return cmdSubmit(req, client_fd);
+            return cmdSubmit(req, client_id);
         if (cmd == "status")
             return cmdStatus(req);
         if (cmd == "result")
@@ -506,7 +508,7 @@ SimServer::cmdPing()
 }
 
 std::string
-SimServer::cmdSubmit(const json::Value &req, int client_fd)
+SimServer::cmdSubmit(const json::Value &req, uint64_t client_id)
 {
     if (!req.has("spec"))
         return errorResponse("submit needs a 'spec' object");
@@ -515,7 +517,7 @@ SimServer::cmdSubmit(const json::Value &req, int client_fd)
     entry.pure = spec.pure();
     entry.job = spec.resolve(); // throws on bad programs: caught above
     entry.specJson = spec.to_json();
-    entry.clientFd = client_fd;
+    entry.clientId = client_id;
     entry.cancel = std::make_shared<std::atomic<bool>>(false);
     uint64_t id = 0;
     {
@@ -533,10 +535,10 @@ SimServer::cmdSubmit(const json::Value &req, int client_fd)
                                 100 + 25 * (queue_.size() -
                                             config_.maxQueue + 1));
         }
-        if (config_.maxInflightPerClient > 0 && client_fd >= 0) {
+        if (config_.maxInflightPerClient > 0 && client_id != 0) {
             size_t inflight = 0;
             for (const auto &[jid, j] : jobs_) {
-                if (j.clientFd == client_fd &&
+                if (j.clientId == client_id &&
                     (j.state == JobState::Queued ||
                      j.state == JobState::Running))
                     ++inflight;

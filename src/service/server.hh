@@ -174,7 +174,11 @@ class SimServer
         bool pure = false;
         machine::SimJob job;        // resolved, ready to run
         std::string specJson;       // wire form, for journal and pool
-        int clientFd = -1;          // submitting connection (caps)
+        /** Submitting connection for the in-flight cap. A monotonic
+         *  id, not the fd: fds are recycled, and a new client must
+         *  not inherit a closed client's jobs toward its cap. 0 =
+         *  internal/unattributed (e.g. journal recovery). */
+        uint64_t clientId = 0;
         /** Cooperative cancel for a running job (pool mode: the pool
          *  polls it and kills the worker). Heap-allocated so the
          *  address stays stable while jobs_ rebalances. */
@@ -205,12 +209,13 @@ class SimServer
     void recoverJournal();
 
     /** Dispatch one request line; returns the response line.
-     *  @p client_fd identifies the submitting connection for the
-     *  per-client in-flight cap (-1 = internal/unattributed). */
-    std::string handleRequest(const std::string &line, int client_fd = -1);
+     *  @p client_id identifies the submitting connection for the
+     *  per-client in-flight cap (0 = internal/unattributed). */
+    std::string handleRequest(const std::string &line,
+                              uint64_t client_id = 0);
 
     std::string cmdPing();
-    std::string cmdSubmit(const json::Value &req, int client_fd);
+    std::string cmdSubmit(const json::Value &req, uint64_t client_id);
     std::string cmdStatus(const json::Value &req);
     std::string cmdResult(const json::Value &req);
     std::string cmdCancel(const json::Value &req);
@@ -240,6 +245,7 @@ class SimServer
     std::map<uint64_t, Job> jobs_;
     std::deque<uint64_t> queue_;
     uint64_t nextJobId_ = 1;
+    uint64_t nextConnId_ = 1; // guarded by mutex_
     std::map<uint64_t, std::shared_ptr<InspectSession>> sessions_;
     uint64_t nextSessionId_ = 1;
     bool stopping_ = false;

@@ -130,9 +130,21 @@ WorkerProcess::spawn()
     const LineChannel::ReadStatus status = channel_->readLineTimed(
         line, static_cast<int>(config_.spawnTimeoutMs));
     if (status != LineChannel::ReadStatus::Line) {
+        // On Timeout (and possibly Error) the child is still alive,
+        // wedged before its ready line — the exact case this window
+        // guards against. Kill before reaping: a bare reap() would
+        // block in waitpid forever and wedge this slot's driving
+        // thread. On a zombie the extra SIGKILL is a harmless no-op.
+        interrupt();
         const CrashInfo crash = reap();
+        const std::string why =
+            status == LineChannel::ReadStatus::Timeout
+                ? " (no ready line within " +
+                      std::to_string(config_.spawnTimeoutMs) +
+                      "ms; killed)"
+                : "";
         warn("worker pool: worker " + std::to_string(pid) +
-             " failed to start: " + crash.summary);
+             " failed to start" + why + ": " + crash.summary);
         return false;
     }
     return true;
@@ -342,23 +354,46 @@ WorkerPool::attempt(Slot &slot, const PoolJob &job,
     // worker that cannot even reach its ready line three times in a
     // row fails the attempt rather than wedging the slot forever.
     for (int tries = 0; tries < 3; ++tries) {
-        if (slot.worker && slot.worker->alive())
-            break;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_)
                 break;
         }
-        if (slot.worker) {
-            const unsigned delay = slot.backoff.recordCrash();
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(delay));
-        }
-        slot.worker = std::make_unique<WorkerProcess>(config_);
-        if (slot.worker->spawn()) {
-            respawns_.fetch_add(1, std::memory_order_relaxed);
+        if (slot.worker && slot.worker->alive())
             break;
+        if (slot.worker) {
+            if (slot.deliberateKill) {
+                // The previous death was our own SIGKILL (timeout or
+                // cancel), not worker ill health: no crash streak,
+                // the respawn is immediate.
+                slot.deliberateKill = false;
+            } else {
+                const unsigned delay = slot.backoff.recordCrash();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            }
         }
+        // Spawn outside mutex_ (it can block up to spawnTimeoutMs),
+        // then install under it: stop() dereferences slot.worker under
+        // mutex_, so the unique_ptr swap must not race its interrupt
+        // sweep. The displaced worker is already dead, so destroying
+        // it under the lock is cheap.
+        auto fresh = std::make_unique<WorkerProcess>(config_);
+        const bool up = fresh->spawn();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            slot.worker = std::move(fresh);
+            if (up) {
+                respawns_.fetch_add(1, std::memory_order_relaxed);
+                // A worker spawned after stop()'s sweep must not
+                // escape it: interrupt now so shutdown abandons the
+                // job instead of waiting it out.
+                if (stopping_)
+                    slot.worker->interrupt();
+            }
+        }
+        if (up)
+            break;
     }
     if (!slot.worker || !slot.worker->alive()) {
         crash.code = ErrCode::WorkerCrash;
@@ -381,6 +416,7 @@ WorkerPool::attempt(Slot &slot, const PoolJob &job,
       case WorkerProcess::Outcome::Cancelled:
         // Deliberate kills by the supervisor, not worker ill health:
         // no crash streak, the next spawn is immediate.
+        slot.deliberateKill = true;
         break;
     }
     return outcome;

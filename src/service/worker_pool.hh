@@ -206,6 +206,10 @@ class WorkerPool
         std::unique_ptr<WorkerProcess> worker;
         RespawnBackoff backoff;
         bool busy = false;
+        /** The last worker death was the supervisor's own SIGKILL
+         *  (job timeout or cancel), not worker ill health: the next
+         *  respawn skips the crash streak and its backoff sleep. */
+        bool deliberateKill = false;
     };
 
     /** Acquire a free slot index (blocking); -1 when stopping. */
