@@ -6,25 +6,33 @@
  * directly.
  *
  * Usage:
- *   mtfpu-cli serve --socket=PATH [--threads=N] [--cache-dir=DIR]
- *                   [--crash-dir=DIR] [--no-memoize] [--inproc]
- *                   [--worker=PATH] [--journal=PATH]
+ *   mtfpu-cli serve [--socket=PATH] [--listen=HOST:PORT] [--threads=N]
+ *                   [--cache-dir=DIR] [--crash-dir=DIR] [--no-memoize]
+ *                   [--inproc] [--worker=PATH] [--journal=PATH]
  *                   [--job-timeout-ms=N] [--hb-timeout-ms=N]
  *                   [--rlimit-cpu=SECONDS] [--rlimit-as-mb=MB]
  *                   [--max-queue=N] [--max-inflight=N]
+ *                   [--max-line-bytes=N] [--idle-timeout-ms=N]
+ *                   [--write-timeout-ms=N] [--max-conns=N]
  *                   [--test-crash-hooks]
- *   mtfpu-cli ping --socket=PATH
- *   mtfpu-cli submit --socket=PATH --spec=FILE [--no-wait]
- *   mtfpu-cli sweep --socket=PATH --specs=FILE [--wait-timeout=SECS]
- *   mtfpu-cli status --socket=PATH [--id=N]
- *   mtfpu-cli result --socket=PATH --id=N [--no-wait]
- *   mtfpu-cli cancel --socket=PATH --id=N
- *   mtfpu-cli drain --socket=PATH [--resume]
- *   mtfpu-cli shutdown --socket=PATH
- *   mtfpu-cli cache-stats --socket=PATH
- *   mtfpu-cli cache-clear --socket=PATH
- *   mtfpu-cli inspect --socket=PATH --spec=FILE [--run=CYCLES]
+ *   mtfpu-cli ping <addr>
+ *   mtfpu-cli health <addr>
+ *   mtfpu-cli submit <addr> --spec=FILE [--no-wait] [--deadline=SECS]
+ *   mtfpu-cli sweep <addr> --specs=FILE [--wait-timeout=SECS]
+ *                   [--deadline=SECS]
+ *   mtfpu-cli status <addr> [--id=N]
+ *   mtfpu-cli result <addr> --id=N [--no-wait]
+ *   mtfpu-cli cancel <addr> --id=N
+ *   mtfpu-cli drain <addr> [--resume]
+ *   mtfpu-cli shutdown <addr>
+ *   mtfpu-cli cache-stats <addr>
+ *   mtfpu-cli cache-clear <addr>
+ *   mtfpu-cli inspect <addr> --spec=FILE [--run=CYCLES]
  *                     [--reg=unit:N,...] [--mem=ADDR[:COUNT]]
+ *
+ * <addr> is --socket=PATH (Unix socket) or --connect=HOST:PORT (TCP;
+ * DESIGN.md §13). serve can open either listener or both; --listen
+ * with port 0 binds an ephemeral port and prints it.
  *
  * --spec takes one JSON JobSpec ("-" reads stdin); --specs takes a
  * file with one spec per line (the format `fault_campaign
@@ -76,11 +84,17 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mtfpu-cli <serve|ping|submit|sweep|status|result|"
-                 "cancel|drain|shutdown|cache-stats|cache-clear|inspect> "
-                 "--socket=PATH [options]\n");
+                 "usage: mtfpu-cli <serve|ping|health|submit|sweep|status|"
+                 "result|cancel|drain|shutdown|cache-stats|cache-clear|"
+                 "inspect> --socket=PATH|--connect=HOST:PORT [options]\n");
     return 2;
 }
+
+// "Wait forever" still goes through SimClient::resultWait rather
+// than a single blocking request, so a torn connection redials and
+// replays instead of killing the command; a day bounds the
+// pathological daemon that never answers at all.
+constexpr uint64_t kDefaultWaitMs = 24ull * 3600 * 1000;
 
 std::string
 readWholeFile(const std::string &path)
@@ -139,10 +153,12 @@ unexpectedFailure(const service::JobSpec &spec,
 }
 
 int
-cmdServe(const std::string &socket, int argc, char **argv)
+cmdServe(const std::string &socket, const std::string &listen, int argc,
+         char **argv)
 {
     service::ServerConfig config;
     config.socketPath = socket;
+    config.listenAddr = listen;
     std::string value;
     for (int i = 0; i < argc; ++i) {
         if (flagValue(argv[i], "--threads", value))
@@ -173,20 +189,35 @@ cmdServe(const std::string &socket, int argc, char **argv)
             config.maxQueue = std::stoull(value);
         else if (flagValue(argv[i], "--max-inflight", value))
             config.maxInflightPerClient = std::stoull(value);
+        else if (flagValue(argv[i], "--max-line-bytes", value))
+            config.maxLineBytes = std::stoull(value);
+        else if (flagValue(argv[i], "--idle-timeout-ms", value))
+            config.idleTimeoutMs = std::stoull(value);
+        else if (flagValue(argv[i], "--write-timeout-ms", value))
+            config.writeTimeoutMs = std::stoull(value);
+        else if (flagValue(argv[i], "--max-conns", value))
+            config.maxConns = std::stoull(value);
         else if (std::strcmp(argv[i], "--test-crash-hooks") == 0)
             config.workerTestCrash = true;
-        else if (std::strncmp(argv[i], "--socket", 8) != 0)
+        else if (std::strncmp(argv[i], "--socket", 8) != 0 &&
+                 std::strncmp(argv[i], "--listen", 8) != 0)
             return usage();
     }
     service::SimServer server(std::move(config));
     server.start();
+    // Announce the TCP endpoint: with --listen=HOST:0 the kernel
+    // picked the port, and scripts need it to point clients at us.
+    if (server.tcpPort() != 0)
+        std::printf("listening on tcp port %u\n",
+                    static_cast<unsigned>(server.tcpPort()));
+    std::fflush(stdout);
     server.serve();
     return 0;
 }
 
 int
 cmdSweep(service::SimClient &client, const std::string &specs_path,
-         uint64_t wait_timeout_ms)
+         uint64_t wait_timeout_ms, uint64_t deadline_ms)
 {
     const std::vector<service::JobSpec> specs =
         readSpecLines(specs_path);
@@ -202,13 +233,13 @@ cmdSweep(service::SimClient &client, const std::string &specs_path,
     const uint64_t submit_window =
         wait_timeout_ms > 0 ? wait_timeout_ms : 60000;
     for (const service::JobSpec &spec : specs)
-        ids.push_back(client.submitRetry(spec, submit_window));
+        ids.push_back(
+            client.submitRetry(spec, submit_window, deadline_ms));
     int failures = 0;
     for (size_t i = 0; i < ids.size(); ++i) {
-        const machine::SimJobResult r =
-            wait_timeout_ms > 0
-                ? client.resultWait(ids[i], wait_timeout_ms)
-                : client.result(ids[i], true);
+        const machine::SimJobResult r = client.resultWait(
+            ids[i],
+            wait_timeout_ms > 0 ? wait_timeout_ms : kDefaultWaitMs);
         printResult(ids[i], r);
         if (unexpectedFailure(specs[i], r))
             ++failures;
@@ -281,16 +312,21 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
 
-    std::string socket, spec, specs, id_text, regs, mem;
+    std::string socket, listen, connect, spec, specs, id_text, regs, mem;
     uint64_t run_cycles = 0;
     uint64_t connect_timeout_ms = 5000;
     uint64_t wait_timeout_ms = 0;
+    uint64_t deadline_ms = 0;
     bool wait = true;
     bool resume = false;
     std::string value;
     for (int i = 2; i < argc; ++i) {
         if (flagValue(argv[i], "--socket", value))
             socket = value;
+        else if (flagValue(argv[i], "--listen", value))
+            listen = value;
+        else if (flagValue(argv[i], "--connect", value))
+            connect = value;
         else if (flagValue(argv[i], "--spec", value))
             spec = value;
         else if (flagValue(argv[i], "--specs", value))
@@ -307,21 +343,59 @@ main(int argc, char **argv)
             connect_timeout_ms = std::stoull(value) * 1000;
         else if (flagValue(argv[i], "--wait-timeout", value))
             wait_timeout_ms = std::stoull(value) * 1000;
+        else if (flagValue(argv[i], "--deadline", value))
+            deadline_ms = std::stoull(value) * 1000;
         else if (std::strcmp(argv[i], "--no-wait") == 0)
             wait = false;
         else if (std::strcmp(argv[i], "--resume") == 0)
             resume = true;
     }
-    if (socket.empty())
+    // The client address: TCP when --connect is given, else the
+    // daemon's Unix socket path.
+    const std::string address =
+        !connect.empty() ? "tcp:" + connect : socket;
+    if (cmd == "serve" ? (socket.empty() && listen.empty())
+                       : address.empty())
         return usage();
 
     try {
         if (cmd == "serve")
-            return cmdServe(socket, argc - 2, argv + 2);
+            return cmdServe(socket, listen, argc - 2, argv + 2);
 
-        service::SimClient client(socket, connect_timeout_ms);
+        service::SimClient client(address, connect_timeout_ms);
         if (cmd == "ping") {
             std::printf("%s\n", client.ping() ? "ok" : "no answer");
+            return 0;
+        }
+        if (cmd == "health") {
+            const service::SimClient::Health h = client.health();
+            std::printf("uptime_ms=%llu draining=%s connections=%llu\n"
+                        "queued=%llu running=%llu done=%llu "
+                        "cancelled=%llu deadline_shed=%llu\n",
+                        static_cast<unsigned long long>(h.uptimeMs),
+                        h.draining ? "yes" : "no",
+                        static_cast<unsigned long long>(h.connections),
+                        static_cast<unsigned long long>(h.queued),
+                        static_cast<unsigned long long>(h.running),
+                        static_cast<unsigned long long>(h.done),
+                        static_cast<unsigned long long>(h.cancelled),
+                        static_cast<unsigned long long>(h.deadlineShed));
+            if (h.isolated)
+                std::printf("pool_slots=%llu pool_busy=%llu "
+                            "worker_crashes=%llu worker_respawns=%llu\n",
+                            static_cast<unsigned long long>(h.poolSlots),
+                            static_cast<unsigned long long>(h.poolBusy),
+                            static_cast<unsigned long long>(
+                                h.workerCrashes),
+                            static_cast<unsigned long long>(
+                                h.workerRespawns));
+            if (h.cacheEnabled)
+                std::printf("cache_hits=%llu cache_misses=%llu "
+                            "cache_hit_rate=%.3f\n",
+                            static_cast<unsigned long long>(h.cacheHits),
+                            static_cast<unsigned long long>(
+                                h.cacheMisses),
+                            h.cacheHitRate);
             return 0;
         }
         if (cmd == "submit") {
@@ -329,19 +403,22 @@ main(int argc, char **argv)
                 return usage();
             const service::JobSpec job_spec =
                 service::JobSpec::parse(readWholeFile(spec));
-            const uint64_t id = client.submit(job_spec);
+            const uint64_t id = client.submit(
+                job_spec, service::SimClient::makeIdemKey(),
+                deadline_ms);
             std::printf("job %llu submitted\n",
                         static_cast<unsigned long long>(id));
             if (!wait)
                 return 0;
-            const machine::SimJobResult r = client.result(id, true);
+            const machine::SimJobResult r =
+                client.resultWait(id, kDefaultWaitMs);
             printResult(id, r);
             return unexpectedFailure(job_spec, r) ? 1 : 0;
         }
         if (cmd == "sweep") {
             if (specs.empty())
                 return usage();
-            return cmdSweep(client, specs, wait_timeout_ms);
+            return cmdSweep(client, specs, wait_timeout_ms, deadline_ms);
         }
         if (cmd == "status") {
             if (id_text.empty()) {
@@ -380,7 +457,9 @@ main(int argc, char **argv)
             if (id_text.empty())
                 return usage();
             const uint64_t id = std::stoull(id_text);
-            const machine::SimJobResult r = client.result(id, wait);
+            const machine::SimJobResult r =
+                wait ? client.resultWait(id, kDefaultWaitMs)
+                     : client.result(id, false);
             if (r.name.empty() && !r.ok) {
                 std::printf("job %llu pending\n",
                             static_cast<unsigned long long>(id));

@@ -1,10 +1,14 @@
 #include "service/client.hh"
 
+#include <atomic>
 #include <chrono>
+#include <random>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/log.hh"
-#include "service/server.hh" // statsFromHex
+#include "service/server.hh" // statsFromHex, kProtoRevision
 
 namespace mtfpu::service
 {
@@ -20,14 +24,14 @@ using clock_t_ = std::chrono::steady_clock;
  * mid-restart; both surface as connect() failures worth riding out.
  */
 int
-connectRetry(const std::string &path, uint64_t timeout_ms)
+connectRetry(const std::string &address, uint64_t timeout_ms)
 {
     const clock_t_::time_point deadline =
         clock_t_::now() + std::chrono::milliseconds(timeout_ms);
     uint64_t backoff = 50;
     for (;;) {
         try {
-            return connectUnix(path);
+            return connectEndpoint(address);
         } catch (const SimError &) {
             if (clock_t_::now() >= deadline)
                 throw;
@@ -53,18 +57,82 @@ simpleRequest(const char *cmd,
 
 } // anonymous namespace
 
-SimClient::SimClient(const std::string &socket_path,
+SimClient::SimClient(const std::string &address,
                      uint64_t connect_timeout_ms)
-    : channel_(std::make_unique<LineChannel>(
-          connect_timeout_ms > 0
-              ? connectRetry(socket_path, connect_timeout_ms)
-              : connectUnix(socket_path)))
-{}
+    : address_(address), connectTimeoutMs_(connect_timeout_ms)
+{
+    connect(connectTimeoutMs_);
+}
+
+void
+SimClient::connect(uint64_t timeout_ms)
+{
+    channel_ = std::make_unique<LineChannel>(
+        timeout_ms > 0 ? connectRetry(address_, timeout_ms)
+                       : connectEndpoint(address_));
+    handshake();
+}
+
+void
+SimClient::reconnect()
+{
+    channel_.reset();
+    // Always allow a short dial window on redial: the reconnect path
+    // exists to ride out transient faults, and a zero-budget redial
+    // would turn every momentary hiccup into a hard failure.
+    connect(std::max<uint64_t>(connectTimeoutMs_, 1000));
+}
+
+void
+SimClient::handshake()
+{
+    proto_ = 1;
+    features_.clear();
+    const std::string hello =
+        simpleRequest("hello", [&](json::Writer &w) {
+            w.key("proto").value(static_cast<uint64_t>(kProtoRevision));
+            w.key("min_proto").value(static_cast<uint64_t>(1));
+            w.key("client").value("mtfpu-client");
+        });
+    if (!channel_->writeLine(hello))
+        fatal(ErrCode::Io, "service client: connection lost during hello");
+    std::string line;
+    if (!channel_->readLine(line))
+        fatal(ErrCode::Io, "service client: connection lost during hello");
+    const json::Value response = json::parse(line);
+    if (!response.isObject() || !response.has("ok"))
+        fatal(ErrCode::Io, "service client: malformed hello response");
+    if (!response.at("ok").asBool()) {
+        // A daemon that negotiates refuses with "unsupported-proto";
+        // a legacy daemon just doesn't know the command. The latter
+        // is fine — serve it at revision 1 with no features.
+        if (response.has("error_code") &&
+            response.at("error_code").asString() == "unsupported-proto") {
+            fatal(ErrCode::Io,
+                  "daemon: " + response.at("error").asString());
+        }
+        return;
+    }
+    proto_ = static_cast<int>(response.at("proto").asUint());
+    if (response.has("features"))
+        for (const json::Value &f : response.at("features").asArray())
+            features_.push_back(f.asString());
+}
+
+bool
+SimClient::hasFeature(const std::string &feature) const
+{
+    for (const std::string &f : features_)
+        if (f == feature)
+            return true;
+    return false;
+}
 
 json::Value
 SimClient::request(const std::string &request_line)
 {
-    if (!channel_->writeLine(request_line))
+    lastTransportError_ = true; // until a well-formed response lands
+    if (!channel_ || !channel_->writeLine(request_line))
         fatal(ErrCode::Io, "service client: connection lost on write");
     std::string line;
     if (!channel_->readLine(line))
@@ -72,6 +140,7 @@ SimClient::request(const std::string &request_line)
     json::Value response = json::parse(line);
     if (!response.isObject() || !response.has("ok"))
         fatal(ErrCode::Io, "service client: malformed response");
+    lastTransportError_ = false;
     if (!response.at("ok").asBool()) {
         const std::string message = response.has("error")
                                         ? response.at("error").asString()
@@ -97,13 +166,39 @@ SimClient::ping()
     return request(simpleRequest("ping")).has("version");
 }
 
+std::string
+SimClient::makeIdemKey()
+{
+    // Uniqueness, not secrecy: pid + one random_device draw per
+    // process + a counter can only collide across processes that drew
+    // the same 64-bit nonce, and the journal scopes keys per daemon.
+    static const uint64_t nonce = [] {
+        std::random_device rd;
+        return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    }();
+    static std::atomic<uint64_t> counter{0};
+    char buf[64];
+    snprintf(buf, sizeof(buf), "c%d-%016llx-%llu",
+             static_cast<int>(getpid()),
+             static_cast<unsigned long long>(nonce),
+             static_cast<unsigned long long>(
+                 counter.fetch_add(1, std::memory_order_relaxed)));
+    return buf;
+}
+
 uint64_t
-SimClient::submit(const JobSpec &spec)
+SimClient::submit(const JobSpec &spec, const std::string &idem_key,
+                  uint64_t deadline_ms)
 {
     const std::string spec_json = spec.to_json();
     const json::Value response =
         request(simpleRequest("submit", [&](json::Writer &w) {
             w.key("spec").raw(spec_json);
+            // Additive fields: a legacy daemon ignores unknown keys.
+            if (!idem_key.empty())
+                w.key("idem_key").value(idem_key);
+            if (deadline_ms > 0)
+                w.key("deadline_ms").value(deadline_ms);
         }));
     return response.at("id").asUint();
 }
@@ -119,13 +214,8 @@ SimClient::status(uint64_t id)
 }
 
 machine::SimJobResult
-SimClient::result(uint64_t id, bool wait)
+SimClient::decodeResult(const json::Value &response)
 {
-    const json::Value response =
-        request(simpleRequest("result", [&](json::Writer &w) {
-            w.key("id").value(id);
-            w.key("wait").value(wait);
-        }));
     machine::SimJobResult r;
     if (response.at("state").asString() != "done")
         return r; // still pending / cancelled: ok stays false
@@ -146,19 +236,40 @@ SimClient::result(uint64_t id, bool wait)
     return r;
 }
 
+machine::SimJobResult
+SimClient::result(uint64_t id, bool wait)
+{
+    const json::Value response =
+        request(simpleRequest("result", [&](json::Writer &w) {
+            w.key("id").value(id);
+            w.key("wait").value(wait);
+        }));
+    return decodeResult(response);
+}
+
 uint64_t
-SimClient::submitRetry(const JobSpec &spec, uint64_t timeout_ms)
+SimClient::submitRetry(const JobSpec &spec, uint64_t timeout_ms,
+                       uint64_t deadline_ms)
 {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(timeout_ms);
+    // One key for the whole loop: every resubmit below — whether
+    // after a Busy rejection or a torn connection — is a replay of
+    // the same logical job, and the daemon dedupes it to one
+    // execution even if an earlier attempt's response was lost.
+    const std::string idem_key = makeIdemKey();
     uint64_t backoff = 50;
     for (;;) {
         try {
-            return submit(spec);
+            return submit(spec, idem_key, deadline_ms);
         } catch (const SimError &err) {
-            if (err.code() != ErrCode::Busy ||
-                std::chrono::steady_clock::now() >= deadline)
+            const bool expired =
+                std::chrono::steady_clock::now() >= deadline;
+            if (lastTransportError_ && !expired) {
+                reconnect(); // throws if the daemon stays unreachable
+            } else if (err.code() != ErrCode::Busy || expired) {
                 throw;
+            }
         }
         // Prefer the daemon's own hint: it scales with the backlog
         // and staggers the retry wave across rejected clients.
@@ -174,18 +285,51 @@ SimClient::resultWait(uint64_t id, uint64_t timeout_ms)
 {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(timeout_ms);
+    const bool longPoll = hasFeature("long-poll");
     for (;;) {
-        const std::string state = status(id);
-        if (state == "done" || state == "cancelled")
-            return result(id, false);
-        if (std::chrono::steady_clock::now() >= deadline) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
             fatal(ErrCode::Io, "timed out after " +
                                    std::to_string(timeout_ms) +
                                    "ms waiting for job " +
-                                   std::to_string(id) + " (state " +
-                                   state + ")");
+                                   std::to_string(id));
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const uint64_t remaining = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        try {
+            if (longPoll) {
+                // Block server-side in bounded windows: the daemon
+                // parks the connection on its result condvar instead
+                // of us burning a round trip every 50ms. Bounded so a
+                // daemon that wedges can't hold us past our budget.
+                const uint64_t window = std::min<uint64_t>(
+                    std::max<uint64_t>(remaining, 1), 2000);
+                const json::Value response = request(
+                    simpleRequest("result", [&](json::Writer &w) {
+                        w.key("id").value(id);
+                        w.key("wait_ms").value(window);
+                    }));
+                const std::string state =
+                    response.at("state").asString();
+                if (state == "done" || state == "cancelled")
+                    return decodeResult(response);
+            } else {
+                const std::string state = status(id);
+                if (state == "done" || state == "cancelled")
+                    return result(id, false);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+        } catch (const SimError &) {
+            // Result fetches are read-only, so a redial-and-reissue
+            // is always safe. Anything other than a torn connection
+            // (e.g. unknown-id) propagates.
+            if (!lastTransportError_)
+                throw;
+            reconnect();
+        }
     }
 }
 
@@ -235,6 +379,35 @@ uint64_t
 SimClient::cacheClear()
 {
     return request(simpleRequest("cache-clear")).at("removed").asUint();
+}
+
+SimClient::Health
+SimClient::health()
+{
+    const json::Value response = request(simpleRequest("health"));
+    Health h;
+    h.uptimeMs = response.at("uptime_ms").asUint();
+    h.draining = response.at("draining").asBool();
+    h.connections = response.at("connections").asUint();
+    h.queued = response.at("queued").asUint();
+    h.running = response.at("running").asUint();
+    h.done = response.at("done").asUint();
+    h.cancelled = response.at("cancelled").asUint();
+    h.deadlineShed = response.at("deadline_shed").asUint();
+    h.isolated = response.at("isolated").asBool();
+    if (response.has("pool_slots")) {
+        h.poolSlots = response.at("pool_slots").asUint();
+        h.poolBusy = response.at("pool_busy").asUint();
+        h.workerCrashes = response.at("worker_crashes").asUint();
+        h.workerRespawns = response.at("worker_respawns").asUint();
+    }
+    h.cacheEnabled = response.at("cache_enabled").asBool();
+    if (h.cacheEnabled) {
+        h.cacheHits = response.at("cache_hits").asUint();
+        h.cacheMisses = response.at("cache_misses").asUint();
+        h.cacheHitRate = response.at("cache_hit_rate").asNumber();
+    }
+    return h;
 }
 
 uint64_t

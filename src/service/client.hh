@@ -5,6 +5,22 @@
  * round trip on that connection (the protocol is strictly
  * half-duplex, so a client is not thread-safe — use one per thread).
  *
+ * Addressing: the constructor takes an endpoint address — a Unix
+ * socket path, or "tcp:HOST:PORT" for a remote daemon (DESIGN.md
+ * §13). On connect the client performs the versioned hello handshake
+ * and records the negotiated protocol revision and the server's
+ * feature flags; a legacy (revision-1) daemon that answers hello with
+ * an error is served at revision-1 semantics — no features, polling
+ * instead of long-poll, no idempotent replay.
+ *
+ * Remote hardening: submitRetry() stamps each logical submission with
+ * a client-generated idempotency key and reuses it across retries, so
+ * a resubmit after a dropped response (connection torn mid-reply, a
+ * chaos proxy in the path) returns the original job id instead of
+ * double-executing. The retrying entry points (submitRetry,
+ * resultWait) transparently redial + re-handshake on transport
+ * failures; single-shot methods (submit, cancel, ...) propagate them.
+ *
  * Error mapping: a transport failure (daemon gone, torn line) or an
  * "ok": false response throws SimError — with the daemon's own error
  * code when the response carried one — so callers handle daemon
@@ -34,35 +50,58 @@ class SimClient
 {
   public:
     /**
-     * Connect to a daemon's socket; throws SimError(Io) on failure.
-     * With @p connect_timeout_ms > 0 a refused/missing socket is
-     * retried with capped exponential backoff (50ms doubling to 1s)
-     * until the window closes — the standard way to race a daemon
-     * that is still binding its socket, or to ride out a restart.
+     * Connect to a daemon at @p address (a Unix socket path, or
+     * "tcp:HOST:PORT"); throws SimError(Io) on failure. With
+     * @p connect_timeout_ms > 0 a refused/missing endpoint is retried
+     * with capped exponential backoff (50ms doubling to 1s) until the
+     * window closes — the standard way to race a daemon that is still
+     * binding its socket, or to ride out a restart. The handshake is
+     * performed as part of construction.
      */
-    explicit SimClient(const std::string &socket_path,
+    explicit SimClient(const std::string &address,
                        uint64_t connect_timeout_ms = 0);
 
     /** True when the daemon answers a ping. */
     bool ping();
 
-    /** Submit a spec; returns the daemon's job id. */
-    uint64_t submit(const JobSpec &spec);
+    /** Negotiated protocol revision (1 for a legacy daemon). */
+    int proto() const { return proto_; }
+
+    /** True when the handshake advertised @p feature ("idempotency",
+     *  "deadline", "long-poll", "health"). */
+    bool hasFeature(const std::string &feature) const;
+
+    /** Drop and redial the connection, re-running the handshake.
+     *  Uses the constructor's connect timeout (min 1s). */
+    void reconnect();
 
     /**
-     * submit() with Busy handling: on an admission-control rejection,
-     * back off (the daemon's retry_after_ms hint, else capped
-     * exponential) and resubmit until it lands or @p timeout_ms
-     * elapses — then the final Busy error propagates. Non-Busy errors
-     * propagate immediately.
+     * Submit a spec; returns the daemon's job id. A non-empty
+     * @p idem_key makes the submit idempotent: a daemon that already
+     * accepted this key replays the original id. @p deadline_ms > 0
+     * propagates a delivery budget the daemon sheds work against.
      */
-    uint64_t submitRetry(const JobSpec &spec, uint64_t timeout_ms);
+    uint64_t submit(const JobSpec &spec, const std::string &idem_key = "",
+                    uint64_t deadline_ms = 0);
 
     /**
-     * Wait for a result by polling (wait=false round trips), giving
-     * up with SimError(Io) after @p timeout_ms. Unlike result(id,
-     * true) the connection never blocks server-side, so a daemon that
-     * lost the job's worker cannot hang the client forever.
+     * submit() with full retry handling: a Busy rejection backs off
+     * (the daemon's retry_after_ms hint, else capped exponential) and
+     * resubmits; a transport failure redials and resubmits under one
+     * idempotency key generated for this call (so the retry is a
+     * replay, not a duplicate). Gives up when @p timeout_ms elapses —
+     * then the final error propagates.
+     */
+    uint64_t submitRetry(const JobSpec &spec, uint64_t timeout_ms,
+                         uint64_t deadline_ms = 0);
+
+    /**
+     * Wait for a result, giving up with SimError(Io) after
+     * @p timeout_ms. Against a revision-2 daemon this long-polls
+     * server-side in bounded windows (no wasted round trips); against
+     * a legacy daemon it falls back to fixed-interval polling. Either
+     * way the connection never blocks unboundedly server-side, and
+     * transport failures redial and resume waiting.
      */
     machine::SimJobResult resultWait(uint64_t id, uint64_t timeout_ms);
 
@@ -104,6 +143,29 @@ class SimClient
     /** Clear the daemon's result cache; returns entries removed. */
     uint64_t cacheClear();
 
+    /** Readiness probe (DESIGN.md §13.5). */
+    struct Health
+    {
+        uint64_t uptimeMs = 0;
+        bool draining = false;
+        uint64_t connections = 0;
+        uint64_t queued = 0;
+        uint64_t running = 0;
+        uint64_t done = 0;
+        uint64_t cancelled = 0;
+        uint64_t deadlineShed = 0;
+        bool isolated = false;
+        uint64_t poolSlots = 0;
+        uint64_t poolBusy = 0;
+        uint64_t workerCrashes = 0;
+        uint64_t workerRespawns = 0;
+        bool cacheEnabled = false;
+        uint64_t cacheHits = 0;
+        uint64_t cacheMisses = 0;
+        double cacheHitRate = 0.0;
+    };
+    Health health();
+
     /** Open a paused-machine inspect session for a pure spec. */
     uint64_t inspectOpen(const JobSpec &spec);
 
@@ -133,9 +195,30 @@ class SimClient
      */
     json::Value request(const std::string &request_line);
 
+    /** Generate a fresh idempotency key (unique per process+call). */
+    static std::string makeIdemKey();
+
   private:
+    /** Dial address_ (with retry window) and run the handshake. */
+    void connect(uint64_t timeout_ms);
+
+    /** Run the hello handshake on the current channel; tolerant of
+     *  legacy daemons (falls back to revision 1). */
+    void handshake();
+
+    /** Decode a "result" response body into a SimJobResult. */
+    static machine::SimJobResult decodeResult(const json::Value &response);
+
+    std::string address_;
+    uint64_t connectTimeoutMs_ = 0;
     std::unique_ptr<LineChannel> channel_;
     uint64_t retryAfterMs_ = 0;
+    int proto_ = 1;
+    std::vector<std::string> features_;
+    /** The last request() failure was transport-level (connection
+     *  torn / malformed bytes), not a clean daemon error response —
+     *  the signal that a redial-and-replay is the right recovery. */
+    bool lastTransportError_ = false;
 };
 
 } // namespace mtfpu::service

@@ -1,6 +1,7 @@
 #include "service/server.hh"
 
 #include <filesystem>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,7 +15,11 @@ namespace mtfpu::service
 namespace
 {
 
-constexpr const char *kProtocolVersion = "1";
+/** Feature flags advertised to revision-2 peers by hello
+ *  (revisions live in server.hh so the client shares them). */
+constexpr const char *kFeatures[] = {
+    "handshake", "idempotency", "deadline", "long-poll", "health",
+};
 
 /**
  * Locate the worker binary next to the running executable — the
@@ -153,6 +158,11 @@ statsFromHex(const std::string &hex)
 SimServer::SimServer(ServerConfig config)
     : config_(std::move(config)), driver_(1, config_.memoize)
 {
+    startTime_ = std::chrono::steady_clock::now();
+    if (config_.socketPath.empty() && config_.listenAddr.empty())
+        fatal(ErrCode::BadOperand,
+              "SimServer needs a Unix socket path or a TCP listen "
+              "address (or both)");
     if (!config_.crashDir.empty())
         driver_.setCrashReportDir(config_.crashDir);
     if (!config_.cacheDir.empty()) {
@@ -219,7 +229,13 @@ SimServer::recoverJournal()
             entry.pure = spec.pure();
             entry.job = spec.resolve();
             entry.specJson = rec.specJson;
+            entry.idemKey = rec.idemKey;
             entry.cancel = std::make_shared<std::atomic<bool>>(false);
+            // Rebuild the dedupe index: a client retrying its submit
+            // against the restarted daemon maps onto the recovered
+            // job instead of enqueueing a duplicate execution.
+            if (!rec.idemKey.empty())
+                idemIndex_[rec.idemKey] = rec.id;
             jobs_.emplace(rec.id, std::move(entry));
             queue_.push_back(rec.id);
             ++requeued;
@@ -247,6 +263,8 @@ SimServer::~SimServer()
             t.join();
     if (listenFd_ >= 0)
         ::close(listenFd_);
+    if (tcpListenFd_ >= 0)
+        ::close(tcpListenFd_);
     if (!config_.socketPath.empty())
         ::unlink(config_.socketPath.c_str());
 }
@@ -254,7 +272,10 @@ SimServer::~SimServer()
 void
 SimServer::start()
 {
-    listenFd_ = listenUnix(config_.socketPath);
+    if (!config_.socketPath.empty())
+        listenFd_ = listenUnix(config_.socketPath);
+    if (!config_.listenAddr.empty())
+        tcpListenFd_ = listenTcp(config_.listenAddr, 16, &tcpPort_);
     unsigned threads = config_.threads;
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
@@ -264,7 +285,16 @@ SimServer::start()
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
-    inform("service: listening on " + config_.socketPath + " with " +
+    std::string where;
+    if (listenFd_ >= 0)
+        where = config_.socketPath;
+    if (tcpListenFd_ >= 0) {
+        if (!where.empty())
+            where += " + ";
+        where += "tcp:" + config_.listenAddr +
+                 " (port " + std::to_string(tcpPort_) + ")";
+    }
+    inform("service: listening on " + where + " with " +
            std::to_string(threads) +
            (pool_ ? " isolated worker processes" : " in-process workers") +
            (cache_ ? ", cache at " + config_.cacheDir : ", no cache") +
@@ -302,6 +332,8 @@ SimServer::stop()
     // close() would not.
     if (listenFd_ >= 0)
         ::shutdown(listenFd_, SHUT_RDWR);
+    if (tcpListenFd_ >= 0)
+        ::shutdown(tcpListenFd_, SHUT_RDWR);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (int fd : connFds_)
@@ -312,9 +344,31 @@ SimServer::stop()
 void
 SimServer::acceptLoop()
 {
+    // One loop serves both transports: poll whichever listeners are
+    // configured, accept from the ready one. stop() shuts the
+    // listeners down, which wakes the poll with POLLHUP/POLLIN and
+    // makes the accept fail — the stopping_ check then exits.
     for (;;) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        {
+        pollfd fds[2];
+        int nfds = 0;
+        if (listenFd_ >= 0)
+            fds[nfds++] = pollfd{listenFd_, POLLIN, 0};
+        if (tcpListenFd_ >= 0)
+            fds[nfds++] = pollfd{tcpListenFd_, POLLIN, 0};
+        int ready;
+        do {
+            ready = ::poll(fds, static_cast<nfds_t>(nfds), -1);
+        } while (ready < 0 && errno == EINTR);
+        if (ready < 0) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+            continue;
+        }
+        for (int i = 0; i < nfds; ++i) {
+            if (ready > 0 && fds[i].revents == 0)
+                continue;
+            const int fd = ::accept(fds[i].fd, nullptr, nullptr);
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_) {
                 if (fd >= 0)
@@ -323,6 +377,16 @@ SimServer::acceptLoop()
             }
             if (fd < 0)
                 continue; // transient accept failure; keep serving
+            if (config_.maxConns > 0 &&
+                connFds_.size() >= config_.maxConns) {
+                // Over the cap: one structured Busy line (best
+                // effort, bounded write) and the door closes. No
+                // thread is spent on the excess connection.
+                LineChannel reject(fd);
+                reject.setWriteTimeout(1000);
+                reject.writeLine(busyResponse("max-connections", 500));
+                continue; // ~LineChannel closes fd
+            }
             connections_.emplace_back(
                 [this, fd] { handleConnection(fd); });
         }
@@ -353,6 +417,25 @@ SimServer::workerLoop()
             Job &entry = jobs_.at(id);
             if (entry.state != JobState::Queued)
                 continue; // cancelled while queued
+            if (entry.deadline &&
+                std::chrono::steady_clock::now() > *entry.deadline) {
+                // Deadline propagation (DESIGN.md §13.4): the client
+                // stopped caring before a worker freed up. Shed the
+                // job with a Busy-coded result instead of burning a
+                // worker on an answer nobody will read — the
+                // backpressure story, applied at dequeue time.
+                entry.state = JobState::Done;
+                entry.result.name = entry.job.name;
+                entry.result.ok = false;
+                entry.result.error =
+                    "deadline expired before execution (shed)";
+                entry.result.errorCode = errCodeName(ErrCode::Busy);
+                ++deadlineShed_;
+                if (journal_)
+                    journal_->done(id);
+                resultCv_.notify_all();
+                continue;
+            }
             entry.state = JobState::Running;
             job = entry.job; // copy: simulate outside the lock
             specJson = entry.specJson;
@@ -431,15 +514,46 @@ void
 SimServer::handleConnection(int fd)
 {
     LineChannel channel(fd);
-    uint64_t connId = 0;
+    channel.setMaxLineBytes(config_.maxLineBytes);
+    if (config_.writeTimeoutMs > 0)
+        channel.setWriteTimeout(static_cast<int>(config_.writeTimeoutMs));
+    Conn conn;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         connFds_.push_back(fd);
-        connId = nextConnId_++;
+        conn.id = nextConnId_++;
     }
+    const int idle = config_.idleTimeoutMs > 0
+                         ? static_cast<int>(config_.idleTimeoutMs)
+                         : -1;
     std::string line;
-    while (channel.readLine(line)) {
-        const std::string response = handleRequest(line, connId);
+    for (;;) {
+        const LineChannel::ReadStatus status =
+            channel.readLineTimed(line, idle);
+        if (status == LineChannel::ReadStatus::Timeout) {
+            // Idle reaping: a silent peer gives its slot back. The
+            // notice is best-effort — the peer may be long gone.
+            channel.writeLine(errorResponse(
+                "connection idle for " +
+                    std::to_string(config_.idleTimeoutMs) +
+                    "ms; closing",
+                errCodeName(ErrCode::Io)));
+            break;
+        }
+        if (status == LineChannel::ReadStatus::Overflow) {
+            // A line past the bound is hostile or broken either way;
+            // the channel buffer is poisoned, so answer and hang up
+            // (DESIGN.md §13.3) instead of buffering without limit.
+            channel.writeLine(errorResponse(
+                "request line exceeds " +
+                    std::to_string(config_.maxLineBytes) +
+                    " bytes; closing connection",
+                errCodeName(ErrCode::Io)));
+            break;
+        }
+        if (status != LineChannel::ReadStatus::Line)
+            break; // EOF or read error
+        const std::string response = handleRequest(line, conn);
         if (!channel.writeLine(response))
             break;
         // A shutdown request stops the server after the reply is on
@@ -460,17 +574,21 @@ SimServer::handleConnection(int fd)
 }
 
 std::string
-SimServer::handleRequest(const std::string &line, uint64_t client_id)
+SimServer::handleRequest(const std::string &line, Conn &conn)
 {
     try {
         const json::Value req = json::parse(line);
         if (!req.isObject() || !req.has("cmd"))
             return errorResponse("request must be an object with 'cmd'");
         const std::string cmd = req.at("cmd").asString();
+        if (cmd == "hello")
+            return cmdHello(req, conn);
         if (cmd == "ping")
             return cmdPing();
+        if (cmd == "health")
+            return cmdHealth();
         if (cmd == "submit")
-            return cmdSubmit(req, client_id);
+            return cmdSubmit(req, conn);
         if (cmd == "status")
             return cmdStatus(req);
         if (cmd == "result")
@@ -500,15 +618,135 @@ SimServer::handleRequest(const std::string &line, uint64_t client_id)
 }
 
 std::string
-SimServer::cmdPing()
+SimServer::cmdHello(const json::Value &req, Conn &conn)
 {
-    return okResponse([](json::Writer &w) {
-        w.key("version").value(kProtocolVersion);
+    // The versioned handshake (DESIGN.md §13.2). The peer states the
+    // highest revision it speaks (and optionally the lowest it will
+    // accept); the server negotiates down to the common revision or
+    // rejects with a structured error — never silently misparses.
+    if (!req.has("proto"))
+        return errorResponse("hello needs a numeric 'proto'",
+                             errCodeName(ErrCode::BadOperand));
+    const int peer = static_cast<int>(req.at("proto").asUint());
+    const int peerMin = req.has("min_proto")
+                            ? static_cast<int>(req.at("min_proto").asUint())
+                            : 1;
+    if (peer < 1)
+        return errorResponse("hello proto must be >= 1",
+                             errCodeName(ErrCode::BadOperand));
+    const int negotiated = std::min(peer, kProtoRevision);
+    if (negotiated < kProtoMin || negotiated < peerMin) {
+        json::Writer w;
+        w.beginObject();
+        w.key("ok").value(false);
+        w.key("error").value(
+            "no common protocol revision (server speaks " +
+            std::to_string(kProtoMin) + ".." +
+            std::to_string(kProtoRevision) + ", peer wants " +
+            std::to_string(peerMin) + ".." + std::to_string(peer) + ")");
+        w.key("error_code").value("unsupported-proto");
+        w.key("proto_min").value(static_cast<uint64_t>(kProtoMin));
+        w.key("proto_max").value(static_cast<uint64_t>(kProtoRevision));
+        w.endObject();
+        return w.str();
+    }
+    conn.proto = negotiated;
+    conn.saidHello = true;
+    return okResponse([&](json::Writer &w) {
+        w.key("proto").value(static_cast<uint64_t>(negotiated));
+        w.key("server").value("mtfpu-simserver");
+        w.key("version").value(std::to_string(kProtoRevision));
+        // Feature vocabulary exists only from revision 2 on; a
+        // revision-1 peer gets no key at all rather than an empty
+        // list it has no business parsing.
+        if (negotiated >= 2) {
+            w.key("features").beginArray();
+            for (const char *feature : kFeatures)
+                w.value(feature);
+            w.endArray();
+        }
+        // Negotiated limits: what this connection may send and expect.
+        w.key("max_line_bytes")
+            .value(static_cast<uint64_t>(config_.maxLineBytes));
+        w.key("idle_timeout_ms").value(config_.idleTimeoutMs);
+        w.key("max_queue")
+            .value(static_cast<uint64_t>(config_.maxQueue));
+        w.key("max_inflight_per_client")
+            .value(static_cast<uint64_t>(config_.maxInflightPerClient));
     });
 }
 
 std::string
-SimServer::cmdSubmit(const json::Value &req, uint64_t client_id)
+SimServer::cmdPing()
+{
+    return okResponse([](json::Writer &w) {
+        w.key("version").value(std::to_string(kProtoRevision));
+    });
+}
+
+std::string
+SimServer::cmdHealth()
+{
+    // Readiness census for load balancers and sweep drivers
+    // (DESIGN.md §13.5): one cheap round trip answers "should I send
+    // this daemon more work" without touching the job queue.
+    using namespace std::chrono;
+    const uint64_t uptime = static_cast<uint64_t>(
+        duration_cast<milliseconds>(steady_clock::now() - startTime_)
+            .count());
+    uint64_t queued = 0, running = 0, done = 0, cancelled = 0, shed = 0;
+    size_t conns = 0;
+    bool draining = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[id, entry] : jobs_) {
+            switch (entry.state) {
+              case JobState::Queued: ++queued; break;
+              case JobState::Running: ++running; break;
+              case JobState::Done: ++done; break;
+              case JobState::Cancelled: ++cancelled; break;
+            }
+        }
+        shed = deadlineShed_;
+        conns = connFds_.size();
+        draining = draining_;
+    }
+    return okResponse([&](json::Writer &w) {
+        w.key("version").value(std::to_string(kProtoRevision));
+        w.key("uptime_ms").value(uptime);
+        w.key("draining").value(draining);
+        w.key("connections").value(static_cast<uint64_t>(conns));
+        w.key("queued").value(queued);
+        w.key("running").value(running);
+        w.key("done").value(done);
+        w.key("cancelled").value(cancelled);
+        w.key("deadline_shed").value(shed);
+        w.key("isolated").value(pool_ != nullptr);
+        if (pool_) {
+            w.key("pool_slots")
+                .value(static_cast<uint64_t>(pool_->slots()));
+            w.key("pool_busy")
+                .value(static_cast<uint64_t>(pool_->busySlots()));
+            w.key("worker_crashes").value(pool_->crashes());
+            w.key("worker_respawns").value(pool_->respawns());
+        }
+        w.key("cache_enabled").value(cache_ != nullptr);
+        if (cache_) {
+            const uint64_t hits = cache_->hits();
+            const uint64_t misses = cache_->misses();
+            w.key("cache_hits").value(hits);
+            w.key("cache_misses").value(misses);
+            w.key("cache_hit_rate")
+                .value(hits + misses > 0
+                           ? static_cast<double>(hits) /
+                                 static_cast<double>(hits + misses)
+                           : 0.0);
+        }
+    });
+}
+
+std::string
+SimServer::cmdSubmit(const json::Value &req, const Conn &conn)
 {
     if (!req.has("spec"))
         return errorResponse("submit needs a 'spec' object");
@@ -517,48 +755,77 @@ SimServer::cmdSubmit(const json::Value &req, uint64_t client_id)
     entry.pure = spec.pure();
     entry.job = spec.resolve(); // throws on bad programs: caught above
     entry.specJson = spec.to_json();
-    entry.clientId = client_id;
+    entry.clientId = conn.id;
     entry.cancel = std::make_shared<std::atomic<bool>>(false);
+    if (req.has("idem_key"))
+        entry.idemKey = req.at("idem_key").asString();
+    if (req.has("deadline_ms")) {
+        // The client's delivery budget, made absolute at admission:
+        // queue time counts against it, which is the whole point.
+        entry.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(
+                             req.at("deadline_ms").asUint());
+    }
     uint64_t id = 0;
+    bool duplicate = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)
             return errorResponse("server is shutting down");
 
-        // Admission control (DESIGN.md §12.3). The retry-after hint
-        // scales with the backlog so a storm of rejected clients does
-        // not return in one synchronized wave.
-        if (draining_)
-            return busyResponse("draining", 1000);
-        if (config_.maxQueue > 0 && queue_.size() >= config_.maxQueue) {
-            return busyResponse("queue-full",
-                                100 + 25 * (queue_.size() -
-                                            config_.maxQueue + 1));
-        }
-        if (config_.maxInflightPerClient > 0 && client_id != 0) {
-            size_t inflight = 0;
-            for (const auto &[jid, j] : jobs_) {
-                if (j.clientId == client_id &&
-                    (j.state == JobState::Queued ||
-                     j.state == JobState::Running))
-                    ++inflight;
+        // Idempotent replay (DESIGN.md §13.4) is checked before
+        // admission control on purpose: a retry of a job the daemon
+        // already accepted must map back to it even when the queue is
+        // full — rejecting the retry as Busy would be exactly the
+        // double-submission window idempotency keys exist to close.
+        if (!entry.idemKey.empty()) {
+            const auto it = idemIndex_.find(entry.idemKey);
+            if (it != idemIndex_.end()) {
+                id = it->second;
+                duplicate = true;
             }
-            if (inflight >= config_.maxInflightPerClient)
-                return busyResponse("client-cap", 200);
         }
+        if (!duplicate) {
+            // Admission control (DESIGN.md §12.3). The retry-after
+            // hint scales with the backlog so a storm of rejected
+            // clients does not return in one synchronized wave.
+            if (draining_)
+                return busyResponse("draining", 1000);
+            if (config_.maxQueue > 0 &&
+                queue_.size() >= config_.maxQueue) {
+                return busyResponse("queue-full",
+                                    100 + 25 * (queue_.size() -
+                                                config_.maxQueue + 1));
+            }
+            if (config_.maxInflightPerClient > 0 && conn.id != 0) {
+                size_t inflight = 0;
+                for (const auto &[jid, j] : jobs_) {
+                    if (j.clientId == conn.id &&
+                        (j.state == JobState::Queued ||
+                         j.state == JobState::Running))
+                        ++inflight;
+                }
+                if (inflight >= config_.maxInflightPerClient)
+                    return busyResponse("client-cap", 200);
+            }
 
-        id = nextJobId_++;
-        entry.id = id;
-        if (journal_)
-            journal_->accept(id, entry.specJson);
-        jobs_.emplace(id, std::move(entry));
-        queue_.push_back(id);
+            id = nextJobId_++;
+            entry.id = id;
+            if (!entry.idemKey.empty())
+                idemIndex_[entry.idemKey] = id;
+            if (journal_)
+                journal_->accept(id, entry.specJson, entry.idemKey);
+            jobs_.emplace(id, std::move(entry));
+            queue_.push_back(id);
+        }
     }
-    queueCv_.notify_one();
+    if (!duplicate)
+        queueCv_.notify_one();
     const bool pure = spec.pure();
     return okResponse([&](json::Writer &w) {
         w.key("id").value(id);
         w.key("pure").value(pure);
+        w.key("duplicate").value(duplicate);
     });
 }
 
@@ -615,11 +882,21 @@ SimServer::cmdResult(const json::Value &req)
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return errorResponse("no job " + std::to_string(id));
-    if (wait) {
-        resultCv_.wait(lock, [&] {
-            return stopping_ || it->second.state == JobState::Done ||
-                   it->second.state == JobState::Cancelled;
-        });
+    const auto finished = [&] {
+        return stopping_ || it->second.state == JobState::Done ||
+               it->second.state == JobState::Cancelled;
+    };
+    if (req.has("wait_ms")) {
+        // Bounded long-poll (DESIGN.md §13.5): block server-side up
+        // to the window, then answer with whatever state the job is
+        // in — the client repeats as its own budget allows. Replaces
+        // fixed-interval polling without ever parking a connection
+        // thread forever; a shutdown wakes every waiter.
+        resultCv_.wait_for(
+            lock, std::chrono::milliseconds(req.at("wait_ms").asUint()),
+            finished);
+    } else if (wait) {
+        resultCv_.wait(lock, finished);
     }
     const Job &entry = it->second;
     if (entry.state != JobState::Done) {

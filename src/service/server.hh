@@ -14,10 +14,14 @@
  *
  *   cmd            request fields        response fields
  *   ----------     -------------------   ------------------------------
+ *   hello          proto [, min_proto,   proto, server, features[],
+ *                  client]               max_line_bytes, ... limits
  *   ping                                 version
- *   submit         spec                  id, cached-eligible "pure"
+ *   health                               uptime/queue/pool/cache census
+ *   submit         spec [, idem_key,     id, cached-eligible "pure",
+ *                  deadline_ms]          duplicate (idempotent replay)
  *   status         [id]                  one job / queue counters
- *   result         id [, wait]           state, stats summary, stats_hex
+ *   result         id [, wait, wait_ms]  state, stats summary, stats_hex
  *   cancel         id                    cancelled
  *   drain          [on]                  draining
  *   shutdown                             (server stops after replying)
@@ -29,6 +33,26 @@
  *   inspect-mem    session, addr [,n]    words (hex strings)
  *   inspect-cycle  session               cycle
  *   inspect-close  session               closed
+ *
+ * Remote hardening (DESIGN.md §13): the daemon can additionally
+ * listen on TCP (ServerConfig::listenAddr) for genuinely remote
+ * clients; both transports carry the same protocol. A connection
+ * should open with "hello" — the versioned handshake that negotiates
+ * the protocol revision and advertises feature flags ("idempotency",
+ * "deadline", "long-poll", "health") and limits, replacing the old
+ * implicit version stamp; a peer asking for a revision the server
+ * cannot serve gets a structured "unsupported-proto" error instead of
+ * undefined behavior, and a legacy peer that never says hello is
+ * served at protocol 1 semantics. Submission is idempotent
+ * end-to-end: a client-generated "idem_key" dedupes retried submits
+ * against live jobs and the journal, so a retry after a dropped
+ * response returns the original job id instead of double-executing.
+ * A client "deadline_ms" rides the queue with the job; work whose
+ * deadline lapses before a worker frees is shed with a Busy-coded
+ * result rather than simulated into a void. The wire itself is
+ * bounded: max request-line length (oversize → structured Io error +
+ * disconnect), per-connection idle reaping, a write deadline against
+ * slow-loris readers, and a max-connections cap.
  *
  * The inspect commands hold a private paused Machine per session —
  * the interactive read-registers/read-memory/step loop mgsim exposes
@@ -57,6 +81,7 @@
 #define MTFPU_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -77,10 +102,28 @@
 namespace mtfpu::service
 {
 
+/**
+ * Protocol revisions (DESIGN.md §13.2). Revision 1 is the PR 6 wire:
+ * implicit versioning via ping, no handshake. Revision 2 adds the
+ * hello handshake, idempotent submits, deadline propagation,
+ * long-poll results, and the health probe. The server still serves
+ * revision-1 peers (every revision-2 field is additive), so kProtoMin
+ * stays at 1; a future incompatible revision raises it and mismatched
+ * peers get a structured rejection instead of undefined behavior.
+ */
+constexpr int kProtoRevision = 2;
+constexpr int kProtoMin = 1;
+
 struct ServerConfig
 {
-    /** Socket path; a stale socket file is replaced on startup. */
+    /** Socket path; a stale socket file is replaced on startup.
+     *  Empty disables the Unix listener (TCP-only daemon). */
     std::string socketPath;
+
+    /** TCP listen address "HOST:PORT" (port 0 = ephemeral; the bound
+     *  port is readable from SimServer::tcpPort()). Empty disables
+     *  the TCP listener. At least one transport must be configured. */
+    std::string listenAddr;
 
     /** Simulation worker threads; 0 = hardware_concurrency. In pool
      *  mode this is also the worker-process count. */
@@ -126,6 +169,26 @@ struct ServerConfig
 
     /** Max queued+running jobs per client connection; 0 = no bound. */
     size_t maxInflightPerClient = 0;
+
+    /** Wire hardening (DESIGN.md §13.3). Max request-line length a
+     *  connection may send before it is answered with a structured Io
+     *  error and disconnected; 0 = unbounded. The default covers the
+     *  largest legitimate spec (memInit images) with a wide margin. */
+    size_t maxLineBytes = 4 * 1024 * 1024;
+
+    /** Idle reaping: a connection silent this long is closed; 0 = no
+     *  reaping (local trusted clients). Long-poll result waits count
+     *  as activity — the connection thread is in the handler, not in
+     *  the idle read. */
+    uint64_t idleTimeoutMs = 0;
+
+    /** Per-response write deadline against slow-loris readers that
+     *  stop draining their socket; 0 = unbounded. */
+    uint64_t writeTimeoutMs = 30000;
+
+    /** Max simultaneous client connections; 0 = unbounded. Excess
+     *  connections get one Busy line and are closed. */
+    size_t maxConns = 0;
 };
 
 /** Lifecycle state of a submitted job. */
@@ -166,6 +229,10 @@ class SimServer
     /** The worker pool, for tests; nullptr in in-process mode. */
     WorkerPool *pool() { return pool_.get(); }
 
+    /** Bound TCP port after start(); 0 when no TCP listener. The way
+     *  tests and tools discover an ephemeral ":0" bind. */
+    uint16_t tcpPort() const { return tcpPort_; }
+
   private:
     struct Job
     {
@@ -174,6 +241,13 @@ class SimServer
         bool pure = false;
         machine::SimJob job;        // resolved, ready to run
         std::string specJson;       // wire form, for journal and pool
+        /** Client idempotency key; empty = none. Indexed by
+         *  idemIndex_ so a retried submit replays the original id. */
+        std::string idemKey;
+        /** Absolute point the client stops caring (steady clock);
+         *  unset when the submit carried no deadline_ms. A queued job
+         *  whose deadline lapses is shed, not simulated. */
+        std::optional<std::chrono::steady_clock::time_point> deadline;
         /** Submitting connection for the in-flight cap. A monotonic
          *  id, not the fd: fds are recycled, and a new client must
          *  not inherit a closed client's jobs toward its cap. 0 =
@@ -192,6 +266,14 @@ class SimServer
         std::unique_ptr<machine::Machine> machine;
     };
 
+    /** Per-connection negotiated state (the hello handshake). */
+    struct Conn
+    {
+        uint64_t id = 0;   // monotonic connection id (client cap)
+        int proto = 1;     // negotiated protocol revision
+        bool saidHello = false;
+    };
+
     void acceptLoop();
     void workerLoop();
     void handleConnection(int fd);
@@ -208,14 +290,15 @@ class SimServer
     /** Re-queue journaled jobs that were in flight at the last exit. */
     void recoverJournal();
 
-    /** Dispatch one request line; returns the response line.
-     *  @p client_id identifies the submitting connection for the
-     *  per-client in-flight cap (0 = internal/unattributed). */
-    std::string handleRequest(const std::string &line,
-                              uint64_t client_id = 0);
+    /** Dispatch one request line; returns the response line. @p conn
+     *  carries the connection's identity (for the per-client in-flight
+     *  cap) and its negotiated handshake state. */
+    std::string handleRequest(const std::string &line, Conn &conn);
 
+    std::string cmdHello(const json::Value &req, Conn &conn);
     std::string cmdPing();
-    std::string cmdSubmit(const json::Value &req, uint64_t client_id);
+    std::string cmdHealth();
+    std::string cmdSubmit(const json::Value &req, const Conn &conn);
     std::string cmdStatus(const json::Value &req);
     std::string cmdResult(const json::Value &req);
     std::string cmdCancel(const json::Value &req);
@@ -233,7 +316,10 @@ class SimServer
     std::unique_ptr<JobJournal> journal_;
     bool draining_ = false; // guarded by mutex_
 
-    int listenFd_ = -1;
+    int listenFd_ = -1;    // Unix listener; -1 when disabled
+    int tcpListenFd_ = -1; // TCP listener; -1 when disabled
+    uint16_t tcpPort_ = 0;
+    std::chrono::steady_clock::time_point startTime_{};
     std::thread acceptThread_;
     std::vector<std::thread> workers_;
     std::vector<std::thread> connections_;
@@ -244,6 +330,11 @@ class SimServer
     std::condition_variable resultCv_; // result-waiters wait for Done
     std::map<uint64_t, Job> jobs_;
     std::deque<uint64_t> queue_;
+    /** Idempotency index: client key → job id (guarded by mutex_).
+     *  Rebuilt from the journal on recovery; entries live as long as
+     *  the job does, so a retry always replays, never re-executes. */
+    std::map<std::string, uint64_t> idemIndex_;
+    uint64_t deadlineShed_ = 0; // jobs shed past deadline (mutex_)
     uint64_t nextJobId_ = 1;
     uint64_t nextConnId_ = 1; // guarded by mutex_
     std::map<uint64_t, std::shared_ptr<InspectSession>> sessions_;

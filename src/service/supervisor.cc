@@ -94,7 +94,8 @@ JobJournal::~JobJournal()
 }
 
 void
-JobJournal::accept(uint64_t id, const std::string &spec_json)
+JobJournal::accept(uint64_t id, const std::string &spec_json,
+                   const std::string &idem_key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     json::Writer w;
@@ -102,6 +103,8 @@ JobJournal::accept(uint64_t id, const std::string &spec_json)
     w.key("op").value("accept");
     w.key("id").value(id);
     w.key("spec").raw(spec_json);
+    if (!idem_key.empty())
+        w.key("idem").value(idem_key);
     w.endObject();
     const std::string line = w.str();
     std::fwrite(line.data(), 1, line.size(), file_);
@@ -136,7 +139,7 @@ JobJournal::recover(const std::string &path)
 
     // Replay in file order into an id-keyed map: accept inserts, done
     // erases. std::map keeps the survivors in ascending id order.
-    std::map<uint64_t, std::string> open;
+    std::map<uint64_t, Recovered> open;
     std::string line;
     int c;
     bool sawNewline = true;
@@ -149,13 +152,19 @@ JobJournal::recover(const std::string &path)
         const uint64_t id = v.at("id").asUint();
         if (id > recovery.maxId)
             recovery.maxId = id;
-        if (op == "accept")
+        if (op == "accept") {
             // The reader has no serializer; round-trip the spec
             // through its typed form to get canonical JSON back (and
             // reject a corrupt spec here, not at re-submission).
-            open[id] = JobSpec::from_json(v.at("spec")).to_json();
-        else if (op == "done")
+            Recovered rec;
+            rec.id = id;
+            rec.specJson = JobSpec::from_json(v.at("spec")).to_json();
+            if (v.has("idem"))
+                rec.idemKey = v.at("idem").asString();
+            open[id] = std::move(rec);
+        } else if (op == "done") {
             open.erase(id);
+        }
     };
     while ((c = std::fgetc(f)) != EOF) {
         if (c == '\n') {
@@ -184,8 +193,8 @@ JobJournal::recover(const std::string &path)
         } catch (const FatalError &) {
         }
     }
-    for (auto &[id, spec] : open)
-        recovery.unfinished.push_back(Recovered{id, std::move(spec)});
+    for (auto &[id, rec] : open)
+        recovery.unfinished.push_back(std::move(rec));
     return recovery;
 }
 
@@ -206,6 +215,8 @@ JobJournal::compact(const std::string &path,
         w.key("op").value("accept");
         w.key("id").value(job.id);
         w.key("spec").raw(job.specJson);
+        if (!job.idemKey.empty())
+            w.key("idem").value(job.idemKey);
         w.endObject();
         const std::string line = w.str();
         std::fwrite(line.data(), 1, line.size(), f);

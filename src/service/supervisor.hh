@@ -102,8 +102,13 @@ class RespawnBackoff
  * is skipped, exactly like the fuzz campaign journal's tail rule.
  *
  * Events:
- *   {"op":"accept","id":N,"spec":{...}}   job admitted to the queue
- *   {"op":"done","id":N}                  job finished/cancelled
+ *   {"op":"accept","id":N,"spec":{...}[,"idem":K]}  job admitted
+ *   {"op":"done","id":N}                            finished/cancelled
+ *
+ * The optional "idem" field is the client-supplied idempotency key
+ * (DESIGN.md §13.4): recovery hands it back so a restarted daemon can
+ * rebuild its dedupe index and a retried submit maps onto the
+ * recovered job instead of double-executing it.
  *
  * Thread-safe: submit and worker threads append concurrently.
  */
@@ -115,6 +120,7 @@ class JobJournal
     {
         uint64_t id = 0;
         std::string specJson; // verbatim accept-line spec object
+        std::string idemKey;  // client idempotency key; may be empty
     };
 
     /** What a journal replay found. */
@@ -134,8 +140,10 @@ class JobJournal
     JobJournal(const JobJournal &) = delete;
     JobJournal &operator=(const JobJournal &) = delete;
 
-    /** Append an accept event; @p spec_json is the spec object. */
-    void accept(uint64_t id, const std::string &spec_json);
+    /** Append an accept event; @p spec_json is the spec object and
+     *  @p idem_key the client idempotency key (empty = none). */
+    void accept(uint64_t id, const std::string &spec_json,
+                const std::string &idem_key = "");
 
     /** Append a done event (completion, failure, or cancellation). */
     void done(uint64_t id);

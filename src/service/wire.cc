@@ -4,6 +4,9 @@
 #include <csignal>
 #include <cstring>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -50,6 +53,37 @@ setCloexec(int fd)
         ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
+void
+setNodelay(int fd)
+{
+    // Request/response lines are tiny; Nagle would add 40ms stalls to
+    // every round trip for nothing.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/** getaddrinfo for a "HOST:PORT" pair; caller frees with freeaddrinfo. */
+addrinfo *
+resolveTcp(const std::string &hostport, bool passive)
+{
+    std::string host;
+    uint16_t port = 0;
+    parseHostPort(hostport, host, port);
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    addrinfo *result = nullptr;
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 std::to_string(port).c_str(), &hints,
+                                 &result);
+    if (rc != 0) {
+        fatal(ErrCode::Io, "cannot resolve " + hostport + ": " +
+                               ::gai_strerror(rc));
+    }
+    return result;
+}
+
 } // anonymous namespace
 
 void
@@ -62,6 +96,34 @@ ignoreSigpipe()
     // several connection threads start at once.
     static std::once_flag once;
     std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+void
+parseHostPort(const std::string &hostport, std::string &host,
+              uint16_t &port)
+{
+    const size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos || colon + 1 == hostport.size()) {
+        fatal(ErrCode::BadOperand,
+              "TCP address must be HOST:PORT, got '" + hostport + "'");
+    }
+    host = hostport.substr(0, colon);
+    const std::string port_text = hostport.substr(colon + 1);
+    unsigned long value = 0;
+    try {
+        size_t used = 0;
+        value = std::stoul(port_text, &used);
+        if (used != port_text.size())
+            throw std::invalid_argument(port_text);
+    } catch (const std::exception &) {
+        fatal(ErrCode::BadOperand,
+              "bad TCP port '" + port_text + "' in '" + hostport + "'");
+    }
+    if (value > 65535) {
+        fatal(ErrCode::BadOperand,
+              "TCP port out of range in '" + hostport + "'");
+    }
+    port = static_cast<uint16_t>(value);
 }
 
 int
@@ -114,6 +176,94 @@ connectUnix(const std::string &path)
     return fd;
 }
 
+int
+listenTcp(const std::string &hostport, int backlog, uint16_t *bound_port)
+{
+    ignoreSigpipe();
+    addrinfo *addrs = resolveTcp(hostport, /*passive=*/true);
+    int fd = -1;
+    int lastErrno = 0;
+    for (addrinfo *ai = addrs; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        setCloexec(fd);
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, backlog) == 0)
+            break;
+        lastErrno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        errno = lastErrno;
+        sysFatal("cannot listen on tcp", hostport);
+    }
+    if (bound_port != nullptr) {
+        sockaddr_storage bound{};
+        socklen_t len = sizeof(bound);
+        *bound_port = 0;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0) {
+            if (bound.ss_family == AF_INET) {
+                *bound_port = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&bound)->sin_port);
+            } else if (bound.ss_family == AF_INET6) {
+                *bound_port = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&bound)->sin6_port);
+            }
+        }
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &hostport)
+{
+    ignoreSigpipe();
+    addrinfo *addrs = resolveTcp(hostport, /*passive=*/false);
+    int fd = -1;
+    int lastErrno = 0;
+    for (addrinfo *ai = addrs; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        setCloexec(fd);
+        int rc;
+        do {
+            rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        } while (rc != 0 && errno == EINTR);
+        if (rc == 0) {
+            setNodelay(fd);
+            break;
+        }
+        lastErrno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        errno = lastErrno;
+        sysFatal("connect() to tcp", hostport);
+    }
+    return fd;
+}
+
+int
+connectEndpoint(const std::string &address)
+{
+    if (address.rfind("tcp:", 0) == 0)
+        return connectTcp(address.substr(4));
+    return connectUnix(address);
+}
+
 LineChannel::~LineChannel()
 {
     if (fd_ >= 0)
@@ -135,10 +285,16 @@ LineChannel::readLineTimed(std::string &line, int timeout_ms)
     for (;;) {
         const size_t nl = buf_.find('\n');
         if (nl != std::string::npos) {
+            if (maxLineBytes_ > 0 && nl > maxLineBytes_)
+                return ReadStatus::Overflow;
             line.assign(buf_, 0, nl);
             buf_.erase(0, nl + 1);
             return ReadStatus::Line;
         }
+        // The whole buffer is one unterminated line; a bounded channel
+        // refuses to let a newline-less peer grow it without limit.
+        if (maxLineBytes_ > 0 && buf_.size() > maxLineBytes_)
+            return ReadStatus::Overflow;
         if (timeout_ms >= 0) {
             // Poll with the remaining budget so several short reads
             // (a line arriving in fragments) share one deadline.
@@ -179,13 +335,44 @@ LineChannel::readLineTimed(std::string &line, int timeout_ms)
 bool
 LineChannel::writeLine(const std::string &line)
 {
+    using clock = std::chrono::steady_clock;
+    const clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(
+                           writeTimeoutMs_ < 0 ? 0 : writeTimeoutMs_);
     std::string out = line;
     out.push_back('\n');
     size_t sent = 0;
     while (sent < out.size()) {
+        if (writeTimeoutMs_ >= 0) {
+            // A peer that stops draining its socket (slow loris) must
+            // not park this thread forever: wait for writability
+            // within the per-write budget, then give up.
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - clock::now());
+            if (left.count() <= 0) {
+                lastErrno_ = ETIMEDOUT;
+                return false;
+            }
+            pollfd pfd{fd_, POLLOUT, 0};
+            int ready;
+            do {
+                ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+            } while (ready < 0 && errno == EINTR);
+            if (ready < 0) {
+                lastErrno_ = errno;
+                return false;
+            }
+            if (ready == 0) {
+                lastErrno_ = ETIMEDOUT;
+                return false;
+            }
+        }
         ssize_t put = ::write(fd_, out.data() + sent, out.size() - sent);
         if (put < 0 && errno == EINTR)
             continue;
+        if (put < 0 && writeTimeoutMs_ >= 0 &&
+            (errno == EAGAIN || errno == EWOULDBLOCK))
+            continue; // raced the poll; re-wait on the deadline
         if (put <= 0) {
             lastErrno_ = put < 0 ? errno : EIO;
             return false;

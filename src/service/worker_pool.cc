@@ -276,6 +276,12 @@ WorkerProcess::runJob(const PoolJob &job, machine::SimJobResult &result,
             }
             continue;
           }
+          case LineChannel::ReadStatus::Overflow:
+            // Unreachable in practice (the pool channel is unbounded)
+            // but a worker spewing an absurd line would be wedged
+            // anyway: kill it so the reap below cannot block.
+            kill();
+            [[fallthrough]];
           case LineChannel::ReadStatus::Eof:
           case LineChannel::ReadStatus::Error: {
             crash = reap();
@@ -317,6 +323,17 @@ WorkerPool::stop()
             slot.worker->interrupt();
     }
     slotCv_.notify_all();
+}
+
+unsigned
+WorkerPool::busySlots()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    unsigned busy = 0;
+    for (const Slot &slot : slots_)
+        if (slot.busy)
+            ++busy;
+    return busy;
 }
 
 int

@@ -200,6 +200,10 @@ class WorkerPool
     uint64_t crashes() const { return crashes_.load(); }
     uint64_t respawns() const { return respawns_.load(); }
 
+    /** Slot census for health probes (DESIGN.md §13.5). */
+    unsigned slots() const { return static_cast<unsigned>(slots_.size()); }
+    unsigned busySlots();
+
   private:
     struct Slot
     {
